@@ -1,0 +1,95 @@
+// Ablation A2: serial (TinyGarble-style) vs tree (MAXelerator-style)
+// multiplier structure, swept over bit widths: AND counts, depth, the
+// number of independent depth-0 partial products (schedulability), and
+// software garbling throughput of each structure.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuit/circuits.hpp"
+#include "crypto/rng.hpp"
+#include "gc/garble.hpp"
+
+namespace {
+
+double garble_rate(const maxel::circuit::Circuit& c, std::uint64_t rounds) {
+  maxel::crypto::SystemRandom rng(maxel::crypto::Block{9, 9});
+  maxel::gc::CircuitGarbler g(c, maxel::gc::Scheme::kHalfGates, rng);
+  (void)g.garble_round();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) (void)g.garble_round();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(rounds) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Widest AND level: the most non-XOR gates that share one multiplicative
+// depth — an upper bound on how many garbling engines the netlist could
+// keep busy simultaneously (the schedulability the tree structure buys).
+std::size_t max_level_width(const maxel::circuit::Circuit& c) {
+  std::vector<std::size_t> depth(c.num_wires, 0);
+  std::vector<std::size_t> width;
+  for (const auto& g : c.gates) {
+    const std::size_t in = std::max(depth[g.a], depth[g.b]);
+    depth[g.out] = in + (maxel::circuit::is_free(g.type) ? 0 : 1);
+    if (!maxel::circuit::is_free(g.type)) {
+      if (depth[g.out] >= width.size()) width.resize(depth[g.out] + 1, 0);
+      ++width[depth[g.out]];
+    }
+  }
+  std::size_t best = 0;
+  for (const std::size_t w : width) best = std::max(best, w);
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace maxel;
+  using namespace maxel::bench;
+
+  header("Ablation: serial vs tree multiplier structure (signed MAC)");
+  std::printf("%-4s %-8s | %8s %8s %8s %10s %12s\n", "b", "struct", "ANDs",
+              "XORs", "depth", "level par", "garble MAC/s");
+  rule(70);
+  for (const std::size_t b : {8u, 16u, 32u}) {
+    for (const auto structure : {circuit::Builder::MulStructure::kSerial,
+                                 circuit::Builder::MulStructure::kTree}) {
+      const circuit::MacOptions opt{b, b, true, structure};
+      const circuit::Circuit c = circuit::make_mac_circuit(opt);
+      const std::uint64_t rounds = b == 32 ? 100 : 400;
+      std::printf("%-4zu %-8s | %8zu %8zu %8zu %10zu %12.0f\n", b,
+                  structure == circuit::Builder::MulStructure::kTree
+                      ? "tree"
+                      : "serial",
+                  c.and_count(), c.xor_count(), circuit::and_depth(c),
+                  max_level_width(c), garble_rate(c, rounds));
+    }
+  }
+  header("Karatsuba vs schoolbook: full-product AND counts (unsigned)");
+  std::printf("%-6s %12s %12s %10s\n", "b", "schoolbook", "karatsuba",
+              "winner");
+  rule(44);
+  for (const std::size_t w : {8u, 16u, 24u, 32u, 48u, 64u}) {
+    circuit::Builder b1, b2;
+    const circuit::Bus a1 = b1.garbler_inputs(w), x1 = b1.evaluator_inputs(w);
+    b1.set_outputs(b1.mult_serial(a1, x1, 2 * w));
+    const circuit::Bus a2 = b2.garbler_inputs(w), x2 = b2.evaluator_inputs(w);
+    b2.set_outputs(b2.mult_karatsuba(a2, x2, 2 * w));
+    const std::size_t school = b1.take().and_count();
+    const std::size_t kara = b2.take().and_count();
+    std::printf("%-6zu %12zu %12zu %10s\n", w, school, kara,
+                kara < school ? "karatsuba" : "schoolbook");
+  }
+  std::printf("\nKaratsuba's crossover sits in the tens of bits — relevant "
+              "for wide accumulating datapaths, not for the paper's "
+              "bit-serial streaming design.\n");
+
+  std::printf(
+      "\nThe tree costs more ANDs in a folded software netlist but exposes "
+      "b/2 independent partial-product streams, which is what lets the FSM "
+      "keep every GC core busy every cycle (Fig. 3). The hardware pays "
+      "(2b+8)*b ANDs/MAC for perfect occupancy; software pays fewer ANDs "
+      "but stalls on the serial carry chain.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared formatting helpers for the reproduction benches: each bench
+// prints the paper's rows next to this implementation's measured or
+// modeled values so EXPERIMENTS.md can be assembled from bench output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace maxel::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+// Engineering notation a la the paper's tables (e.g. 2.36E+04).
+inline std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2E", v);
+  return buf;
+}
+
+inline std::string fix(double v, int prec = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace maxel::bench

@@ -1,0 +1,45 @@
+// Kernel-based ML case (Sec. 2.1, Eq. 1-2): gradient-descent solving of
+// min ||Ax - y||^2 — "multiple rounds of matrix multiplications" — with
+// exact MAC accounting, convergence evidence, and the secure cost per
+// Eq. 2 iteration under each backend.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ml/kernel_solver.hpp"
+#include "ml/ridge.hpp"
+
+int main() {
+  using namespace maxel;
+  using namespace maxel::bench;
+
+  header("Eq. 2 gradient descent: x_{t+1} = x_t - mu (A^T A x_t - A^T y)");
+  const ml::RidgeDataset data =
+      ml::make_synthetic_dataset("kernel", 500, 12, 2024, 0.02);
+  ml::KernelSolverConfig cfg;
+  cfg.iterations = 400;
+  const ml::KernelSolveResult res = ml::solve_kernel_gd(data.x, data.y, cfg);
+
+  std::printf("A: %zux%zu, step mu=%.3e (auto), %zu iterations run\n", data.n,
+              data.d, res.step_size, res.iterations_run);
+  std::printf("%-10s %14s\n", "iteration", "||Ax - y||");
+  rule(26);
+  for (std::size_t i = 0; i < res.residual_norms.size();
+       i += res.residual_norms.size() / 8 + 1)
+    std::printf("%-10zu %14.6f\n", i, res.residual_norms[i]);
+  std::printf("%-10s %14.6f\n", "final",
+              res.residual_norms.back());
+
+  header("Secure cost per Eq. 2 iteration (2*n*d MACs, counted)");
+  std::printf("MACs per iteration: %llu\n",
+              static_cast<unsigned long long>(res.macs_per_iteration));
+  const auto sw = ml::tinygarble_paper_backend(32);
+  const auto hw = ml::maxelerator_backend(32);
+  std::printf("%-44s %12.3f s\n", "software GC (paper TinyGarble rate)",
+              ml::seconds_per_iteration(res, sw));
+  std::printf("%-44s %12.6f s\n", "MAXelerator (24 cores)",
+              ml::seconds_per_iteration(res, hw));
+  std::printf("\nIterative matrix-based learning is exactly the workload of "
+              "Eq. 3's outer loop; every iteration's MACs stream through the "
+              "accelerator's sequential-MAC pipeline.\n");
+  return 0;
+}

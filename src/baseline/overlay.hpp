@@ -1,0 +1,56 @@
+// Analytic model of the FPGA overlay GC architecture of Fang, Ioannidis
+// and Leeser (FPGA'17) — the second baseline of Table 2.
+//
+// An overlay hosts garbled *components* on a virtual architecture loaded
+// onto the FPGA; generality costs 40-100x the LUTs of a custom design and
+// tens of cycles per gate. The paper interpolates [14]'s published 8/32/
+// 64-bit results to the 8/16/32-bit MAC workload; we implement the same
+// model: anchored cycles-per-MAC at the published points, linear
+// interpolation in the serial-MAC AND count elsewhere, 43 parallel cores
+// (bounded by BRAM, not logic), 200 MHz equivalent clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace maxel::baseline {
+
+struct OverlayModelConfig {
+  double clock_mhz = 200.0;
+  std::size_t cores = 43;  // [14]: bounded by garbling latency and BRAM
+};
+
+class OverlayModel {
+ public:
+  explicit OverlayModel(const OverlayModelConfig& cfg = OverlayModelConfig())
+      : cfg_(cfg) {}
+
+  // Clock cycles to garble one b-bit MAC with the whole overlay (all 43
+  // cores cooperating), interpolated from the paper's Table 2 anchors:
+  // 4.4e3 / 1.2e4 / 3.6e4 at b = 8/16/32.
+  [[nodiscard]] double cycles_per_mac(std::size_t bit_width) const;
+
+  [[nodiscard]] double time_per_mac_us(std::size_t bit_width) const {
+    return cycles_per_mac(bit_width) / cfg_.clock_mhz;
+  }
+  // Aggregate device throughput (one MAC in flight at a time).
+  [[nodiscard]] double macs_per_sec(std::size_t bit_width) const {
+    return 1e6 * cfg_.clock_mhz / cycles_per_mac(bit_width);
+  }
+  // Table 2 normalizes by the 43 parallel garbling cores.
+  [[nodiscard]] double macs_per_sec_per_core(std::size_t bit_width) const {
+    return macs_per_sec(bit_width) / static_cast<double>(cfg_.cores);
+  }
+
+  [[nodiscard]] const OverlayModelConfig& config() const { return cfg_; }
+
+  // LUT overhead factor of overlay architectures vs custom designs
+  // (Brant & Lemieux, FCCM'12: 40-100x); midpoint used in reports.
+  static constexpr double kLutOverheadLow = 40.0;
+  static constexpr double kLutOverheadHigh = 100.0;
+
+ private:
+  OverlayModelConfig cfg_;
+};
+
+}  // namespace maxel::baseline

@@ -1,0 +1,62 @@
+#include "baseline/overlay_sim.hpp"
+
+#include <vector>
+
+#include "baseline/overlay.hpp"
+#include "circuit/circuits.hpp"
+#include "fixed/matrix.hpp"
+
+namespace maxel::baseline {
+
+OverlayFeatures overlay_features(const circuit::Circuit& c,
+                                 std::size_t cores) {
+  OverlayFeatures f;
+  f.total_gates = static_cast<double>(c.gates.size());
+  std::vector<std::size_t> depth(c.num_wires, 0);
+  std::vector<std::size_t> width;
+  for (const auto& g : c.gates) {
+    const std::size_t in = std::max(depth[g.a], depth[g.b]);
+    depth[g.out] = in + (circuit::is_free(g.type) ? 0 : 1);
+    if (!circuit::is_free(g.type)) {
+      if (depth[g.out] >= width.size()) width.resize(depth[g.out] + 1, 0);
+      ++width[depth[g.out]];
+    }
+  }
+  for (const std::size_t w : width)
+    f.garbling_waves += static_cast<double>((w + cores - 1) / cores);
+  return f;
+}
+
+OverlaySim::OverlaySim(std::size_t cores) : cores_(cores) {
+  // Calibrate against the published anchors on the serial MAC netlists.
+  const std::size_t widths[] = {8, 16, 32};
+  fixed::Matrix design(3, 2);
+  std::vector<double> target(3);
+  const OverlayModel anchors;
+  for (int i = 0; i < 3; ++i) {
+    circuit::MacOptions opt{widths[i], widths[i], true,
+                            circuit::Builder::MulStructure::kSerial};
+    const auto f =
+        overlay_features(circuit::make_mac_circuit(opt), cores_);
+    design(static_cast<std::size_t>(i), 0) = f.total_gates;
+    design(static_cast<std::size_t>(i), 1) = f.garbling_waves;
+    target[static_cast<std::size_t>(i)] =
+        anchors.cycles_per_mac(widths[i]);
+  }
+  const auto coef = fixed::least_squares(design, target);
+  alpha_ = coef[0];
+  beta_ = coef[1];
+}
+
+double OverlaySim::cycles(const circuit::Circuit& c) const {
+  const OverlayFeatures f = overlay_features(c, cores_);
+  return alpha_ * f.total_gates + beta_ * f.garbling_waves;
+}
+
+double OverlaySim::cycles_per_mac(std::size_t bit_width) const {
+  circuit::MacOptions opt{bit_width, bit_width, true,
+                          circuit::Builder::MulStructure::kSerial};
+  return cycles(circuit::make_mac_circuit(opt));
+}
+
+}  // namespace maxel::baseline

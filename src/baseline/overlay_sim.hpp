@@ -1,0 +1,51 @@
+// Executable model of the FPGA overlay GC architecture [14] — unlike
+// the anchor-interpolating OverlayModel, this walks an actual netlist
+// the way the overlay would execute it: every gate is fetched and
+// dispatched through the virtual architecture (per-gate interpretation
+// overhead), and non-XOR gates garble on the 43 SHA-1-based cores in
+// dependency-level waves (per-wave garbling latency).
+//
+//     cycles(C) = alpha * |gates(C)| + beta * sum_l ceil(width_l / 43)
+//
+// alpha (dispatch/BRAM traffic per gate) and beta (garbling-core wave
+// latency) are calibrated by least squares against the paper's three
+// published cycles-per-MAC anchors using the same serial MAC netlists
+// the overlay would run — so the model then *predicts* the overlay's
+// cost for any other circuit (dividers, comparators, ...).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace maxel::baseline {
+
+struct OverlayFeatures {
+  double total_gates = 0;   // XOR included: the overlay interprets them
+  double garbling_waves = 0;  // sum over AND-levels of ceil(width/cores)
+};
+
+OverlayFeatures overlay_features(const circuit::Circuit& c,
+                                 std::size_t cores = 43);
+
+class OverlaySim {
+ public:
+  explicit OverlaySim(std::size_t cores = 43);
+
+  // Interpreted execution cost of an arbitrary netlist, in cycles.
+  [[nodiscard]] double cycles(const circuit::Circuit& c) const;
+
+  // Cost of one b-bit MAC (the serial netlist the overlay would load).
+  [[nodiscard]] double cycles_per_mac(std::size_t bit_width) const;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] std::size_t cores() const { return cores_; }
+
+ private:
+  std::size_t cores_;
+  double alpha_ = 0.0;  // cycles per interpreted gate
+  double beta_ = 0.0;   // cycles per garbling wave (SHA-1 pipeline)
+};
+
+}  // namespace maxel::baseline

@@ -1,0 +1,67 @@
+// Software GC baseline in the style of TinyGarble (S&P'15): sequential
+// garbling of a compressed MAC netlist on the host CPU, one gate at a
+// time in topological order. This is the "fastest software framework"
+// column of Table 2; we *measure* it on the build machine rather than
+// quote it, so the comparison with the simulated accelerator is
+// apples-to-apples at the protocol level (identical scheme, hash, and
+// netlist semantics).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/builder.hpp"
+#include "circuit/circuits.hpp"
+#include "gc/scheme.hpp"
+
+namespace maxel::baseline {
+
+struct SoftwareMacResult {
+  std::size_t bit_width = 0;
+  std::uint64_t rounds = 0;
+  std::size_t ands_per_mac = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double time_per_mac_us() const {
+    return rounds == 0 ? 0.0 : seconds * 1e6 / static_cast<double>(rounds);
+  }
+  [[nodiscard]] double macs_per_sec() const {
+    return seconds == 0.0 ? 0.0 : static_cast<double>(rounds) / seconds;
+  }
+  // Software runs one garbling thread: per-core == total (Table 2 reports
+  // per-core precisely to make this comparison fair).
+  [[nodiscard]] double macs_per_sec_per_core() const { return macs_per_sec(); }
+};
+
+struct SoftwareMacOptions {
+  gc::Scheme scheme = gc::Scheme::kHalfGates;
+  // TinyGarble's multiplier is serial ("follows a serial nature that does
+  // not allow parallelism", Sec. 4); the tree variant is available for
+  // ablations.
+  circuit::Builder::MulStructure structure =
+      circuit::Builder::MulStructure::kSerial;
+  bool is_signed = true;
+};
+
+// Garbles `rounds` sequential b-bit MACs and measures wall-clock time.
+SoftwareMacResult measure_software_mac(
+    std::size_t bit_width, std::uint64_t rounds,
+    const SoftwareMacOptions& opt = SoftwareMacOptions());
+
+// Evaluation-side (client) throughput: time to *evaluate* `rounds`
+// pre-garbled MACs. The paper's comparison is garbler-side; this is the
+// client budget that bounds how much acceleration the server can expose
+// before clients become the bottleneck.
+SoftwareMacResult measure_software_evaluation(
+    std::size_t bit_width, std::uint64_t rounds,
+    const SoftwareMacOptions& opt = SoftwareMacOptions());
+
+// The paper's published Table 2 reference points, for side-by-side
+// printing (their Xeon E5-2600 @ 2.2 GHz, TinyGarble):
+struct PaperTinyGarble {
+  std::uint64_t clock_cycles_per_mac;
+  double time_per_mac_us;
+  double throughput_mac_per_sec;
+};
+PaperTinyGarble paper_tinygarble(std::size_t bit_width);
+
+}  // namespace maxel::baseline

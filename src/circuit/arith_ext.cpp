@@ -1,0 +1,113 @@
+#include "circuit/arith_ext.hpp"
+
+#include <stdexcept>
+
+namespace maxel::circuit {
+
+Bus cond_subtract(Builder& bld, const Bus& a, const Bus& b,
+                  Wire* did_subtract) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("cond_subtract: width mismatch");
+  const std::size_t w = a.size();
+  // diff = a - b via a + ~b + 1; the carry out of the MSB is (a >= b).
+  Bus diff(w);
+  Wire c = Builder::const1();
+  for (std::size_t i = 0; i < w; ++i) {
+    const Wire nb = bld.not_(b[i]);
+    const Wire t1 = bld.xor_(a[i], c);
+    const Wire t2 = bld.xor_(nb, c);
+    diff[i] = bld.xor_(t1, nb);
+    c = bld.xor_(c, bld.and_(t1, t2));
+  }
+  if (did_subtract != nullptr) *did_subtract = c;
+  return bld.mux_bus(c, diff, a);
+}
+
+Circuit make_divider_circuit(std::size_t bit_width) {
+  if (bit_width == 0 || bit_width > 32)
+    throw std::invalid_argument("make_divider_circuit: width out of range");
+  Builder bld;
+  const Bus a = bld.garbler_inputs(bit_width);    // dividend
+  const Bus d = bld.evaluator_inputs(bit_width);  // divisor
+  const Bus d_ext = bld.zero_extend(d, bit_width + 1);
+
+  // Restoring division, MSB first: shift the next dividend bit into the
+  // partial remainder, conditionally subtract the divisor, record the
+  // quotient bit.
+  Bus r(bit_width + 1, Builder::const0());
+  Bus q(bit_width, Builder::const0());
+  for (std::size_t step = 0; step < bit_width; ++step) {
+    const std::size_t i = bit_width - 1 - step;  // dividend bit index
+    // r = (r << 1) | a[i], still within bit_width+1 bits since r < d.
+    Bus shifted(bit_width + 1);
+    shifted[0] = a[i];
+    for (std::size_t j = 1; j <= bit_width; ++j) shifted[j] = r[j - 1];
+    Wire did = Builder::const0();
+    r = cond_subtract(bld, shifted, d_ext, &did);
+    q[i] = did;
+  }
+
+  bld.set_outputs(q);
+  bld.append_outputs(Builder::truncate(r, bit_width));
+  bld.set_name("div_b" + std::to_string(bit_width));
+  return bld.take();
+}
+
+Circuit make_sqrt_circuit(std::size_t bit_width) {
+  if (bit_width < 2 || bit_width > 32)
+    throw std::invalid_argument("make_sqrt_circuit: width out of range");
+  Builder bld;
+  const Bus a = bld.garbler_inputs(bit_width);
+  const std::size_t k_bits = (bit_width + 1) / 2;
+
+  // Bit-by-bit integer square root:
+  //   if (num >= res + bit) { num -= res + bit; res = (res>>1) + bit; }
+  //   else res >>= 1;
+  Bus num = a;
+  Bus res(bit_width, Builder::const0());
+  for (std::size_t step = 0; step < k_bits; ++step) {
+    const std::size_t k = k_bits - 1 - step;  // bit = 2^(2k)
+    const Bus trial =
+        bld.add(res, bld.constant_bus(1ull << (2 * k), bit_width), bit_width);
+    Wire did = Builder::const0();
+    num = cond_subtract(bld, num, trial, &did);
+    // res = (res >> 1) + did * 2^(2k).
+    Bus shifted(bit_width, Builder::const0());
+    for (std::size_t j = 0; j + 1 < bit_width; ++j) shifted[j] = res[j + 1];
+    Bus inc(bit_width, Builder::const0());
+    inc[2 * k] = did;
+    res = bld.add(shifted, inc, bit_width);
+  }
+
+  bld.set_outputs(Builder::truncate(res, k_bits));
+  bld.set_name("sqrt_b" + std::to_string(bit_width));
+  return bld.take();
+}
+
+DivModResult divmod_reference(std::uint64_t a, std::uint64_t d,
+                              std::size_t bit_width) {
+  const std::uint64_t mask =
+      bit_width >= 64 ? ~0ull : ((1ull << bit_width) - 1);
+  a &= mask;
+  d &= mask;
+  if (d == 0) return {mask, a};  // restoring-datapath semantics
+  return {a / d, a % d};
+}
+
+std::uint64_t sqrt_reference(std::uint64_t a) {
+  std::uint64_t res = 0;
+  std::uint64_t bit = 1ull << 62;
+  while (bit > a) bit >>= 2;
+  while (bit != 0) {
+    if (a >= res + bit) {
+      a -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res >>= 1;
+    }
+    bit >>= 2;
+  }
+  return res;
+}
+
+}  // namespace maxel::circuit

@@ -1,0 +1,44 @@
+// Extended arithmetic netlists: unsigned division and integer square
+// root. These are the *other* GC operations in the Nikolaenko et al.
+// ridge pipeline the paper accelerates around — [7] performs O(d^2)
+// divisions and O(d) square roots in garbled circuits alongside the
+// O(d^3) MACs. Having real netlists lets the Table 3 cost model be
+// sanity-checked against gate counts instead of only fitted.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/builder.hpp"
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+// Restoring division: quotient = a / d, remainder = a % d (unsigned,
+// bit_width each; garbler holds a, evaluator holds d). Division by zero
+// yields quotient = 2^b - 1 and remainder = a (the natural output of the
+// restoring datapath; see divmod_reference).
+// Outputs: quotient bits [0, b), remainder bits [b, 2b).
+Circuit make_divider_circuit(std::size_t bit_width);
+
+// Integer square root: s = floor(sqrt(a)) for an unsigned bit_width
+// input from the garbler (no evaluator input; the evaluator just
+// evaluates — used where [7] computes norms on masked values).
+// Outputs: ceil(bit_width/2) result bits.
+Circuit make_sqrt_circuit(std::size_t bit_width);
+
+// Plaintext references with the exact circuit semantics.
+struct DivModResult {
+  std::uint64_t quotient = 0;
+  std::uint64_t remainder = 0;
+};
+DivModResult divmod_reference(std::uint64_t a, std::uint64_t d,
+                              std::size_t bit_width);
+std::uint64_t sqrt_reference(std::uint64_t a);
+
+// Word-level building blocks exposed for reuse:
+// Conditional subtract: (a >= b) ? {a - b, 1} : {a, 0}. Returns the
+// selected value; writes the "did subtract" bit to *did_subtract.
+Bus cond_subtract(Builder& bld, const Bus& a, const Bus& b,
+                  Wire* did_subtract);
+
+}  // namespace maxel::circuit

@@ -1,0 +1,216 @@
+#include "circuit/bristol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/builder.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+// Lowered gate in Bristol terms, over our wire ids plus fresh temps.
+struct BGate {
+  enum class Op { kXor, kAnd, kInv, kEqw } op;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;  // unused for INV/EQW
+  std::uint32_t out = 0;
+};
+
+const char* op_name(BGate::Op op) {
+  switch (op) {
+    case BGate::Op::kXor: return "XOR";
+    case BGate::Op::kAnd: return "AND";
+    case BGate::Op::kInv: return "INV";
+    case BGate::Op::kEqw: return "EQW";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_bristol(const Circuit& c, std::ostream& os) {
+  if (c.is_sequential())
+    throw std::invalid_argument("write_bristol: combinational circuits only");
+  if (c.garbler_inputs.empty() && c.evaluator_inputs.empty())
+    throw std::invalid_argument("write_bristol: need at least one input");
+
+  // Virtual wire space: our wires, then fresh temporaries from lowering.
+  std::uint32_t next_temp = c.num_wires;
+  std::vector<BGate> gates;
+
+  // Constants synthesized from the first input wire when referenced.
+  const std::uint32_t seed_wire = c.garbler_inputs.empty()
+                                      ? c.evaluator_inputs.front()
+                                      : c.garbler_inputs.front();
+  bool consts_needed = false;
+  for (const auto& g : c.gates)
+    consts_needed |= g.a <= kConstOne || g.b <= kConstOne;
+  for (const auto w : c.outputs) consts_needed |= w <= kConstOne;
+  if (consts_needed) {
+    gates.push_back({BGate::Op::kXor, seed_wire, seed_wire, kConstZero});
+    gates.push_back({BGate::Op::kInv, kConstZero, 0, kConstOne});
+  }
+
+  for (const auto& g : c.gates) {
+    switch (g.type) {
+      case GateType::kXor:
+        gates.push_back({BGate::Op::kXor, g.a, g.b, g.out});
+        break;
+      case GateType::kXnor: {
+        const std::uint32_t t = next_temp++;
+        gates.push_back({BGate::Op::kXor, g.a, g.b, t});
+        gates.push_back({BGate::Op::kInv, t, 0, g.out});
+        break;
+      }
+      case GateType::kAnd:
+        gates.push_back({BGate::Op::kAnd, g.a, g.b, g.out});
+        break;
+      case GateType::kNand: {
+        const std::uint32_t t = next_temp++;
+        gates.push_back({BGate::Op::kAnd, g.a, g.b, t});
+        gates.push_back({BGate::Op::kInv, t, 0, g.out});
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        const std::uint32_t na = next_temp++;
+        const std::uint32_t nb = next_temp++;
+        gates.push_back({BGate::Op::kInv, g.a, 0, na});
+        gates.push_back({BGate::Op::kInv, g.b, 0, nb});
+        if (g.type == GateType::kNor) {
+          gates.push_back({BGate::Op::kAnd, na, nb, g.out});
+        } else {
+          const std::uint32_t t = next_temp++;
+          gates.push_back({BGate::Op::kAnd, na, nb, t});
+          gates.push_back({BGate::Op::kInv, t, 0, g.out});
+        }
+        break;
+      }
+    }
+  }
+  // Bristol requires outputs to be the final wires: append EQW copies.
+  std::vector<std::uint32_t> out_copies;
+  for (const auto w : c.outputs) {
+    const std::uint32_t t = next_temp++;
+    gates.push_back({BGate::Op::kEqw, w, 0, t});
+    out_copies.push_back(t);
+  }
+
+  // Renumber into Bristol wire ids: inputs first, then gate outputs in
+  // emission order (the copies land last by construction).
+  constexpr std::uint32_t kUnset = UINT32_MAX;
+  std::vector<std::uint32_t> bristol_id(next_temp, kUnset);
+  std::uint32_t next_id = 0;
+  for (const auto w : c.garbler_inputs) bristol_id[w] = next_id++;
+  for (const auto w : c.evaluator_inputs) bristol_id[w] = next_id++;
+  for (auto& g : gates) {
+    if (bristol_id[g.a] == kUnset)
+      throw std::logic_error("write_bristol: gate input not yet defined");
+    if (g.op == BGate::Op::kXor || g.op == BGate::Op::kAnd) {
+      if (bristol_id[g.b] == kUnset)
+        throw std::logic_error("write_bristol: gate input not yet defined");
+    }
+    bristol_id[g.out] = next_id++;
+  }
+
+  os << gates.size() << ' ' << next_id << '\n';
+  os << 2 << ' ' << c.garbler_inputs.size() << ' '
+     << c.evaluator_inputs.size() << '\n';
+  os << 1 << ' ' << c.outputs.size() << '\n';
+  for (const auto& g : gates) {
+    if (g.op == BGate::Op::kXor || g.op == BGate::Op::kAnd) {
+      os << "2 1 " << bristol_id[g.a] << ' ' << bristol_id[g.b] << ' '
+         << bristol_id[g.out] << ' ' << op_name(g.op) << '\n';
+    } else {
+      os << "1 1 " << bristol_id[g.a] << ' ' << bristol_id[g.out] << ' '
+         << op_name(g.op) << '\n';
+    }
+  }
+}
+
+std::string to_bristol(const Circuit& c) {
+  std::ostringstream os;
+  write_bristol(c, os);
+  return os.str();
+}
+
+Circuit read_bristol(std::istream& is) {
+  std::size_t num_gates = 0, num_wires = 0;
+  if (!(is >> num_gates >> num_wires))
+    throw std::runtime_error("read_bristol: bad header");
+
+  std::size_t n_inputs = 0;
+  if (!(is >> n_inputs) || n_inputs == 0 || n_inputs > 2)
+    throw std::runtime_error("read_bristol: unsupported input arity");
+  std::vector<std::size_t> in_bits(n_inputs);
+  for (auto& b : in_bits)
+    if (!(is >> b)) throw std::runtime_error("read_bristol: bad input spec");
+
+  std::size_t n_outputs = 0;
+  if (!(is >> n_outputs))
+    throw std::runtime_error("read_bristol: bad output spec");
+  std::vector<std::size_t> out_bits(n_outputs);
+  std::size_t total_out = 0;
+  for (auto& b : out_bits) {
+    if (!(is >> b)) throw std::runtime_error("read_bristol: bad output spec");
+    total_out += b;
+  }
+
+  Builder bld;
+  constexpr Wire kUnset = UINT32_MAX;
+  std::vector<Wire> wire(num_wires, kUnset);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < in_bits[0]; ++i) wire[next++] = bld.garbler_input();
+  if (n_inputs == 2)
+    for (std::size_t i = 0; i < in_bits[1]; ++i)
+      wire[next++] = bld.evaluator_input();
+
+  const auto resolved = [&](std::size_t id) {
+    if (id >= num_wires || wire[id] == kUnset)
+      throw std::runtime_error("read_bristol: use of undefined wire");
+    return wire[id];
+  };
+
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    std::size_t n_in = 0, n_out = 0;
+    if (!(is >> n_in >> n_out) || n_out != 1 || n_in == 0 || n_in > 2)
+      throw std::runtime_error("read_bristol: bad gate arity");
+    std::size_t in0 = 0, in1 = 0, out = 0;
+    if (!(is >> in0)) throw std::runtime_error("read_bristol: bad gate");
+    if (n_in == 2 && !(is >> in1))
+      throw std::runtime_error("read_bristol: bad gate");
+    std::string op;
+    if (!(is >> out >> op)) throw std::runtime_error("read_bristol: bad gate");
+    if (out >= num_wires)
+      throw std::runtime_error("read_bristol: output wire out of range");
+
+    if (op == "XOR" && n_in == 2) {
+      wire[out] = bld.gate(GateType::kXor, resolved(in0), resolved(in1));
+    } else if (op == "AND" && n_in == 2) {
+      wire[out] = bld.gate(GateType::kAnd, resolved(in0), resolved(in1));
+    } else if (op == "INV" && n_in == 1) {
+      wire[out] = bld.not_(resolved(in0));
+    } else if (op == "EQW" && n_in == 1) {
+      wire[out] = resolved(in0);
+    } else {
+      throw std::runtime_error("read_bristol: unsupported gate " + op);
+    }
+  }
+
+  Bus outputs(total_out);
+  for (std::size_t i = 0; i < total_out; ++i)
+    outputs[i] = resolved(num_wires - total_out + i);
+  bld.set_outputs(outputs);
+  bld.set_name("bristol_import");
+  return bld.take();
+}
+
+Circuit from_bristol(const std::string& text) {
+  std::istringstream is(text);
+  return read_bristol(is);
+}
+
+}  // namespace maxel::circuit

@@ -1,0 +1,37 @@
+// "Bristol Fashion" circuit serialization — the interchange format used
+// by the GC ecosystem (TinyGarble consumes netlists in this family;
+// SCALE-MAMBA/emp-toolkit publish standard circuits in it). Lets this
+// library exchange netlists with other frameworks and persist generated
+// MAC circuits.
+//
+// Format (Bristol Fashion, one gate per line):
+//   <num_gates> <num_wires>
+//   <num_input_values> <input_0_bits> <input_1_bits> ...
+//   <num_output_values> <output_0_bits> ...
+//   <n_in> <n_out> <in_wires...> <out_wire> <XOR|AND|INV|EQW>
+//
+// Mapping to our IR: party-0 inputs = garbler, party-1 = evaluator;
+// INV(a) becomes XNOR(a, const0). On export, gate types outside
+// {XOR, AND, INV} are lowered (XNOR -> XOR+INV, NAND/NOR -> AND/OR+INV,
+// OR -> DeMorgan), so any circuit this library builds round-trips with
+// identical semantics (gate counts may grow by the lowering).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+// Serializes to Bristol Fashion. Throws std::invalid_argument for
+// sequential circuits (the format is combinational-only).
+void write_bristol(const Circuit& c, std::ostream& os);
+std::string to_bristol(const Circuit& c);
+
+// Parses Bristol Fashion with gates XOR/AND/INV/EQW. Throws
+// std::runtime_error on malformed input.
+Circuit read_bristol(std::istream& is);
+Circuit from_bristol(const std::string& text);
+
+}  // namespace maxel::circuit

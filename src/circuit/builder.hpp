@@ -1,0 +1,131 @@
+// Netlist construction API.
+//
+// Word-level operations follow the GC-optimized constructions the paper
+// builds on:
+//  * adder: 1 AND + 4 XOR per bit (TinyGarble / Kolesnikov-Schneider);
+//  * mux:   1 AND per bit (out = b ^ (sel & (a ^ b)));
+//  * conditional 2's complement: XOR mask + carry-injection, 1 AND/bit;
+//  * serial multiplier (shift-add, the TinyGarble baseline structure);
+//  * tree multiplier (Fig. 2: pairwise partial sums + log-depth tree,
+//    the structure MAXelerator's FSM schedules).
+//
+// The builder constant-folds operations on the constant wires so gate
+// counts stay tight (XOR with 0 and AND with 0/1 emit no gate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+// A little-endian (LSB-first) vector of wires forming a machine word.
+using Bus = std::vector<Wire>;
+
+class Builder {
+ public:
+  Builder() { circ_.num_wires = 2; }
+
+  // ---- inputs ----
+  Wire garbler_input();
+  Wire evaluator_input();
+  Bus garbler_inputs(std::size_t n);
+  Bus evaluator_inputs(std::size_t n);
+
+  static constexpr Wire const0() { return kConstZero; }
+  static constexpr Wire const1() { return kConstOne; }
+  Wire constant(bool v) { return v ? kConstOne : kConstZero; }
+
+  // Constant bus holding `value` (mod 2^width), LSB-first.
+  Bus constant_bus(std::uint64_t value, std::size_t width);
+
+  // ---- sequential state ----
+  // Creates a DFF and returns its state wire q; drive it later with
+  // connect_dff(). q may feed gates created before the driver of d.
+  Wire make_dff(bool init = false);
+  void connect_dff(Wire q, Wire d);
+  Bus make_dff_bus(std::size_t width, std::uint64_t init = 0);
+  void connect_dff_bus(const Bus& q, const Bus& d);
+
+  // Disables constant folding: every requested gate is emitted even when
+  // an operand is a constant wire. Hardware netlists (src/core) need this
+  // — the FSM garbles a fixed gate inventory every stage regardless of
+  // which operands happen to be constant zero padding.
+  void set_constant_folding(bool on) { fold_ = on; }
+
+  // ---- bit ops (constant-folded unless disabled) ----
+  Wire gate(GateType t, Wire a, Wire b);
+  Wire xor_(Wire a, Wire b) { return gate(GateType::kXor, a, b); }
+  Wire and_(Wire a, Wire b) { return gate(GateType::kAnd, a, b); }
+  Wire or_(Wire a, Wire b) { return gate(GateType::kOr, a, b); }
+  Wire not_(Wire a) { return gate(GateType::kXnor, a, kConstZero); }
+  // sel ? a : b, one AND.
+  Wire mux(Wire sel, Wire a, Wire b);
+
+  // ---- word ops ----
+  Bus xor_bus(const Bus& a, const Bus& b);
+  Bus and_bit(const Bus& a, Wire bit);        // mask a word by one bit
+  Bus mux_bus(Wire sel, const Bus& a, const Bus& b);
+
+  // Ripple-carry addition, result truncated to max(|a|,|b|) bits unless
+  // `width` given. carry_in optional. 1 AND per produced bit.
+  Bus add(const Bus& a, const Bus& b,
+          std::optional<std::size_t> width = std::nullopt,
+          Wire carry_in = kConstZero);
+  Bus sub(const Bus& a, const Bus& b,
+          std::optional<std::size_t> width = std::nullopt);
+  Bus negate(const Bus& a);                    // 2's complement
+  Bus cond_negate(const Bus& a, Wire s);       // s ? -a : a
+
+  // Zero/sign extension and truncation.
+  Bus zero_extend(const Bus& a, std::size_t width);
+  Bus sign_extend(const Bus& a, std::size_t width);
+  static Bus truncate(const Bus& a, std::size_t width);
+  static Bus shift_left(const Builder& b, const Bus& a, std::size_t k,
+                        std::size_t width);
+  Bus shift_left(const Bus& a, std::size_t k, std::size_t width);
+
+  // ---- multipliers (unsigned; result mod 2^out_width) ----
+  Bus mult_serial(const Bus& a, const Bus& x, std::size_t out_width);
+  Bus mult_tree(const Bus& a, const Bus& x, std::size_t out_width);
+  // Karatsuba recursion (three half-size products + linear combines);
+  // asymptotically fewer AND gates than the schoolbook structures — the
+  // ablation bench locates the crossover width. Computes the full
+  // product internally, then truncates to out_width.
+  Bus mult_karatsuba(const Bus& a, const Bus& x, std::size_t out_width);
+
+  // Signed multiply via the paper's mux/2's-complement sandwich
+  // (Sec. 4.3): |a|*|x| then conditional negation by sign(a)^sign(x).
+  enum class MulStructure { kSerial, kTree };
+  Bus mult_signed(const Bus& a, const Bus& x, std::size_t out_width,
+                  MulStructure structure = MulStructure::kTree);
+
+  // ---- comparisons ----
+  Wire eq(const Bus& a, const Bus& b);
+  Wire lt_unsigned(const Bus& a, const Bus& b);
+
+  // ---- finalize ----
+  void set_outputs(const Bus& out);
+  void append_outputs(const Bus& out);
+  void set_name(std::string name) { circ_.name = std::move(name); }
+  Circuit take();
+
+  [[nodiscard]] const Circuit& circuit() const { return circ_; }
+
+ private:
+  Wire fresh();
+  Circuit circ_;
+  std::vector<bool> dff_connected_;
+  bool fold_ = true;
+};
+
+// --- Bus <-> integer helpers (tests and drivers) --------------------------
+
+std::vector<bool> to_bits(std::uint64_t v, std::size_t width);
+std::uint64_t from_bits(const std::vector<bool>& bits);
+std::int64_t from_bits_signed(const std::vector<bool>& bits);
+
+}  // namespace maxel::circuit

@@ -1,0 +1,173 @@
+#include "circuit/circuits.hpp"
+
+#include <stdexcept>
+
+namespace maxel::circuit {
+namespace {
+
+Bus build_product(Builder& bld, const Bus& a, const Bus& x,
+                  const MacOptions& opt) {
+  const std::size_t w = opt.accumulator_width();
+  if (opt.is_signed) return bld.mult_signed(a, x, w, opt.structure);
+  return opt.structure == Builder::MulStructure::kTree
+             ? bld.mult_tree(a, x, w)
+             : bld.mult_serial(a, x, w);
+}
+
+std::uint64_t mask_of(std::size_t w) {
+  return w >= 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+// Sign/magnitude product matching the netlist: |a|*|x| mod 2^w, then
+// conditionally negated. Equals the true signed product mod 2^w.
+std::uint64_t product_reference(std::uint64_t a, std::uint64_t x,
+                                const MacOptions& opt) {
+  const std::size_t b = opt.bit_width;
+  const std::size_t w = opt.accumulator_width();
+  const std::uint64_t mb = mask_of(b);
+  const std::uint64_t mw = mask_of(w);
+  a &= mb;
+  x &= mb;
+  if (!opt.is_signed) return (a * x) & mw;
+  const bool sa = ((a >> (b - 1)) & 1u) != 0;
+  const bool sx = ((x >> (b - 1)) & 1u) != 0;
+  const std::uint64_t abs_a = sa ? ((~a + 1) & mb) : a;
+  const std::uint64_t abs_x = sx ? ((~x + 1) & mb) : x;
+  std::uint64_t p = (abs_a * abs_x) & mw;
+  if (sa != sx) p = (~p + 1) & mw;
+  return p;
+}
+
+}  // namespace
+
+Circuit make_mac_circuit(const MacOptions& opt) {
+  if (opt.bit_width == 0 || opt.bit_width > 64)
+    throw std::invalid_argument("make_mac_circuit: bad bit width");
+  Builder bld;
+  const Bus a = bld.garbler_inputs(opt.bit_width);
+  const Bus x = bld.evaluator_inputs(opt.bit_width);
+  const std::size_t w = opt.accumulator_width();
+  const Bus acc_q = bld.make_dff_bus(w, 0);
+  const Bus p = build_product(bld, a, x, opt);
+  const Bus acc_d = bld.add(acc_q, p, w);
+  bld.connect_dff_bus(acc_q, acc_d);
+  bld.set_outputs(acc_d);
+  bld.set_name("mac_b" + std::to_string(opt.bit_width) +
+               (opt.is_signed ? "_signed" : "_unsigned") +
+               (opt.structure == Builder::MulStructure::kTree ? "_tree"
+                                                              : "_serial"));
+  return bld.take();
+}
+
+Circuit make_fixed_mac_circuit(const MacOptions& opt, std::size_t frac_bits) {
+  const std::size_t b = opt.bit_width;
+  const std::size_t w = opt.accumulator_width();
+  if (b == 0 || b > 32 || w < 2 * b || w > 64)
+    throw std::invalid_argument("make_fixed_mac_circuit: bad widths");
+  if (frac_bits >= b)
+    throw std::invalid_argument("make_fixed_mac_circuit: bad frac bits");
+  Builder bld;
+  const Bus a_in = bld.garbler_inputs(b);
+  const Bus x_in = bld.evaluator_inputs(b);
+  // Extend the operands into the wide domain so the product and the
+  // accumulation carry correct signs.
+  const Bus a = opt.is_signed ? bld.sign_extend(a_in, w) : bld.zero_extend(a_in, w);
+  const Bus x = opt.is_signed ? bld.sign_extend(x_in, w) : bld.zero_extend(x_in, w);
+  const Bus acc_q = bld.make_dff_bus(w, 0);
+  const Bus p = opt.is_signed
+                    ? bld.mult_signed(a, x, w, opt.structure)
+                    : (opt.structure == Builder::MulStructure::kTree
+                           ? bld.mult_tree(a, x, w)
+                           : bld.mult_serial(a, x, w));
+  const Bus acc_d = bld.add(acc_q, p, w);
+  bld.connect_dff_bus(acc_q, acc_d);
+  // Output: arithmetic shift right by frac_bits, truncated to b bits —
+  // free (wire selection + sign replication).
+  Bus out(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    const std::size_t src = i + frac_bits;
+    out[i] = src < w ? acc_d[src] : acc_d[w - 1];
+  }
+  bld.set_outputs(out);
+  bld.set_name("fixed_mac_b" + std::to_string(b) + "_q" +
+               std::to_string(frac_bits));
+  return bld.take();
+}
+
+std::uint64_t fixed_dot_reference(const std::vector<std::uint64_t>& a,
+                                  const std::vector<std::uint64_t>& x,
+                                  const MacOptions& opt,
+                                  std::size_t frac_bits) {
+  if (a.size() != x.size())
+    throw std::invalid_argument("fixed_dot_reference: length mismatch");
+  const std::size_t b = opt.bit_width;
+  const std::size_t w = opt.accumulator_width();
+  MacOptions wide = opt;
+  wide.bit_width = w;  // operands are sign-extended into the wide domain
+  const auto extend = [&](std::uint64_t v) {
+    v &= mask_of(b);
+    if (opt.is_signed && b < 64 && ((v >> (b - 1)) & 1u) != 0)
+      v |= ~mask_of(b);
+    return v & mask_of(w);
+  };
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = mac_reference(acc, extend(a[i]), extend(x[i]), wide);
+  // Arithmetic shift right by frac_bits, truncate to b bits.
+  std::uint64_t v = acc & mask_of(w);
+  if (w < 64 && ((v >> (w - 1)) & 1u) != 0) v |= ~mask_of(w);
+  const auto s = static_cast<std::int64_t>(v) >> frac_bits;
+  return static_cast<std::uint64_t>(s) & mask_of(b);
+}
+
+Circuit make_dot_product_circuit(std::size_t n, const MacOptions& opt) {
+  Builder bld;
+  const std::size_t w = opt.accumulator_width();
+  Bus acc = bld.constant_bus(0, w);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bus a = bld.garbler_inputs(opt.bit_width);
+    const Bus x = bld.evaluator_inputs(opt.bit_width);
+    acc = bld.add(acc, build_product(bld, a, x, opt), w);
+  }
+  bld.set_outputs(acc);
+  bld.set_name("dot" + std::to_string(n) + "_b" +
+               std::to_string(opt.bit_width));
+  return bld.take();
+}
+
+Circuit make_multiplier_circuit(const MacOptions& opt) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(opt.bit_width);
+  const Bus x = bld.evaluator_inputs(opt.bit_width);
+  bld.set_outputs(build_product(bld, a, x, opt));
+  bld.set_name("mult_b" + std::to_string(opt.bit_width));
+  return bld.take();
+}
+
+Circuit make_millionaires_circuit(std::size_t bit_width) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(bit_width);
+  const Bus b = bld.evaluator_inputs(bit_width);
+  bld.set_outputs({bld.lt_unsigned(a, b)});
+  bld.set_name("millionaires_b" + std::to_string(bit_width));
+  return bld.take();
+}
+
+std::uint64_t mac_reference(std::uint64_t acc, std::uint64_t a, std::uint64_t x,
+                            const MacOptions& opt) {
+  const std::uint64_t mw = mask_of(opt.accumulator_width());
+  return (acc + product_reference(a, x, opt)) & mw;
+}
+
+std::uint64_t dot_reference(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& x,
+                            const MacOptions& opt) {
+  if (a.size() != x.size())
+    throw std::invalid_argument("dot_reference: length mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = mac_reference(acc, a[i], x[i], opt);
+  return acc;
+}
+
+}  // namespace maxel::circuit

@@ -1,0 +1,63 @@
+// Ready-made netlists used across the library, benches and tests.
+//
+// The central one is the sequential MAC (Sec. 4): per outer-loop round the
+// garbler feeds one matrix element a and the evaluator one vector element
+// x; a DFF accumulator carries the running sum across rounds, exactly the
+// TinyGarble sequential-GC execution model that MAXelerator accelerates.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/builder.hpp"
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+struct MacOptions {
+  std::size_t bit_width = 32;       // b: operand width
+  std::size_t acc_width = 0;        // accumulator width; 0 => bit_width
+  bool is_signed = true;            // mux/2's-complement sandwich (Sec. 4.3)
+  Builder::MulStructure structure = Builder::MulStructure::kTree;
+
+  [[nodiscard]] std::size_t accumulator_width() const {
+    return acc_width == 0 ? bit_width : acc_width;
+  }
+};
+
+// Sequential MAC: acc <= acc + a*x each round. Outputs the new accumulator.
+Circuit make_mac_circuit(const MacOptions& opt);
+
+// Fixed-point sequential MAC: operands are Q(bit_width - frac, frac)
+// values; products accumulate in a wide (acc_width >= 2*bit_width)
+// register, and the *output* is the accumulator arithmetically shifted
+// right by frac_bits and truncated back to bit_width — i.e. a correctly
+// scaled fixed-point dot product, with the rescaling done in-circuit
+// (shifts by constants are free in GC: pure rewiring).
+Circuit make_fixed_mac_circuit(const MacOptions& opt, std::size_t frac_bits);
+
+// Reference semantics of make_fixed_mac_circuit after `n` rounds.
+std::uint64_t fixed_dot_reference(const std::vector<std::uint64_t>& a,
+                                  const std::vector<std::uint64_t>& x,
+                                  const MacOptions& opt,
+                                  std::size_t frac_bits);
+
+// Combinational dot product of length n (a from garbler, x from evaluator).
+Circuit make_dot_product_circuit(std::size_t n, const MacOptions& opt);
+
+// Single multiply (no accumulator); used by unit tests and micro-benches.
+Circuit make_multiplier_circuit(const MacOptions& opt);
+
+// Yao's millionaires: outputs [a < b] for unsigned a (garbler), b (evaluator).
+Circuit make_millionaires_circuit(std::size_t bit_width);
+
+// --- Plaintext reference models (wraparound semantics of the netlists) ---
+
+// acc' = acc + a*x mod 2^acc_width, with the netlist's sign handling.
+std::uint64_t mac_reference(std::uint64_t acc, std::uint64_t a, std::uint64_t x,
+                            const MacOptions& opt);
+
+std::uint64_t dot_reference(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& x,
+                            const MacOptions& opt);
+
+}  // namespace maxel::circuit

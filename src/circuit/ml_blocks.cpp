@@ -1,0 +1,115 @@
+#include "circuit/ml_blocks.hpp"
+
+#include <stdexcept>
+
+namespace maxel::circuit {
+namespace {
+
+std::size_t index_bits(std::size_t n) {
+  std::size_t b = 1;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
+
+}  // namespace
+
+Wire lt_signed(Builder& bld, const Bus& a, const Bus& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("lt_signed: width mismatch");
+  // Bias trick: flipping the sign bits maps two's complement order onto
+  // unsigned order.
+  Bus ab = a, bb = b;
+  ab.back() = bld.not_(ab.back());
+  bb.back() = bld.not_(bb.back());
+  return bld.lt_unsigned(ab, bb);
+}
+
+Bus relu(Builder& bld, const Bus& a) {
+  if (a.empty()) throw std::invalid_argument("relu: empty bus");
+  const Wire keep = bld.not_(a.back());  // positive <=> sign bit clear
+  return bld.and_bit(a, keep);
+}
+
+Bus max_signed(Builder& bld, const Bus& a, const Bus& b) {
+  const Wire a_less = lt_signed(bld, a, b);
+  return bld.mux_bus(a_less, b, a);
+}
+
+Bus min_signed(Builder& bld, const Bus& a, const Bus& b) {
+  const Wire a_less = lt_signed(bld, a, b);
+  return bld.mux_bus(a_less, a, b);
+}
+
+Bus vector_max_signed(Builder& bld, const std::vector<Bus>& values) {
+  if (values.empty())
+    throw std::invalid_argument("vector_max_signed: empty input");
+  std::vector<Bus> cur = values;
+  while (cur.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2)
+      next.push_back(max_signed(bld, cur[i], cur[i + 1]));
+    if (cur.size() % 2 == 1) next.push_back(cur.back());
+    cur = std::move(next);
+  }
+  return cur.front();
+}
+
+ArgMax argmax_signed(Builder& bld, const std::vector<Bus>& values) {
+  if (values.empty()) throw std::invalid_argument("argmax_signed: empty");
+  const std::size_t ib = index_bits(values.size());
+
+  struct Entry {
+    Bus value;
+    Bus index;
+  };
+  std::vector<Entry> cur;
+  cur.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    cur.push_back({values[i], bld.constant_bus(i, ib)});
+
+  while (cur.size() > 1) {
+    std::vector<Entry> next;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+      // Strict less-than: ties keep the earlier (lower) index.
+      const Wire first_less = lt_signed(bld, cur[i].value, cur[i + 1].value);
+      next.push_back({bld.mux_bus(first_less, cur[i + 1].value, cur[i].value),
+                      bld.mux_bus(first_less, cur[i + 1].index,
+                                  cur[i].index)});
+    }
+    if (cur.size() % 2 == 1) next.push_back(cur.back());
+    cur = std::move(next);
+  }
+  return {cur.front().index, cur.front().value};
+}
+
+Circuit make_relu_layer_circuit(std::size_t n, std::size_t bit_width) {
+  Builder bld;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bus v = bld.evaluator_inputs(bit_width);
+    bld.append_outputs(relu(bld, v));
+  }
+  bld.set_name("relu" + std::to_string(n) + "_b" + std::to_string(bit_width));
+  return bld.take();
+}
+
+Circuit make_maxpool_circuit(std::size_t n, std::size_t bit_width) {
+  Builder bld;
+  std::vector<Bus> values(n);
+  for (auto& v : values) v = bld.evaluator_inputs(bit_width);
+  bld.set_outputs(vector_max_signed(bld, values));
+  bld.set_name("maxpool" + std::to_string(n) + "_b" +
+               std::to_string(bit_width));
+  return bld.take();
+}
+
+Circuit make_argmax_circuit(std::size_t n, std::size_t bit_width) {
+  Builder bld;
+  std::vector<Bus> values(n);
+  for (auto& v : values) v = bld.evaluator_inputs(bit_width);
+  bld.set_outputs(argmax_signed(bld, values).index);
+  bld.set_name("argmax" + std::to_string(n) + "_b" +
+               std::to_string(bit_width));
+  return bld.take();
+}
+
+}  // namespace maxel::circuit

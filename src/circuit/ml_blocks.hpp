@@ -1,0 +1,50 @@
+// GC building blocks for the ML workloads the paper motivates (Sec. 2.1):
+// the linear parts are MACs (the accelerator's job); these are the
+// nonlinear companions a full private-inference pipeline garbles between
+// matrix multiplications — comparisons, ReLU, max pooling, argmax.
+//
+// All constructions follow the usual GC cost discipline: comparisons via
+// borrow chains (1 AND/bit), selections via 1-AND/bit muxes.
+#pragma once
+
+#include "circuit/builder.hpp"
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+// Signed comparison a < b (two's complement).
+Wire lt_signed(Builder& bld, const Bus& a, const Bus& b);
+
+// ReLU of a signed value: max(a, 0) — clears the word when the sign bit
+// is set (1 AND per bit).
+Bus relu(Builder& bld, const Bus& a);
+
+// Signed max/min of two words: comparison + mux.
+Bus max_signed(Builder& bld, const Bus& a, const Bus& b);
+Bus min_signed(Builder& bld, const Bus& a, const Bus& b);
+
+// Maximum of a vector of signed words (balanced tree).
+Bus vector_max_signed(Builder& bld, const std::vector<Bus>& values);
+
+// Argmax over signed words: returns (index bus of ceil(log2(n)) bits,
+// max value bus). Ties resolve to the lowest index.
+struct ArgMax {
+  Bus index;
+  Bus value;
+};
+ArgMax argmax_signed(Builder& bld, const std::vector<Bus>& values);
+
+// Ready-made circuits (garbler holds the vector, evaluator holds nothing
+// or the second operand, mirroring server-model/client-data splits):
+
+// ReLU layer: evaluator's n values of width b each, rectified.
+Circuit make_relu_layer_circuit(std::size_t n, std::size_t bit_width);
+
+// Max-pooling over n evaluator values.
+Circuit make_maxpool_circuit(std::size_t n, std::size_t bit_width);
+
+// Argmax over n evaluator values (the classification head: the client
+// learns only the predicted class index).
+Circuit make_argmax_circuit(std::size_t n, std::size_t bit_width);
+
+}  // namespace maxel::circuit

@@ -1,0 +1,76 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace maxel::circuit {
+
+std::size_t and_depth(const Circuit& c) {
+  std::vector<std::size_t> depth(c.num_wires, 0);
+  std::size_t best = 0;
+  for (const auto& g : c.gates) {
+    const std::size_t in = std::max(depth[g.a], depth[g.b]);
+    depth[g.out] = in + (is_free(g.type) ? 0 : 1);
+    best = std::max(best, depth[g.out]);
+  }
+  return best;
+}
+
+GateHistogram histogram(const Circuit& c) {
+  GateHistogram h;
+  for (const auto& g : c.gates) {
+    switch (g.type) {
+      case GateType::kXor: ++h.xor_gates; break;
+      case GateType::kXnor: ++h.xnor_gates; break;
+      case GateType::kAnd: ++h.and_gates; break;
+      case GateType::kNand: ++h.nand_gates; break;
+      case GateType::kOr: ++h.or_gates; break;
+      case GateType::kNor: ++h.nor_gates; break;
+    }
+  }
+  return h;
+}
+
+std::vector<bool> eval_plain(const Circuit& c,
+                             const std::vector<bool>& garbler_bits,
+                             const std::vector<bool>& evaluator_bits,
+                             std::vector<bool>* state) {
+  if (garbler_bits.size() != c.garbler_inputs.size() ||
+      evaluator_bits.size() != c.evaluator_inputs.size()) {
+    throw std::invalid_argument("eval_plain: input arity mismatch");
+  }
+  if (state != nullptr && state->size() != c.dffs.size()) {
+    throw std::invalid_argument("eval_plain: state arity mismatch");
+  }
+
+  std::vector<bool> v(c.num_wires, false);
+  v[kConstOne] = true;
+  for (std::size_t i = 0; i < garbler_bits.size(); ++i)
+    v[c.garbler_inputs[i]] = garbler_bits[i];
+  for (std::size_t i = 0; i < evaluator_bits.size(); ++i)
+    v[c.evaluator_inputs[i]] = evaluator_bits[i];
+  for (std::size_t i = 0; i < c.dffs.size(); ++i)
+    v[c.dffs[i].q] = (state != nullptr) ? (*state)[i] : c.dffs[i].init;
+
+  for (const auto& g : c.gates) v[g.out] = eval_gate(g.type, v[g.a], v[g.b]);
+
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < c.dffs.size(); ++i) (*state)[i] = v[c.dffs[i].d];
+  }
+
+  std::vector<bool> out(c.outputs.size());
+  for (std::size_t i = 0; i < c.outputs.size(); ++i) out[i] = v[c.outputs[i]];
+  return out;
+}
+
+std::vector<bool> eval_sequential_plain(const Circuit& c,
+                                        const std::vector<RoundInputs>& rounds) {
+  std::vector<bool> state(c.dffs.size());
+  for (std::size_t i = 0; i < c.dffs.size(); ++i) state[i] = c.dffs[i].init;
+  std::vector<bool> out;
+  for (const auto& r : rounds)
+    out = eval_plain(c, r.garbler_bits, r.evaluator_bits, &state);
+  return out;
+}
+
+}  // namespace maxel::circuit

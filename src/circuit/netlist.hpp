@@ -1,0 +1,137 @@
+// Boolean netlist intermediate representation.
+//
+// A Circuit is a topologically ordered list of 2-input gates over wires
+// identified by dense indices. Wires 0 and 1 are the constants 0 and 1;
+// the garbler supplies their labels like any other garbler-known value.
+//
+// Sequential circuits (TinyGarble-style, the execution model MAXelerator
+// inherits) add DFF elements: each DFF exposes a state wire `q` that acts
+// as a round input and captures wire `d` at the end of every round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maxel::circuit {
+
+using Wire = std::uint32_t;
+
+inline constexpr Wire kConstZero = 0;
+inline constexpr Wire kConstOne = 1;
+
+// Gate families. XOR/XNOR are free under Free-XOR; the rest are "non-XOR"
+// gates costing one garbled table. Any of the non-XOR types below can be
+// written as ((a ^ alpha) & (b ^ beta)) ^ gamma and is half-gate friendly.
+enum class GateType : std::uint8_t { kXor, kXnor, kAnd, kNand, kOr, kNor };
+
+[[nodiscard]] constexpr bool is_free(GateType t) {
+  return t == GateType::kXor || t == GateType::kXnor;
+}
+
+// (alpha, beta, gamma) normal form of a non-XOR gate:
+//   out = ((a ^ alpha) & (b ^ beta)) ^ gamma.
+struct AndForm {
+  bool alpha = false;
+  bool beta = false;
+  bool gamma = false;
+};
+
+[[nodiscard]] constexpr AndForm and_form(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+      return {false, false, false};
+    case GateType::kNand:
+      return {false, false, true};
+    case GateType::kOr:
+      return {true, true, true};
+    case GateType::kNor:
+      return {true, true, false};
+    default:
+      return {};  // free gates have no AndForm
+  }
+}
+
+[[nodiscard]] constexpr bool eval_gate(GateType t, bool a, bool b) {
+  switch (t) {
+    case GateType::kXor:
+      return a != b;
+    case GateType::kXnor:
+      return a == b;
+    default: {
+      const AndForm f = and_form(t);
+      return ((a != f.alpha) && (b != f.beta)) != f.gamma;
+    }
+  }
+}
+
+struct Gate {
+  GateType type = GateType::kXor;
+  Wire a = 0;
+  Wire b = 0;
+  Wire out = 0;
+};
+
+struct Dff {
+  Wire q = 0;        // state output: behaves as an input each round
+  Wire d = 0;        // next-state input, captured at round end
+  bool init = false; // power-on value (public, as in TinyGarble)
+};
+
+struct Circuit {
+  std::uint32_t num_wires = 2;  // constants pre-allocated
+  std::vector<Wire> garbler_inputs;
+  std::vector<Wire> evaluator_inputs;
+  std::vector<Wire> outputs;
+  std::vector<Gate> gates;  // topological order by construction
+  std::vector<Dff> dffs;
+  std::string name;
+
+  [[nodiscard]] std::size_t and_count() const {
+    std::size_t n = 0;
+    for (const auto& g : gates) n += is_free(g.type) ? 0 : 1;
+    return n;
+  }
+  [[nodiscard]] std::size_t xor_count() const {
+    return gates.size() - and_count();
+  }
+  [[nodiscard]] bool is_sequential() const { return !dffs.empty(); }
+};
+
+// Multiplicative ("AND") depth of the circuit: length of the longest
+// input-to-output path counted in non-XOR gates. Determines the critical
+// dependency chain a garbler must respect — the quantity MAXelerator's
+// tree multiplier shrinks from O(b) to O(log b).
+std::size_t and_depth(const Circuit& c);
+
+// Per-gate-type histogram, for reports.
+struct GateHistogram {
+  std::size_t xor_gates = 0;
+  std::size_t xnor_gates = 0;
+  std::size_t and_gates = 0;
+  std::size_t nand_gates = 0;
+  std::size_t or_gates = 0;
+  std::size_t nor_gates = 0;
+};
+GateHistogram histogram(const Circuit& c);
+
+// --- Plaintext reference semantics ---------------------------------------
+
+// Evaluates the combinational part once. `garbler_bits` / `evaluator_bits`
+// must match the circuit's input lists; `state` (optional) supplies DFF
+// values and receives next-state values.
+std::vector<bool> eval_plain(const Circuit& c,
+                             const std::vector<bool>& garbler_bits,
+                             const std::vector<bool>& evaluator_bits,
+                             std::vector<bool>* state = nullptr);
+
+// Runs a sequential circuit for `rounds.size()` rounds (each entry holds
+// that round's inputs); returns the outputs of the final round.
+struct RoundInputs {
+  std::vector<bool> garbler_bits;
+  std::vector<bool> evaluator_bits;
+};
+std::vector<bool> eval_sequential_plain(const Circuit& c,
+                                        const std::vector<RoundInputs>& rounds);
+
+}  // namespace maxel::circuit

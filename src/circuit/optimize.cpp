@@ -1,0 +1,121 @@
+#include "circuit/optimize.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace maxel::circuit {
+namespace {
+
+void fill_before(const Circuit& c, OptimizeStats* stats) {
+  if (stats == nullptr) return;
+  stats->gates_before = c.gates.size();
+  stats->ands_before = c.and_count();
+}
+
+void fill_after(const Circuit& c, OptimizeStats* stats) {
+  if (stats == nullptr) return;
+  stats->gates_after = c.gates.size();
+  stats->ands_after = c.and_count();
+}
+
+}  // namespace
+
+Circuit dead_code_eliminate(const Circuit& c, OptimizeStats* stats) {
+  fill_before(c, stats);
+
+  std::vector<char> live(c.num_wires, 0);
+  for (const auto w : c.outputs) live[w] = 1;
+  for (const auto& d : c.dffs) live[d.d] = 1;
+  for (auto it = c.gates.rbegin(); it != c.gates.rend(); ++it) {
+    if (!live[it->out]) continue;
+    live[it->a] = 1;
+    live[it->b] = 1;
+  }
+
+  constexpr Wire kUnset = UINT32_MAX;
+  std::vector<Wire> remap(c.num_wires, kUnset);
+  Circuit out;
+  out.name = c.name;
+  out.num_wires = 2;
+  remap[kConstZero] = kConstZero;
+  remap[kConstOne] = kConstOne;
+  for (const auto w : c.garbler_inputs) {
+    remap[w] = out.num_wires++;
+    out.garbler_inputs.push_back(remap[w]);
+  }
+  for (const auto w : c.evaluator_inputs) {
+    remap[w] = out.num_wires++;
+    out.evaluator_inputs.push_back(remap[w]);
+  }
+  for (const auto& d : c.dffs) remap[d.q] = out.num_wires++;
+
+  const auto mapped = [&remap](Wire w) {
+    if (remap[w] == kUnset)
+      throw std::logic_error("dead_code_eliminate: unmapped live wire");
+    return remap[w];
+  };
+
+  for (const auto& g : c.gates) {
+    if (!live[g.out]) continue;
+    const Wire a = mapped(g.a);
+    const Wire b = mapped(g.b);
+    remap[g.out] = out.num_wires++;
+    out.gates.push_back({g.type, a, b, remap[g.out]});
+  }
+  for (const auto w : c.outputs) out.outputs.push_back(mapped(w));
+  for (const auto& d : c.dffs)
+    out.dffs.push_back({mapped(d.q), mapped(d.d), d.init});
+
+  fill_after(out, stats);
+  return out;
+}
+
+Circuit duplicate_gate_eliminate(const Circuit& c, OptimizeStats* stats) {
+  fill_before(c, stats);
+
+  // All supported gate types are symmetric in their operands.
+  using Key = std::tuple<GateType, Wire, Wire>;
+  std::map<Key, Wire> seen;
+  std::vector<Wire> subst(c.num_wires);
+  for (Wire w = 0; w < c.num_wires; ++w) subst[w] = w;
+
+  Circuit out;
+  out.name = c.name;
+  out.num_wires = c.num_wires;
+  out.garbler_inputs = c.garbler_inputs;
+  out.evaluator_inputs = c.evaluator_inputs;
+
+  for (const auto& g : c.gates) {
+    const Wire a = subst[g.a];
+    const Wire b = subst[g.b];
+    const Key key{g.type, a < b ? a : b, a < b ? b : a};
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      subst[g.out] = it->second;
+      continue;
+    }
+    seen.emplace(key, g.out);
+    out.gates.push_back({g.type, a, b, g.out});
+  }
+  for (const auto w : c.outputs) out.outputs.push_back(subst[w]);
+  for (const auto& d : c.dffs) out.dffs.push_back({d.q, subst[d.d], d.init});
+
+  fill_after(out, stats);
+  return out;
+}
+
+Circuit optimize(const Circuit& c, OptimizeStats* stats) {
+  fill_before(c, stats);
+  Circuit cur = c;
+  for (int pass = 0; pass < 8; ++pass) {
+    const std::size_t before = cur.gates.size();
+    cur = dead_code_eliminate(duplicate_gate_eliminate(cur));
+    if (cur.gates.size() == before) break;
+  }
+  fill_after(cur, stats);
+  return cur;
+}
+
+}  // namespace maxel::circuit

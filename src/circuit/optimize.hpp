@@ -1,0 +1,40 @@
+// Netlist optimization passes.
+//
+// The builder already constant-folds during construction; these passes
+// clean up circuits that arrive from elsewhere (Bristol imports, the
+// deliberately-unfolded hardware netlists) or that accumulated dead
+// logic through composition:
+//
+//  * dead_code_eliminate — drops gates whose outputs reach no circuit
+//    output and no DFF next-state input, renumbering wires densely;
+//  * duplicate_gate_eliminate — merges structurally identical gates
+//    (same type and operands), a cheap CSE.
+//
+// Both preserve input/output ordering and plaintext semantics exactly
+// (asserted by tests over random vectors).
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+struct OptimizeStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t ands_before = 0;
+  std::size_t ands_after = 0;
+
+  [[nodiscard]] std::size_t gates_removed() const {
+    return gates_before - gates_after;
+  }
+};
+
+Circuit dead_code_eliminate(const Circuit& c, OptimizeStats* stats = nullptr);
+
+Circuit duplicate_gate_eliminate(const Circuit& c,
+                                 OptimizeStats* stats = nullptr);
+
+// DCE + CSE to a fixed point.
+Circuit optimize(const Circuit& c, OptimizeStats* stats = nullptr);
+
+}  // namespace maxel::circuit

@@ -1,0 +1,201 @@
+#include "core/hw_netlist.hpp"
+
+#include <stdexcept>
+
+#include "circuit/builder.hpp"
+
+namespace maxel::core {
+
+using circuit::Builder;
+using circuit::Bus;
+using circuit::GateType;
+using circuit::Wire;
+
+const char* unit_kind_name(UnitKind k) {
+  switch (k) {
+    case UnitKind::kNegA: return "neg_a";
+    case UnitKind::kNegX: return "neg_x";
+    case UnitKind::kMuxAdd: return "mux_add";
+    case UnitKind::kTree: return "tree";
+    case UnitKind::kNegPLow: return "neg_p_lo";
+    case UnitKind::kNegPHigh: return "neg_p_hi";
+    case UnitKind::kAcc: return "acc";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t ilog2_exact(std::size_t v) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < v) ++l;
+  if ((std::size_t{1} << l) != v)
+    throw std::invalid_argument("build_hw_mac_netlist: b/2 must be 2^k");
+  return l;
+}
+
+}  // namespace
+
+HwMacNetlist build_hw_mac_netlist(std::size_t b) {
+  if (b < 4 || b > 64 || b % 2 != 0)
+    throw std::invalid_argument("build_hw_mac_netlist: bad bit width");
+  const std::size_t half = b / 2;
+  const std::size_t levels = ilog2_exact(half);
+
+  HwMacNetlist hw;
+  hw.bit_width = b;
+  hw.tree_levels = levels;
+
+  Builder bld;
+  bld.set_constant_folding(false);
+
+  const Bus a = bld.garbler_inputs(b);
+  const Bus x = bld.evaluator_inputs(b);
+  const Bus acc_q = bld.make_dff_bus(b, 0);
+  const Wire sa = a[b - 1];
+  const Wire sx = x[b - 1];
+  const Wire sp = bld.xor_(sa, sx);  // product sign (free)
+
+  const auto last_and = [&bld] {
+    return static_cast<std::uint32_t>(bld.circuit().gates.size() - 1);
+  };
+
+  // Bit-serial mux/2's-complement pair: out = s ? -in : in, two ANDs per
+  // stage (increment-carry AND + mux AND), LSB first.
+  const auto make_neg_pair = [&](const Bus& in, Wire s, UnitKind kind,
+                                 std::size_t offset, int round_shift) -> Bus {
+    Unit u;
+    u.kind = kind;
+    u.stage_offset = offset;
+    u.round_shift = round_shift;
+    u.ands.resize(b);
+    Bus out(b);
+    Wire c = Builder::const1();  // +1 of the 2's complement
+    for (std::size_t n = 0; n < b; ++n) {
+      const Wire inv = bld.not_(in[n]);       // free
+      const Wire inc = bld.xor_(inv, c);      // free
+      const Wire c_next = bld.and_(inv, c);   // carry AND
+      u.ands[n].push_back(last_and());
+      const Wire d = bld.xor_(inc, in[n]);    // free
+      const Wire m = bld.and_(s, d);          // mux AND
+      u.ands[n].push_back(last_and());
+      out[n] = bld.xor_(in[n], m);            // free
+      c = c_next;
+    }
+    hw.units.push_back(std::move(u));
+    return out;
+  };
+
+  // Bit-serial full adder (1 AND + 4 XOR per stage): returns sum stream;
+  // carry kept across stages, seeded with const0.
+  const auto make_adder_unit = [&](const Bus& lhs, const Bus& rhs,
+                                   UnitKind kind, std::size_t index,
+                                   std::size_t offset) -> Bus {
+    Unit u;
+    u.kind = kind;
+    u.index = index;
+    u.stage_offset = offset;
+    u.ands.resize(b);
+    Bus out(b);
+    Wire c = Builder::const0();
+    for (std::size_t n = 0; n < b; ++n) {
+      const Wire t1 = bld.xor_(lhs[n], c);
+      const Wire t2 = bld.xor_(rhs[n], c);
+      out[n] = bld.xor_(t1, rhs[n]);
+      const Wire g = bld.and_(t1, t2);
+      u.ands[n].push_back(last_and());
+      c = bld.xor_(c, g);
+    }
+    hw.units.push_back(std::move(u));
+    return out;
+  };
+
+  // --- Input sign pairs -------------------------------------------------
+  const Bus na = make_neg_pair(a, sa, UnitKind::kNegA, 0, 0);
+  // x must be fully sign-corrected before segment 1 consumes it from
+  // stage 1 on, so its pair runs one round ahead of the rest of the
+  // pipeline (a b-1 stage warm-up prologue covers round 0).
+  const Bus nx = make_neg_pair(x, sx, UnitKind::kNegX, 1, -1);
+
+  // --- Segment 1: MUX_ADD cores ------------------------------------------
+  std::vector<Bus> streams(half);
+  for (std::size_t m = 0; m < half; ++m) {
+    Unit u;
+    u.kind = UnitKind::kMuxAdd;
+    u.index = m;
+    u.segment1 = true;
+    u.stage_offset = 1;
+    u.ands.resize(b);
+    Bus s_m(b);
+    Wire c = Builder::const0();
+    for (std::size_t n = 0; n < b; ++n) {
+      const Wire pp0 = bld.and_(na[n], nx[2 * m]);
+      u.ands[n].push_back(last_and());
+      const Wire na_prev = n == 0 ? Builder::const0() : na[n - 1];
+      const Wire pp1 = bld.and_(na_prev, nx[2 * m + 1]);
+      u.ands[n].push_back(last_and());
+      const Wire t1 = bld.xor_(pp0, c);
+      const Wire t2 = bld.xor_(pp1, c);
+      s_m[n] = bld.xor_(t1, pp1);
+      const Wire g = bld.and_(t1, t2);
+      u.ands[n].push_back(last_and());
+      c = bld.xor_(c, g);
+    }
+    hw.units.push_back(std::move(u));
+    streams[m] = s_m;
+  }
+
+  // --- Segment 2: binary adder tree (shifts realized as delays) ----------
+  std::size_t tree_id = 0;
+  std::vector<Bus> cur = streams;
+  for (std::size_t lvl = 1; lvl <= levels; ++lvl) {
+    const std::size_t shift = std::size_t{1} << lvl;
+    std::vector<Bus> next;
+    for (std::size_t j = 0; 2 * j + 1 < cur.size(); ++j) {
+      // Delayed view of the odd stream: bit n reads position n - shift.
+      Bus delayed(b);
+      for (std::size_t n = 0; n < b; ++n)
+        delayed[n] = n >= shift ? cur[2 * j + 1][n - shift] : Builder::const0();
+      next.push_back(make_adder_unit(cur[2 * j], delayed, UnitKind::kTree,
+                                     tree_id++, 1 + lvl));
+    }
+    cur = std::move(next);
+  }
+  const Bus product = cur.front();
+
+  // --- Output sign pairs (low and high product halves) --------------------
+  const Bus np = make_neg_pair(product, sp, UnitKind::kNegPLow, 2 + levels, 0);
+  // High half: in b-bit accumulation mode the upper product bits are not
+  // produced, so this pair chews constant zeros — garbled regardless, as
+  // the hardware would (uniform per-stage inventory). Outputs dangle.
+  const Bus zeros(b, Builder::const0());
+  (void)make_neg_pair(zeros, sp, UnitKind::kNegPHigh, 2 + levels, 0);
+
+  // --- Accumulator ---------------------------------------------------------
+  const Bus acc_d =
+      make_adder_unit(np, acc_q, UnitKind::kAcc, 0, 3 + levels);
+  bld.connect_dff_bus(acc_q, acc_d);
+  bld.set_outputs(acc_d);
+  bld.set_name("hw_mac_b" + std::to_string(b));
+  hw.circuit = bld.take();
+
+  // --- Invariant checks and table-position map -----------------------------
+  for (std::size_t n = 0; n < b; ++n) {
+    std::size_t per_stage = 0;
+    for (const auto& u : hw.units) per_stage += u.ands[n].size();
+    if (per_stage != hw.ands_per_stage())
+      throw std::logic_error("hw netlist: per-stage AND inventory mismatch");
+  }
+  if (hw.circuit.and_count() != hw.ands_per_round())
+    throw std::logic_error("hw netlist: per-round AND count mismatch");
+
+  hw.table_position.assign(hw.circuit.gates.size(), HwMacNetlist::kNoTable);
+  std::uint32_t pos = 0;
+  for (std::size_t i = 0; i < hw.circuit.gates.size(); ++i) {
+    if (!circuit::is_free(hw.circuit.gates[i].type))
+      hw.table_position[i] = pos++;
+  }
+  return hw;
+}
+
+}  // namespace maxel::core

@@ -1,0 +1,94 @@
+// The MAXelerator hardware MAC netlist (Sec. 4, Fig. 2/3).
+//
+// This is the *architectural* netlist: the exact gate inventory the FSM
+// garbles every stage, with no constant folding — the hardware performs
+// its fixed per-stage work even when an operand is constant zero padding
+// (delay-register fill, carry-in seeds, the high-half sign unit in b-bit
+// accumulation mode). Per stage (3 clock cycles) the inventory is:
+//
+//   segment 1 (MUX_ADD), b/2 cores, 3 ANDs each:
+//       pp0 = a[n] & x[2m],  pp1 = a[n-1] & x[2m+1],  1 adder AND
+//   segment 2 (TREE + accumulator + sign), b/2 + 8 ANDs:
+//       b/2 - 1 tree-adder ANDs,
+//       4 mux/2's-complement pairs x 2 ANDs (input pair for a, input
+//       pair for x, output pair for the low/high product halves),
+//       1 accumulator AND
+//
+// giving 2b + 8 ANDs/stage and the paper's core count
+// b/2 + ceil((b/2+8)/3). Semantically one round computes
+//   acc' = acc + sign_corrected(|a| * |x|)  (mod 2^b),
+// identical to circuit::mac_reference with MacOptions{b, b, signed}.
+//
+// Each AND gate carries unit/stage metadata so the FSM scheduler
+// (schedule.hpp) can place it on a (core, cycle) honoring the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace maxel::core {
+
+enum class UnitKind : std::uint8_t {
+  kNegA,     // input mux/2's-complement pair for the streamed operand a
+  kNegX,     // input pair for the resident operand x (runs one round ahead)
+  kMuxAdd,   // segment-1 core (index = seg1 core id m)
+  kTree,     // tree-adder unit (index = flat tree-unit id)
+  kNegPLow,  // output pair, low product half
+  kNegPHigh, // output pair, high product half (zero-fed in b-bit mode)
+  kAcc,      // accumulator adder
+};
+
+const char* unit_kind_name(UnitKind k);
+
+// One hardware unit: a fixed set of AND gates per local stage.
+struct Unit {
+  UnitKind kind = UnitKind::kAcc;
+  std::size_t index = 0;        // seg1 core id / tree unit id, else 0
+  bool segment1 = false;
+  // Pipeline offset in stages relative to the round's stage window.
+  // kNegX additionally runs one round early (round_shift = -1).
+  std::size_t stage_offset = 0;
+  int round_shift = 0;
+  // ands[n] = netlist gate indices garbled at local stage n, in intra-
+  // stage dependency order (seg1: pp0, pp1, adder).
+  std::vector<std::vector<std::uint32_t>> ands;
+};
+
+struct HwMacNetlist {
+  std::size_t bit_width = 0;
+  circuit::Circuit circuit;  // sequential: b accumulator DFFs
+  std::vector<Unit> units;
+
+  // Number of tree levels L = log2(b/2).
+  std::size_t tree_levels = 0;
+
+  [[nodiscard]] std::size_t seg1_cores() const { return bit_width / 2; }
+  [[nodiscard]] std::size_t seg2_cores() const {
+    return (bit_width / 2 + 8 + 2) / 3;
+  }
+  [[nodiscard]] std::size_t cores() const { return seg1_cores() + seg2_cores(); }
+  [[nodiscard]] std::size_t ands_per_stage() const {
+    return 2 * bit_width + 8;
+  }
+  [[nodiscard]] std::size_t ands_per_round() const {
+    return ands_per_stage() * bit_width;
+  }
+  // Architectural pipeline depth (Sec. 4.3): b + log2(b) + 2 stages.
+  [[nodiscard]] std::size_t pipeline_latency_stages() const {
+    return bit_width + tree_levels + 3;  // == b + log2(b) + 2
+  }
+
+  // Maps a netlist gate index to its position in the garbled-table
+  // stream (netlist order of non-free gates); kNoTable for free gates.
+  static constexpr std::uint32_t kNoTable = UINT32_MAX;
+  std::vector<std::uint32_t> table_position;
+};
+
+// Builds the hardware netlist for bit width b (b in {4, 8, 16, 32, 64};
+// b/2 must be a power of two for the binary tree).
+HwMacNetlist build_hw_mac_netlist(std::size_t bit_width);
+
+}  // namespace maxel::core

@@ -1,0 +1,83 @@
+#include "core/matmul.hpp"
+
+#include <stdexcept>
+
+#include "circuit/circuits.hpp"
+#include "gc/garble.hpp"
+
+namespace maxel::core {
+
+std::size_t MatMulPlan::pcie_saturation_units() const {
+  // Garbling time scales 1/units; PCIe time is fixed. Saturation when
+  // garble_seconds(units) <= pcie_seconds().
+  const double p = pcie_seconds();
+  if (p <= 0.0) return SIZE_MAX;
+  const double one_unit = total_cycles_per_unit() / (clock_mhz * 1e6);
+  const double u = one_unit / p;
+  return u < 1.0 ? 1 : static_cast<std::size_t>(u + 0.999999);
+}
+
+SecureMatMulResult secure_matmul_on_sim(
+    const std::vector<std::vector<std::uint64_t>>& a,
+    const std::vector<std::vector<std::uint64_t>>& x, std::size_t bit_width,
+    crypto::RandomSource& rng) {
+  const std::size_t n = a.size();
+  if (n == 0 || x.empty())
+    throw std::invalid_argument("secure_matmul_on_sim: empty operand");
+  const std::size_t m = a.front().size();
+  if (x.size() != m)
+    throw std::invalid_argument("secure_matmul_on_sim: inner dim mismatch");
+  const std::size_t p = x.front().size();
+  const std::uint64_t mask =
+      bit_width >= 64 ? ~0ull : ((1ull << bit_width) - 1);
+  const circuit::MacOptions ref{bit_width, bit_width, true,
+                                circuit::Builder::MulStructure::kTree};
+
+  SecureMatMulResult res;
+  res.product.assign(n, std::vector<std::uint64_t>(p, 0));
+  res.verified = true;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      MaxeleratorConfig cfg;
+      cfg.bit_width = bit_width;
+      MaxeleratorSim sim(cfg, rng);
+      gc::CircuitEvaluator evaluator(sim.netlist(), gc::Scheme::kHalfGates);
+
+      std::uint64_t expect = 0;
+      std::vector<crypto::Block> out_labels;
+      std::vector<bool> out_map;
+      sim.run(m, [&](RoundOutput&& ro) {
+        if (ro.round == 0)
+          evaluator.set_initial_state_labels(ro.initial_state_active);
+        const std::uint64_t av = a[i][ro.round] & mask;
+        const std::uint64_t xv = x[ro.round][j] & mask;
+        expect = circuit::mac_reference(expect, av, xv, ref);
+
+        std::vector<crypto::Block> g_labels(bit_width), e_labels(bit_width);
+        for (std::size_t k = 0; k < bit_width; ++k) {
+          g_labels[k] = ((av >> k) & 1u) ? ro.garbler_labels0[k] ^ sim.delta()
+                                         : ro.garbler_labels0[k];
+          e_labels[k] = ((xv >> k) & 1u) ? ro.evaluator_labels0[k] ^ sim.delta()
+                                         : ro.evaluator_labels0[k];
+        }
+        out_labels = evaluator.eval_round(
+            ro.tables, g_labels, e_labels,
+            {ro.fixed_labels0[0], ro.fixed_labels0[1] ^ sim.delta()});
+        out_map.resize(ro.output_labels0.size());
+        for (std::size_t k = 0; k < out_map.size(); ++k)
+          out_map[k] = ro.output_labels0[k].lsb();
+      });
+
+      const std::uint64_t decoded =
+          circuit::from_bits(gc::decode_with_map(out_labels, out_map));
+      res.product[i][j] = decoded;
+      res.verified = res.verified && decoded == expect;
+      res.tables += sim.stats().tables;
+      res.cycles += sim.stats().total_cycles;
+    }
+  }
+  return res;
+}
+
+}  // namespace maxel::core

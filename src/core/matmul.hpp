@@ -1,0 +1,80 @@
+// Matrix-multiplication orchestration on MAXelerator (Sec. 4, Eq. 3 and
+// the Sec. 4.3 performance analysis): the product Y[N x P] = A[N x M] *
+// X[M x P] decomposes into N*P output elements, each an M-round
+// sequential MAC. The paper's throughput claim: one full product per
+// M*N*P*b stages = 3*M*N*P*b cycles per MAC unit, scaling linearly in
+// the number of units until the PCIe link saturates.
+//
+// Two layers here:
+//  * MatMulPlan  — the analytic model (cycles, time, table traffic,
+//    multi-unit scaling, link-bound effective rate);
+//  * secure_matmul_on_sim — actually runs the cycle-accurate simulator
+//    for every output element and has the standard software evaluator
+//    decode the product (integration/verification path; use small
+//    matrices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/maxelerator.hpp"
+#include "hwsim/pcie.hpp"
+
+namespace maxel::core {
+
+struct MatMulPlan {
+  std::size_t rows = 0;       // N
+  std::size_t inner = 0;      // M (MAC rounds per output element)
+  std::size_t cols = 0;       // P
+  std::size_t bit_width = 32;
+  std::size_t units = 1;      // parallel MAC units on the FPGA
+  double clock_mhz = 200.0;
+  hwsim::PcieLinkConfig pcie;
+
+  [[nodiscard]] double total_macs() const {
+    return static_cast<double>(rows) * static_cast<double>(inner) *
+           static_cast<double>(cols);
+  }
+  // Sec. 4.3: 1 product per M*N*P*b stages = 3*M*N*P*b cycles (per unit).
+  [[nodiscard]] double total_cycles_per_unit() const {
+    return 3.0 * total_macs() * static_cast<double>(bit_width);
+  }
+  [[nodiscard]] double garble_seconds() const {
+    return total_cycles_per_unit() / static_cast<double>(units) /
+           (clock_mhz * 1e6);
+  }
+  [[nodiscard]] double table_bytes() const {
+    const double b = static_cast<double>(bit_width);
+    return total_macs() * (2.0 * b + 8.0) * b * 32.0;
+  }
+  [[nodiscard]] double pcie_seconds() const {
+    return hwsim::PcieLink(pcie).transfer_seconds(
+        static_cast<std::uint64_t>(table_bytes()));
+  }
+  // Wall-clock once the link must carry the tables (garbling and DMA
+  // overlap; the slower one dominates).
+  [[nodiscard]] double effective_seconds() const {
+    const double g = garble_seconds();
+    const double p = pcie_seconds();
+    return g > p ? g : p;
+  }
+  // Unit count beyond which the link, not garbling, binds.
+  [[nodiscard]] std::size_t pcie_saturation_units() const;
+};
+
+// Runs the full product on the cycle-accurate simulator (one fresh
+// simulator per output element, M rounds each) and decodes each element
+// with the standard evaluator. Inputs/outputs are raw b-bit words
+// (mod 2^b wraparound, signed semantics as the hardware netlist).
+struct SecureMatMulResult {
+  std::vector<std::vector<std::uint64_t>> product;  // [rows][cols]
+  std::uint64_t tables = 0;
+  std::uint64_t cycles = 0;   // summed across element runs
+  bool verified = false;      // matches mac_reference chain
+};
+SecureMatMulResult secure_matmul_on_sim(
+    const std::vector<std::vector<std::uint64_t>>& a,
+    const std::vector<std::vector<std::uint64_t>>& x, std::size_t bit_width,
+    crypto::RandomSource& rng);
+
+}  // namespace maxel::core

@@ -1,0 +1,90 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace maxel::core {
+
+FsmSchedule::FsmSchedule(const HwMacNetlist& hw, std::uint64_t rounds)
+    : hw_(&hw), rounds_(rounds) {
+  // Static segment-2 slot assignment: unit ANDs in declaration order fill
+  // cores [seg1_cores, cores) three per stage.
+  seg2_slots_.resize(hw.units.size());
+  std::size_t slot = 0;
+  for (std::size_t ui = 0; ui < hw.units.size(); ++ui) {
+    const Unit& u = hw.units[ui];
+    if (u.segment1) continue;
+    const std::size_t ands = u.ands.empty() ? 0 : u.ands[0].size();
+    for (std::size_t j = 0; j < ands; ++j) {
+      seg2_slots_[ui].push_back(
+          {hw.seg1_cores() + slot / 3, slot % 3});
+      ++slot;
+    }
+  }
+  if (slot != hw.ands_per_stage() - 3 * hw.seg1_cores())
+    throw std::logic_error("FsmSchedule: segment-2 slot count mismatch");
+
+  // Last op: the accumulator of the final round at its last local stage.
+  std::uint64_t last = 0;
+  for (const auto& u : hw.units) {
+    const std::int64_t abs_stage =
+        static_cast<std::int64_t>(prologue_stages()) +
+        (static_cast<std::int64_t>(rounds) - 1 + u.round_shift) *
+            static_cast<std::int64_t>(hw.bit_width) +
+        static_cast<std::int64_t>(hw.bit_width - 1 + u.stage_offset);
+    if (abs_stage >= 0 && static_cast<std::uint64_t>(abs_stage) > last)
+      last = static_cast<std::uint64_t>(abs_stage);
+  }
+  total_stages_ = rounds == 0 ? 0 : last + 1;
+}
+
+std::optional<std::pair<std::uint64_t, std::size_t>>
+FsmSchedule::unit_position(const Unit& u, std::uint64_t stage) const {
+  const std::int64_t b = static_cast<std::int64_t>(hw_->bit_width);
+  const std::int64_t t = static_cast<std::int64_t>(stage) -
+                         static_cast<std::int64_t>(prologue_stages()) -
+                         static_cast<std::int64_t>(u.stage_offset) -
+                         u.round_shift * b;
+  if (t < 0) return std::nullopt;
+  const std::uint64_t r = static_cast<std::uint64_t>(t / b);
+  if (r >= rounds_) return std::nullopt;
+  return std::make_pair(r, static_cast<std::size_t>(t % b));
+}
+
+void FsmSchedule::ops_at_stage(
+    std::uint64_t stage,
+    std::vector<std::array<std::optional<ScheduledOp>, 3>>& out) const {
+  out.assign(hw_->cores(), {});
+  for (std::size_t ui = 0; ui < hw_->units.size(); ++ui) {
+    const Unit& u = hw_->units[ui];
+    const auto pos = unit_position(u, stage);
+    if (!pos) continue;
+    const auto [round, n] = *pos;
+    const auto& ands = u.ands[n];
+    for (std::size_t j = 0; j < ands.size(); ++j) {
+      const ScheduledOp op{ands[j], round, static_cast<std::uint16_t>(ui)};
+      if (u.segment1) {
+        auto& cell = out[u.index][j];
+        if (cell.has_value())
+          throw std::logic_error("FsmSchedule: segment-1 slot collision");
+        cell = op;
+      } else {
+        const Slot s = seg2_slots_[ui][j];
+        auto& cell = out[s.core][s.cycle];
+        if (cell.has_value())
+          throw std::logic_error("FsmSchedule: segment-2 slot collision");
+        cell = op;
+      }
+    }
+  }
+}
+
+std::size_t FsmSchedule::ops_in_stage(std::uint64_t stage) const {
+  std::size_t count = 0;
+  for (const auto& u : hw_->units) {
+    const auto pos = unit_position(u, stage);
+    if (pos) count += u.ands[pos->second].size();
+  }
+  return count;
+}
+
+}  // namespace maxel::core

@@ -1,0 +1,77 @@
+// The FSM schedule (Sec. 3/4): MAXelerator replaces the netlist
+// interpreter of conventional GC frameworks with a finite state machine
+// that knows, for every clock cycle, which AND gate each GC core garbles.
+//
+// The schedule is static: it is fully determined by the bit width and the
+// round count. Stage T (3 clock cycles) maps each hardware unit to a
+// (round, local-stage) pair through its pipeline offset; unit ANDs are
+// packed onto cores — segment-1 units own their core, segment-2 unit ANDs
+// fill ceil((b/2+8)/3) cores three slots per stage, leaving at most two
+// idle slots (the paper's claim).
+//
+// A b-1 stage warm-up prologue lets the resident operand x of round 0 be
+// sign-corrected before segment 1 first consumes it; in steady state the
+// x-pair of round r+1 overlaps round r, preserving 3b cycles/MAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/hw_netlist.hpp"
+
+namespace maxel::core {
+
+struct ScheduledOp {
+  std::uint32_t gate_index = 0;  // into HwMacNetlist::circuit.gates
+  std::uint64_t round = 0;
+  std::uint16_t unit = 0;        // into HwMacNetlist::units
+};
+
+class FsmSchedule {
+ public:
+  FsmSchedule(const HwMacNetlist& hw, std::uint64_t rounds);
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::size_t cores() const { return hw_->cores(); }
+  [[nodiscard]] std::uint64_t prologue_stages() const {
+    return hw_->bit_width - 1;
+  }
+  [[nodiscard]] std::uint64_t total_stages() const { return total_stages_; }
+  [[nodiscard]] std::uint64_t total_cycles() const {
+    return 3 * total_stages_;
+  }
+
+  // Ops of stage T: out[core][cycle-in-stage]. Entries may be empty
+  // (idle slot). out is resized to cores().
+  void ops_at_stage(
+      std::uint64_t stage,
+      std::vector<std::array<std::optional<ScheduledOp>, 3>>& out) const;
+
+  // Number of ANDs scheduled in a stage (for utilization accounting).
+  [[nodiscard]] std::size_t ops_in_stage(std::uint64_t stage) const;
+
+  // Steady-state idle garbling slots per stage: 3*cores - (2b+8), <= 2.
+  [[nodiscard]] std::size_t steady_idle_slots_per_stage() const {
+    return 3 * hw_->cores() - hw_->ands_per_stage();
+  }
+
+ private:
+  // Resolves unit u at absolute stage T to (round, local stage n).
+  [[nodiscard]] std::optional<std::pair<std::uint64_t, std::size_t>>
+  unit_position(const Unit& u, std::uint64_t stage) const;
+
+  const HwMacNetlist* hw_;
+  std::uint64_t rounds_;
+  std::uint64_t total_stages_ = 0;
+  // Static (core, cycle) slot of the j-th AND of each segment-2 unit.
+  struct Slot {
+    std::size_t core;
+    std::size_t cycle;
+  };
+  std::vector<std::vector<Slot>> seg2_slots_;  // [unit][and_j]
+};
+
+}  // namespace maxel::core

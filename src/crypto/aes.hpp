@@ -1,0 +1,41 @@
+// AES-128, encryption only, table-based software implementation.
+//
+// This is the fixed-key block cipher of Bellare et al. (S&P'13) that both
+// MAXelerator's GC engine and the software baseline instantiate their
+// garbling hash with. Implemented from scratch; round tables are
+// generated at compile time from the S-box and GF(2^8) arithmetic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block.hpp"
+
+namespace maxel::crypto {
+
+class Aes128 {
+ public:
+  // Expands `key` into the 11 round keys. The GC fixed key is public;
+  // security of the garbling hash comes from the random-permutation
+  // heuristic, not key secrecy.
+  explicit Aes128(const Block& key);
+
+  // Default: the fixed garbling key (an arbitrary published constant).
+  Aes128() : Aes128(fixed_garbling_key()) {}
+
+  [[nodiscard]] Block encrypt(const Block& plaintext) const;
+
+  // Encrypts four independent blocks; exists so hot garbling loops have a
+  // batch entry point (software pipelining), semantics == 4x encrypt().
+  void encrypt4(const Block in[4], Block out[4]) const;
+
+  static constexpr Block fixed_garbling_key() {
+    return Block{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  }
+
+ private:
+  // 44 round-key words, FIPS-197 layout.
+  std::array<std::uint32_t, 44> rk_{};
+};
+
+}  // namespace maxel::crypto

@@ -1,0 +1,15 @@
+#include "crypto/block.hpp"
+
+#include <cstdio>
+
+namespace maxel::crypto {
+
+std::string Block::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf);
+}
+
+}  // namespace maxel::crypto

@@ -1,0 +1,82 @@
+// 128-bit block type used for wire labels, AES states and PRG output.
+//
+// A Block is a plain value type (two 64-bit limbs, little-endian limb
+// order). All GC label algebra (Free-XOR, point-and-permute color bits,
+// GF(2^128) doubling for the fixed-key hash tweak) lives here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace maxel::crypto {
+
+struct Block {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  constexpr Block() = default;
+  constexpr Block(std::uint64_t low, std::uint64_t high) : lo(low), hi(high) {}
+
+  static constexpr Block zero() { return Block{0, 0}; }
+
+  // Low bit of the block: the point-and-permute "color" bit of a label.
+  [[nodiscard]] constexpr bool lsb() const { return (lo & 1u) != 0; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return lo == 0 && hi == 0; }
+
+  constexpr Block& operator^=(const Block& o) {
+    lo ^= o.lo;
+    hi ^= o.hi;
+    return *this;
+  }
+
+  friend constexpr Block operator^(Block a, const Block& b) { return a ^= b; }
+
+  friend constexpr bool operator==(const Block&, const Block&) = default;
+
+  // Doubling in GF(2^128) with the standard reduction polynomial
+  // x^128 + x^7 + x^2 + x + 1 (constant 0x87). Used by the fixed-key
+  // hash H(X, T) = AES_k(2X ^ T) ^ (2X ^ T) to separate the two hash
+  // calls of a half gate.
+  [[nodiscard]] constexpr Block gf_double() const {
+    const std::uint64_t carry = hi >> 63;
+    Block r{lo << 1, (hi << 1) | (lo >> 63)};
+    if (carry != 0) r.lo ^= 0x87u;
+    return r;
+  }
+
+  // 16-byte little-endian serialization (limb order lo, hi).
+  void to_bytes(std::uint8_t out[16]) const {
+    std::memcpy(out, &lo, 8);
+    std::memcpy(out + 8, &hi, 8);
+  }
+
+  static Block from_bytes(const std::uint8_t in[16]) {
+    Block b;
+    std::memcpy(&b.lo, in, 8);
+    std::memcpy(&b.hi, in + 8, 8);
+    return b;
+  }
+
+  [[nodiscard]] std::string hex() const;
+};
+
+// A tweak block encoding a unique per-gate identifier. MAXelerator forms
+// the identifier from (i, j, core id, stage index, gate id) — Sec. 5.1;
+// callers pack those fields into the 128 bits however they choose.
+constexpr Block make_tweak(std::uint64_t lo, std::uint64_t hi = 0) {
+  return Block{lo, hi};
+}
+
+}  // namespace maxel::crypto
+
+template <>
+struct std::hash<maxel::crypto::Block> {
+  std::size_t operator()(const maxel::crypto::Block& b) const noexcept {
+    // Simple 64-bit mix; Blocks hashed here are uniformly random labels.
+    return static_cast<std::size_t>(b.lo * 0x9E3779B97F4A7C15ull ^ b.hi);
+  }
+};

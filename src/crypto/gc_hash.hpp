@@ -1,0 +1,38 @@
+// Fixed-key garbling hash (Bellare, Hoang, Keelveedhi, Rogaway S&P'13),
+// the construction adopted by TinyGarble, half gates, and MAXelerator:
+//
+//   H(X, T) = AES_k(2X ^ T) ^ (2X ^ T)
+//
+// where 2X is doubling in GF(2^128) and T a unique per-(half-)gate tweak.
+// The Davies-Meyer style feed-forward makes the function one-way even
+// though the AES key k is public and fixed.
+#pragma once
+
+#include "crypto/aes.hpp"
+#include "crypto/block.hpp"
+
+namespace maxel::crypto {
+
+class GcHash {
+ public:
+  GcHash() = default;
+  explicit GcHash(const Block& key) : aes_(key) {}
+
+  [[nodiscard]] Block operator()(const Block& x, const Block& tweak) const {
+    const Block m = x.gf_double() ^ tweak;
+    return aes_.encrypt(m) ^ m;
+  }
+
+  // Two-input variant used by the classic (4-row) garbled table:
+  // H(A, B, T) = AES_k(4A ^ 2B ^ T) ^ (4A ^ 2B ^ T).
+  [[nodiscard]] Block operator()(const Block& a, const Block& b,
+                                 const Block& tweak) const {
+    const Block m = a.gf_double().gf_double() ^ b.gf_double() ^ tweak;
+    return aes_.encrypt(m) ^ m;
+  }
+
+ private:
+  Aes128 aes_;
+};
+
+}  // namespace maxel::crypto

@@ -1,0 +1,52 @@
+// A small battery of statistical randomness tests in the spirit of
+// NIST SP 800-22, used (as in the paper, Sec. 5.2) to validate the
+// entropy of the ring-oscillator RNG model.
+//
+// Each test returns a p-value-like score; callers typically assert
+// p > alpha for alpha = 0.01.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace maxel::crypto {
+
+struct RandomnessReport {
+  double monobit_p = 0.0;     // frequency test
+  double runs_p = 0.0;        // runs test
+  double poker_p = 0.0;       // 4-bit poker (chi-square) test
+  double serial_corr = 0.0;   // lag-1 autocorrelation (ideal: ~0)
+  double entropy_per_bit = 0.0;  // Shannon entropy of 8-bit blocks / 8
+
+  [[nodiscard]] bool passes(double alpha = 0.01) const {
+    return monobit_p > alpha && runs_p > alpha && poker_p > alpha;
+  }
+};
+
+// Frequency (monobit) test p-value.
+double monobit_test(const std::vector<bool>& bits);
+
+// Wald-Wolfowitz runs test p-value (conditioned on the monobit statistic
+// being unexceptional, as in SP 800-22).
+double runs_test(const std::vector<bool>& bits);
+
+// Poker test on 4-bit nibbles (FIPS 140-1 style), chi-square p-value.
+double poker_test(const std::vector<bool>& bits);
+
+// Lag-1 serial correlation coefficient.
+double serial_correlation(const std::vector<bool>& bits);
+
+// Block frequency test (SP 800-22 2.2): chi-square over the ones-ratio
+// of fixed-size blocks.
+double block_frequency_test(const std::vector<bool>& bits,
+                            std::size_t block_size = 128);
+
+// Cumulative sums (cusum) test (SP 800-22 2.13), forward direction.
+double cusum_test(const std::vector<bool>& bits);
+
+// Shannon entropy of the byte distribution, normalized per bit.
+double entropy_per_bit(const std::vector<bool>& bits);
+
+RandomnessReport run_battery(const std::vector<bool>& bits);
+
+}  // namespace maxel::crypto

@@ -1,0 +1,68 @@
+#include "crypto/rng.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace maxel::crypto {
+
+SystemRandom::SystemRandom()
+    : prg_([] {
+        std::random_device rd;
+        const auto w = [&rd] {
+          return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+        };
+        return Block{w(), w()};
+      }()) {}
+
+RingOscillator::RingOscillator(double ratio, double jitter, std::uint64_t seed)
+    : ratio_(ratio), jitter_(jitter), noise_(Block{seed, 0x524F4E47ull}) {}
+
+double RingOscillator::gaussian() {
+  // Box-Muller from the PRG noise stream.
+  const double u1 =
+      (static_cast<double>(noise_.next_u64() >> 11) + 1.0) / 9007199254740993.0;
+  const double u2 =
+      static_cast<double>(noise_.next_u64() >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+bool RingOscillator::sample() {
+  phase_ += ratio_ + jitter_ * gaussian();
+  phase_ -= std::floor(phase_);
+  return phase_ < 0.5;
+}
+
+RingOscillatorRng::RingOscillatorRng(const Config& cfg) : cfg_(cfg) {
+  ros_.reserve(static_cast<std::size_t>(cfg.num_ros));
+  Prg seeder(Block{cfg.seed, 0x524F2D524E47ull});
+  for (int i = 0; i < cfg.num_ros; ++i) {
+    // Spread nominal ratios so no two ROs are harmonically locked; the
+    // per-RO offset models process variation across the FPGA fabric.
+    const double ratio =
+        cfg.base_ratio + 0.137 * i +
+        1e-3 * static_cast<double>(seeder.next_below(997));
+    ros_.emplace_back(ratio, cfg.jitter, seeder.next_u64());
+  }
+}
+
+bool RingOscillatorRng::sample_bit() {
+  ++cycles_active_;
+  bool bit = false;
+  for (auto& ro : ros_) bit ^= ro.sample();
+  return bit;
+}
+
+Block RingOscillatorRng::next_block() {
+  Block b = Block::zero();
+  for (int i = 0; i < 128; ++i) {
+    if (sample_bit()) {
+      if (i < 64)
+        b.lo |= (1ull << i);
+      else
+        b.hi |= (1ull << (i - 64));
+    }
+  }
+  return b;
+}
+
+}  // namespace maxel::crypto

@@ -1,0 +1,115 @@
+// Random number generation.
+//
+// Three layers:
+//  * RandomSource    — abstract 128-bit entropy source.
+//  * SystemRandom    — OS-seeded AES-CTR source (default for protocol runs).
+//  * RingOscillatorRng — behavioural model of the Wold-Tan ring-oscillator
+//    TRNG that MAXelerator instantiates on-chip (Sec. 5.2): 16 free-running
+//    3-inverter ROs with accumulated phase jitter, sampled by the system
+//    clock and XOR-combined into one output bit per cycle.
+//
+// randomness_tests.hpp provides the NIST-style battery the paper cites
+// for validating the RO-RNG entropy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/block.hpp"
+#include "crypto/prg.hpp"
+
+namespace maxel::crypto {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual Block next_block() = 0;
+
+  std::uint64_t next_u64() { return next_block().lo; }
+  bool next_bit() { return next_block().lsb(); }
+};
+
+// OS-seeded deterministic-after-seed source. Pass an explicit seed for
+// reproducible protocol transcripts in tests.
+class SystemRandom final : public RandomSource {
+ public:
+  SystemRandom();  // seeds from std::random_device
+  explicit SystemRandom(const Block& seed) : prg_(seed) {}
+
+  Block next_block() override { return prg_.next_block(); }
+
+ private:
+  Prg prg_;
+};
+
+// Behavioural model of one ring oscillator: a phase accumulator advancing
+// by (nominal period +/- Gaussian jitter) per sample clock, emitting the
+// current half-period as the sampled bit. This reproduces the statistical
+// behaviour (bias, serial correlation decaying with jitter strength) of
+// the FPGA primitive without gate-level delay simulation.
+class RingOscillator {
+ public:
+  // ratio: RO frequency / sample frequency (irrational-ish => good bits).
+  // jitter: std-dev of per-sample phase noise, in RO periods.
+  RingOscillator(double ratio, double jitter, std::uint64_t seed);
+
+  bool sample();
+
+ private:
+  double phase_ = 0.0;  // in RO periods, kept in [0, 1)
+  double ratio_;
+  double jitter_;
+  Prg noise_;
+  double gaussian();
+};
+
+struct RingOscillatorConfig {
+  int num_ros = 16;          // paper: XOR of 16 ROs
+  int inverters_per_ro = 3;  // paper: 3 inverters each
+  double base_ratio = 7.3291;
+  double jitter = 0.03;
+  std::uint64_t seed = 1;
+};
+
+class RingOscillatorRng final : public RandomSource {
+ public:
+  using Config = RingOscillatorConfig;
+
+  explicit RingOscillatorRng(const Config& cfg = Config());
+
+  // One sampled-and-XORed output bit per (enabled) clock cycle.
+  bool sample_bit();
+
+  Block next_block() override;
+
+  // Power-gating hooks used by the label-generator FSM (Sec. 5.2: the FSM
+  // "fully or partially turns off the operation of the RNGs to conserve
+  // energy, when possible").
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::uint64_t cycles_active() const { return cycles_active_; }
+  [[nodiscard]] std::uint64_t cycles_gated() const { return cycles_gated_; }
+
+  // Advances one clock cycle without consuming a bit (gated).
+  void idle_cycle() { ++cycles_gated_; }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::vector<RingOscillator> ros_;
+  bool enabled_ = true;
+  std::uint64_t cycles_active_ = 0;
+  std::uint64_t cycles_gated_ = 0;
+};
+
+// Convenience: a fresh Free-XOR offset (random with lsb forced to 1 for
+// point-and-permute).
+inline Block random_delta(RandomSource& rng) {
+  Block r = rng.next_block();
+  r.lo |= 1u;
+  return r;
+}
+
+}  // namespace maxel::crypto

@@ -1,0 +1,118 @@
+#include "crypto/sha1.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace maxel::crypto {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  bit_len_ = 0;
+  buf_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* p) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(p[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(p[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(p[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(p[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t t = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = t;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(const std::uint8_t* data, std::size_t len) {
+  bit_len_ += static_cast<std::uint64_t>(len) * 8;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buf_.size() - buf_len_);
+    std::memcpy(buf_.data() + buf_len_, data, take);
+    buf_len_ += take;
+    data += take;
+    len -= take;
+    if (buf_len_ == buf_.size()) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() {
+  const std::uint64_t total_bits = bit_len_;
+  const std::uint8_t pad1 = 0x80;
+  update(&pad1, 1);
+  const std::uint8_t zero = 0;
+  while (buf_len_ != 56) update(&zero, 1);
+  std::uint8_t lenb[8];
+  for (int i = 0; i < 8; ++i)
+    lenb[i] = static_cast<std::uint8_t>(total_bits >> (56 - 8 * i));
+  update(lenb, 8);
+
+  std::array<std::uint8_t, 20> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::string Sha1::hex(const std::array<std::uint8_t, 20>& d) {
+  std::string s(40, '0');
+  for (std::size_t i = 0; i < 20; ++i)
+    std::snprintf(s.data() + 2 * i, 3, "%02x", d[i]);
+  return s;
+}
+
+Block sha1_gc_hash(const Block& x, const Block& tweak) {
+  std::uint8_t buf[32];
+  x.to_bytes(buf);
+  tweak.to_bytes(buf + 16);
+  const auto d = Sha1::hash(buf, sizeof(buf));
+  return Block::from_bytes(d.data());
+}
+
+}  // namespace maxel::crypto

@@ -1,0 +1,52 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// Present for one reason: the overlay baseline [14] garbles with SHA-1,
+// and the paper pointedly notes that "SHA-1 is not considered secure
+// anymore and all the current GC implementations ... employ AES". Having
+// both primitives lets the hash-choice ablation quantify the cost gap
+// the paper alludes to. Do not use for anything security-relevant.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "crypto/block.hpp"
+
+namespace maxel::crypto {
+
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::string& s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  std::array<std::uint8_t, 20> digest();
+
+  static std::array<std::uint8_t, 20> hash(const std::uint8_t* data,
+                                           std::size_t len) {
+    Sha1 h;
+    h.update(data, len);
+    return h.digest();
+  }
+  static std::string hex(const std::array<std::uint8_t, 20>& d);
+
+ private:
+  void process_block(const std::uint8_t* p);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t bit_len_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+// SHA-1-based garbling hash in the style of pre-fixed-key-AES GC
+// frameworks (and [14]'s overlay): H(X, T) = SHA1(X || T) truncated to
+// 128 bits. Only used by the hash-choice ablation.
+Block sha1_gc_hash(const Block& x, const Block& tweak);
+
+}  // namespace maxel::crypto

@@ -1,0 +1,52 @@
+// Dense double-precision matrix/vector kernels used by the ML case
+// studies: products, transpose, Cholesky solve (ridge normal equations),
+// and a small least-squares fitter (used to calibrate runtime models).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace maxel::fixed {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& o) const;
+  [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v) const;
+  Matrix& operator+=(const Matrix& o);
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves (A + lambda*I) x = b for symmetric positive definite A via
+// Cholesky; throws std::runtime_error if not SPD.
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b,
+                                   double lambda = 0.0);
+
+// Ordinary least squares: minimizes ||X beta - y||^2 over beta.
+std::vector<double> least_squares(const Matrix& x,
+                                  const std::vector<double>& y);
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm2(const std::vector<double>& a);
+
+}  // namespace maxel::fixed

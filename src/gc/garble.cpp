@@ -1,0 +1,191 @@
+#include "gc/garble.hpp"
+
+#include <stdexcept>
+
+namespace maxel::gc {
+
+using circuit::Circuit;
+using circuit::GateType;
+using circuit::kConstOne;
+using circuit::kConstZero;
+
+CircuitGarbler::CircuitGarbler(const Circuit& c, Scheme scheme,
+                               crypto::RandomSource& rng)
+    : circ_(c),
+      scheme_(scheme),
+      rng_(rng),
+      delta_(crypto::random_delta(rng)),
+      gg_(scheme, delta_),
+      labels0_(c.num_wires, Block::zero()),
+      next_state0_(c.dffs.size(), Block::zero()),
+      initial_state_active_(c.dffs.size(), Block::zero()) {}
+
+RoundTables CircuitGarbler::garble_round() {
+  // Fresh labels for constants and inputs every round (sequential GC).
+  labels0_[kConstZero] = rng_.next_block();
+  labels0_[kConstOne] = rng_.next_block();
+  for (const auto w : circ_.garbler_inputs) labels0_[w] = rng_.next_block();
+  for (const auto w : circ_.evaluator_inputs) labels0_[w] = rng_.next_block();
+
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i) {
+    const auto& dff = circ_.dffs[i];
+    if (round_ == 0) {
+      labels0_[dff.q] = rng_.next_block();
+      initial_state_active_[i] =
+          dff.init ? labels0_[dff.q] ^ delta_ : labels0_[dff.q];
+    } else {
+      labels0_[dff.q] = next_state0_[i];
+    }
+  }
+
+  RoundTables out;
+  out.tables.reserve(circ_.and_count());
+  for (std::size_t idx = 0; idx < circ_.gates.size(); ++idx) {
+    const auto& g = circ_.gates[idx];
+    switch (g.type) {
+      case GateType::kXor:
+        labels0_[g.out] = labels0_[g.a] ^ labels0_[g.b];
+        break;
+      case GateType::kXnor:
+        labels0_[g.out] = labels0_[g.a] ^ labels0_[g.b] ^ delta_;
+        break;
+      default: {
+        GarbledTable t;
+        labels0_[g.out] =
+            gg_.garble(circuit::and_form(g.type), labels0_[g.a], labels0_[g.b],
+                       gate_tweak(static_cast<std::uint32_t>(idx), round_), t);
+        out.tables.push_back(t);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
+    next_state0_[i] = labels0_[circ_.dffs[i].d];
+  ++round_;
+  return out;
+}
+
+Block CircuitGarbler::garbler_input_label(std::size_t i, bool v) const {
+  const Block l0 = labels0_[circ_.garbler_inputs.at(i)];
+  return v ? l0 ^ delta_ : l0;
+}
+
+std::pair<Block, Block> CircuitGarbler::evaluator_input_labels(
+    std::size_t i) const {
+  const Block l0 = labels0_[circ_.evaluator_inputs.at(i)];
+  return {l0, l0 ^ delta_};
+}
+
+std::vector<Block> CircuitGarbler::fixed_wire_labels() const {
+  return {labels0_[kConstZero], labels0_[kConstOne] ^ delta_};
+}
+
+std::vector<Block> CircuitGarbler::initial_state_labels() const {
+  if (round_ == 0 && !circ_.dffs.empty())
+    throw std::logic_error(
+        "initial_state_labels: garble round 0 first (labels are assigned "
+        "during garbling)");
+  return initial_state_active_;
+}
+
+std::vector<bool> CircuitGarbler::output_map() const {
+  std::vector<bool> map(circ_.outputs.size());
+  for (std::size_t i = 0; i < map.size(); ++i)
+    map[i] = labels0_[circ_.outputs[i]].lsb();
+  return map;
+}
+
+bool CircuitGarbler::decode_output(std::size_t i, const Block& active) const {
+  const Block l0 = labels0_[circ_.outputs.at(i)];
+  if (active == l0) return false;
+  if (active == (l0 ^ delta_)) return true;
+  throw std::runtime_error("decode_output: label matches neither value");
+}
+
+CircuitEvaluator::CircuitEvaluator(const Circuit& c, Scheme scheme)
+    : circ_(c), gg_(scheme, Block::zero()), state_(c.dffs.size()) {}
+
+void CircuitEvaluator::set_initial_state_labels(std::vector<Block> labels) {
+  if (labels.size() != circ_.dffs.size())
+    throw std::invalid_argument("set_initial_state_labels: arity mismatch");
+  state_ = std::move(labels);
+}
+
+std::vector<Block> CircuitEvaluator::eval_round(
+    const RoundTables& tables, const std::vector<Block>& garbler_labels,
+    const std::vector<Block>& evaluator_labels,
+    const std::vector<Block>& fixed_labels) {
+  if (garbler_labels.size() != circ_.garbler_inputs.size() ||
+      evaluator_labels.size() != circ_.evaluator_inputs.size() ||
+      fixed_labels.size() != 2) {
+    throw std::invalid_argument("eval_round: label arity mismatch");
+  }
+
+  std::vector<Block> active(circ_.num_wires, Block::zero());
+  active[kConstZero] = fixed_labels[0];
+  active[kConstOne] = fixed_labels[1];
+  for (std::size_t i = 0; i < garbler_labels.size(); ++i)
+    active[circ_.garbler_inputs[i]] = garbler_labels[i];
+  for (std::size_t i = 0; i < evaluator_labels.size(); ++i)
+    active[circ_.evaluator_inputs[i]] = evaluator_labels[i];
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
+    active[circ_.dffs[i].q] = state_[i];
+
+  std::size_t table_idx = 0;
+  for (std::size_t idx = 0; idx < circ_.gates.size(); ++idx) {
+    const auto& g = circ_.gates[idx];
+    if (circuit::is_free(g.type)) {
+      active[g.out] = active[g.a] ^ active[g.b];
+    } else {
+      if (table_idx >= tables.tables.size())
+        throw std::runtime_error("eval_round: table stream underrun");
+      active[g.out] =
+          gg_.evaluate(active[g.a], active[g.b], tables.tables[table_idx++],
+                       gate_tweak(static_cast<std::uint32_t>(idx), round_));
+    }
+  }
+  if (table_idx != tables.tables.size())
+    throw std::runtime_error("eval_round: unconsumed garbled tables");
+
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
+    state_[i] = active[circ_.dffs[i].d];
+  ++round_;
+
+  std::vector<Block> out(circ_.outputs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = active[circ_.outputs[i]];
+  return out;
+}
+
+std::vector<bool> decode_with_map(const std::vector<Block>& active,
+                                  const std::vector<bool>& map) {
+  if (active.size() != map.size())
+    throw std::invalid_argument("decode_with_map: arity mismatch");
+  std::vector<bool> out(active.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = active[i].lsb() != map[i];
+  return out;
+}
+
+std::vector<bool> garble_and_evaluate(const Circuit& c, Scheme scheme,
+                                      const std::vector<bool>& garbler_bits,
+                                      const std::vector<bool>& evaluator_bits,
+                                      crypto::RandomSource& rng) {
+  CircuitGarbler garbler(c, scheme, rng);
+  CircuitEvaluator evaluator(c, scheme);
+  const RoundTables tables = garbler.garble_round();
+
+  std::vector<Block> g_labels(garbler_bits.size());
+  for (std::size_t i = 0; i < garbler_bits.size(); ++i)
+    g_labels[i] = garbler.garbler_input_label(i, garbler_bits[i]);
+  std::vector<Block> e_labels(evaluator_bits.size());
+  for (std::size_t i = 0; i < evaluator_bits.size(); ++i) {
+    const auto [l0, l1] = garbler.evaluator_input_labels(i);
+    e_labels[i] = evaluator_bits[i] ? l1 : l0;  // in-process OT shortcut
+  }
+  evaluator.set_initial_state_labels(garbler.initial_state_labels());
+  const auto out_labels = evaluator.eval_round(
+      tables, g_labels, e_labels, garbler.fixed_wire_labels());
+  return decode_with_map(out_labels, garbler.output_map());
+}
+
+}  // namespace maxel::gc

@@ -1,0 +1,117 @@
+// Whole-circuit garbling and evaluation, including the sequential
+// (multi-round, TinyGarble-style) execution model that MAXelerator
+// accelerates: the same netlist is garbled every round with fresh input
+// labels while DFF state wires carry their labels across rounds.
+//
+// Tweak convention (must match between any two implementations that are
+// expected to produce identical tables — the software garbler here and
+// the MAXelerator hardware simulator both use it):
+//   tweak.lo = 2 * gate_index_in_netlist   (low bit reserved: half gates)
+//   tweak.hi = round index
+// The paper builds its unique identifier T from (i, j, core id, stage,
+// gate id); any injective encoding is equivalent — we pick one that both
+// the FSM schedule and the netlist order can compute.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "crypto/rng.hpp"
+#include "gc/scheme.hpp"
+
+namespace maxel::gc {
+
+[[nodiscard]] constexpr Block gate_tweak(std::uint32_t gate_index,
+                                         std::uint64_t round) {
+  return Block{2ull * gate_index, round};
+}
+
+// Garbled tables of one round, in netlist (topological) order of the
+// non-free gates.
+struct RoundTables {
+  std::vector<GarbledTable> tables;
+
+  [[nodiscard]] std::size_t byte_size(Scheme s) const {
+    return tables.size() * bytes_per_and(s);
+  }
+};
+
+class CircuitGarbler {
+ public:
+  CircuitGarbler(const circuit::Circuit& c, Scheme scheme,
+                 crypto::RandomSource& rng);
+
+  // Garbles the next round and returns its tables. All per-round label
+  // queries below refer to the most recently garbled round.
+  RoundTables garble_round();
+
+  [[nodiscard]] std::uint64_t rounds_garbled() const { return round_; }
+
+  // Active label for garbler input i holding value v.
+  [[nodiscard]] Block garbler_input_label(std::size_t i, bool v) const;
+  // Both labels for evaluator input i (to be fed into OT as (m0, m1)).
+  [[nodiscard]] std::pair<Block, Block> evaluator_input_labels(
+      std::size_t i) const;
+  // Active labels of the two constant wires [const0, const1].
+  [[nodiscard]] std::vector<Block> fixed_wire_labels() const;
+  // Active labels of the DFF state wires at round 0 (public init values).
+  [[nodiscard]] std::vector<Block> initial_state_labels() const;
+  // Point-and-permute output decode map: lsb of each output's 0-label.
+  [[nodiscard]] std::vector<bool> output_map() const;
+  // Garbler-side decode of an active output label.
+  [[nodiscard]] bool decode_output(std::size_t i, const Block& active) const;
+
+  [[nodiscard]] const Block& delta() const { return delta_; }
+  // 0-labels of every wire in the last garbled round (tests/equivalence).
+  [[nodiscard]] const std::vector<Block>& wire_labels0() const {
+    return labels0_;
+  }
+
+ private:
+  const circuit::Circuit& circ_;
+  Scheme scheme_;
+  crypto::RandomSource& rng_;
+  Block delta_;
+  GateGarbler gg_;
+  std::vector<Block> labels0_;       // current round, 0-labels per wire
+  std::vector<Block> next_state0_;   // d-wire 0-labels carried to next round
+  std::vector<Block> initial_state_active_;
+  std::uint64_t round_ = 0;
+};
+
+class CircuitEvaluator {
+ public:
+  CircuitEvaluator(const circuit::Circuit& c, Scheme scheme);
+
+  // Must be called before round 0 when the circuit has DFFs.
+  void set_initial_state_labels(std::vector<Block> labels);
+
+  // Evaluates one round; returns the active labels of the outputs.
+  std::vector<Block> eval_round(const RoundTables& tables,
+                                const std::vector<Block>& garbler_labels,
+                                const std::vector<Block>& evaluator_labels,
+                                const std::vector<Block>& fixed_labels);
+
+  [[nodiscard]] std::uint64_t rounds_evaluated() const { return round_; }
+
+ private:
+  const circuit::Circuit& circ_;
+  GateGarbler gg_;  // evaluation does not use delta; zero is fine
+  std::vector<Block> state_;
+  std::uint64_t round_ = 0;
+};
+
+// Decodes active output labels with the garbler-published color map.
+std::vector<bool> decode_with_map(const std::vector<Block>& active,
+                                  const std::vector<bool>& map);
+
+// Convenience: single-round garble+evaluate of a combinational circuit
+// with plaintext inputs; returns decoded outputs. Used heavily in tests.
+std::vector<bool> garble_and_evaluate(const circuit::Circuit& c, Scheme scheme,
+                                      const std::vector<bool>& garbler_bits,
+                                      const std::vector<bool>& evaluator_bits,
+                                      crypto::RandomSource& rng);
+
+}  // namespace maxel::gc

@@ -1,0 +1,153 @@
+#include "gc/scheme.hpp"
+
+namespace maxel::gc {
+namespace {
+
+constexpr Block with_half(const Block& tweak, bool half) {
+  Block t = tweak;
+  t.lo ^= half ? 1u : 0u;
+  return t;
+}
+
+// Tweak-space separation for the classic scheme's derived output label.
+constexpr Block derive_tweak(const Block& tweak) {
+  Block t = tweak;
+  t.hi ^= 0x8000000000000000ull;
+  return t;
+}
+
+}  // namespace
+
+Block GateGarbler::garble(const circuit::AndForm& f, const Block& a0,
+                          const Block& b0, const Block& tweak,
+                          GarbledTable& table) const {
+  switch (scheme_) {
+    case Scheme::kHalfGates: {
+      // Shift the inputs so the gate becomes a plain AND of
+      // a' = a ^ alpha, b' = b ^ beta; shift the output by gamma.
+      const Block a0p = f.alpha ? a0 ^ delta_ : a0;
+      const Block b0p = f.beta ? b0 ^ delta_ : b0;
+      const Block c0p = garble_halfgates(a0p, b0p, tweak, table);
+      return f.gamma ? c0p ^ delta_ : c0p;
+    }
+    case Scheme::kClassic4:
+      return garble_rows(f, a0, b0, tweak, /*reduce_row=*/false, table);
+    case Scheme::kGrr3:
+      return garble_rows(f, a0, b0, tweak, /*reduce_row=*/true, table);
+  }
+  return Block::zero();
+}
+
+Block GateGarbler::evaluate(const Block& a, const Block& b,
+                            const GarbledTable& table,
+                            const Block& tweak) const {
+  switch (scheme_) {
+    case Scheme::kHalfGates:
+      return eval_halfgates(a, b, table, tweak);
+    case Scheme::kClassic4:
+      return eval_rows(a, b, table, tweak, /*reduce_row=*/false);
+    case Scheme::kGrr3:
+      return eval_rows(a, b, table, tweak, /*reduce_row=*/true);
+  }
+  return Block::zero();
+}
+
+// Zahur-Rosulek-Evans half gates: generator half (garbler knows p_b) and
+// evaluator half (evaluator knows s_b), each garbled with one H() call.
+Block GateGarbler::garble_halfgates(const Block& a0, const Block& b0,
+                                    const Block& tweak,
+                                    GarbledTable& table) const {
+  const Block t_g = with_half(tweak, false);
+  const Block t_e = with_half(tweak, true);
+  const bool pa = a0.lsb();
+  const bool pb = b0.lsb();
+
+  const Block ha0 = hash_(a0, t_g);
+  const Block ha1 = hash_(a0 ^ delta_, t_g);
+  const Block hb0 = hash_(b0, t_e);
+  const Block hb1 = hash_(b0 ^ delta_, t_e);
+
+  // Generator half gate.
+  Block tg = ha0 ^ ha1;
+  if (pb) tg ^= delta_;
+  Block wg = ha0;
+  if (pa) wg ^= tg;
+
+  // Evaluator half gate.
+  const Block te = hb0 ^ hb1 ^ a0;
+  Block we = hb0;
+  if (pb) we ^= te ^ a0;
+
+  table.ct[0] = tg;
+  table.ct[1] = te;
+  return wg ^ we;
+}
+
+Block GateGarbler::eval_halfgates(const Block& a, const Block& b,
+                                  const GarbledTable& table,
+                                  const Block& tweak) const {
+  const Block t_g = with_half(tweak, false);
+  const Block t_e = with_half(tweak, true);
+  const bool sa = a.lsb();
+  const bool sb = b.lsb();
+
+  Block wg = hash_(a, t_g);
+  if (sa) wg ^= table.ct[0];
+  Block we = hash_(b, t_e);
+  if (sb) we ^= table.ct[1] ^ a;
+  return wg ^ we;
+}
+
+// Classic point-and-permute table (optionally GRR3 row-reduced). Row
+// position (sa, sb) = color bits of the active labels.
+Block GateGarbler::garble_rows(const circuit::AndForm& f, const Block& a0,
+                               const Block& b0, const Block& tweak,
+                               bool reduce_row, GarbledTable& table) const {
+  const bool pa = a0.lsb();
+  const bool pb = b0.lsb();
+  const auto gate_out = [&f](bool va, bool vb) {
+    return ((va != f.alpha) && (vb != f.beta)) != f.gamma;
+  };
+
+  Block c0;
+  if (reduce_row) {
+    // Force row (0,0) — inputs (pa, pb) — to all zeros.
+    const Block a_pa = pa ? a0 ^ delta_ : a0;
+    const Block b_pb = pb ? b0 ^ delta_ : b0;
+    const Block cv = hash_(a_pa, b_pb, tweak);
+    c0 = gate_out(pa, pb) ? cv ^ delta_ : cv;
+  } else {
+    // Derive a pseudorandom output label (deterministic garbling).
+    c0 = hash_(a0, b0, derive_tweak(tweak));
+  }
+
+  for (int sa = 0; sa < 2; ++sa) {
+    for (int sb = 0; sb < 2; ++sb) {
+      const bool va = (sa != 0) != pa;
+      const bool vb = (sb != 0) != pb;
+      const int idx = 2 * sa + sb;
+      if (reduce_row && idx == 0) continue;
+      const Block a_lab = va ? a0 ^ delta_ : a0;
+      const Block b_lab = vb ? b0 ^ delta_ : b0;
+      Block c = c0;
+      if (gate_out(va, vb)) c ^= delta_;
+      const Block e = hash_(a_lab, b_lab, tweak) ^ c;
+      table.ct[static_cast<std::size_t>(reduce_row ? idx - 1 : idx)] = e;
+    }
+  }
+  return c0;
+}
+
+Block GateGarbler::eval_rows(const Block& a, const Block& b,
+                             const GarbledTable& table, const Block& tweak,
+                             bool reduce_row) const {
+  const int idx = 2 * (a.lsb() ? 1 : 0) + (b.lsb() ? 1 : 0);
+  const Block h = hash_(a, b, tweak);
+  if (reduce_row) {
+    if (idx == 0) return h;
+    return table.ct[static_cast<std::size_t>(idx - 1)] ^ h;
+  }
+  return table.ct[static_cast<std::size_t>(idx)] ^ h;
+}
+
+}  // namespace maxel::gc

@@ -1,0 +1,100 @@
+// Label generator model (Sec. 5.2): a bank of k * (b/2) ring-oscillator
+// RNGs sized for the worst-case label demand of one stage, feeding a
+// small bit buffer, with the FSM gating the RNGs whenever the buffer is
+// full ("fully or partially turns off the operation of the RNGs to
+// conserve energy, when possible").
+//
+// The buffer absorbs bursty label demand (several labels in one cycle at
+// a round boundary) against steady per-cycle production; an underflow
+// means the bank was mis-sized and is reported, not hidden.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/block.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel::hwsim {
+
+class LabelBank {
+ public:
+  // bits_per_cycle: RNG bank production capacity, k * (b/2) in the
+  // paper's sizing. buffer_depth_bits: FIFO depth; 0 selects a default of
+  // six stages of production. The buffer starts full — the RNGs free-run
+  // while the accelerator is idle before a session.
+  LabelBank(std::size_t bits_per_cycle, crypto::RandomSource& source,
+            std::size_t buffer_depth_bits = 0)
+      : capacity_bits_(bits_per_cycle),
+        depth_bits_(buffer_depth_bits == 0 ? 18 * bits_per_cycle
+                                           : buffer_depth_bits),
+        buffered_bits_(depth_bits_),
+        source_(source) {}
+
+  // Draws one fresh k-bit label, consuming buffered entropy.
+  crypto::Block next_label() {
+    if (buffered_bits_ >= 128) {
+      buffered_bits_ -= 128;
+    } else {
+      ++underflow_stalls_;
+      buffered_bits_ = 0;
+    }
+    bits_this_cycle_ += 128;
+    total_bits_ += 128;
+    return source_.next_block();
+  }
+
+  // Advances the clock: the bank produces up to capacity bits; production
+  // beyond the buffer depth is power-gated.
+  void end_cycle() {
+    ++cycles_;
+    if (bits_this_cycle_ > peak_bits_per_cycle_)
+      peak_bits_per_cycle_ = bits_this_cycle_;
+    const std::uint64_t room = depth_bits_ - buffered_bits_;
+    const std::uint64_t produced =
+        room < capacity_bits_ ? room : capacity_bits_;
+    buffered_bits_ += produced;
+    active_bit_cycles_ += produced;
+    gated_bit_cycles_ += capacity_bits_ - produced;
+    bits_this_cycle_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity_bits_per_cycle() const {
+    return capacity_bits_;
+  }
+  [[nodiscard]] std::uint64_t total_bits() const { return total_bits_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t peak_bits_per_cycle() const {
+    return peak_bits_per_cycle_;
+  }
+  [[nodiscard]] std::uint64_t buffered_bits() const { return buffered_bits_; }
+  // A nonzero value means the k*(b/2) sizing was insufficient.
+  [[nodiscard]] std::uint64_t underflow_stalls() const {
+    return underflow_stalls_;
+  }
+  // Fraction of RNG production capacity that was power-gated.
+  [[nodiscard]] double gated_fraction() const {
+    const double total =
+        static_cast<double>(active_bit_cycles_ + gated_bit_cycles_);
+    return total == 0 ? 0.0 : static_cast<double>(gated_bit_cycles_) / total;
+  }
+  [[nodiscard]] double average_bits_per_cycle() const {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(total_bits_) /
+                              static_cast<double>(cycles_);
+  }
+
+ private:
+  std::size_t capacity_bits_;
+  std::uint64_t depth_bits_;
+  std::uint64_t buffered_bits_;
+  crypto::RandomSource& source_;
+  std::uint64_t bits_this_cycle_ = 0;
+  std::uint64_t total_bits_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t peak_bits_per_cycle_ = 0;
+  std::uint64_t active_bit_cycles_ = 0;
+  std::uint64_t gated_bit_cycles_ = 0;
+  std::uint64_t underflow_stalls_ = 0;
+};
+
+}  // namespace maxel::hwsim

@@ -1,0 +1,58 @@
+// PCIe / host-link transfer model (Fig. 1: the Xillybus PCIe bridge that
+// streams garbled tables and input labels from the FPGA to the host).
+//
+// Throughput-oriented model: sustained bandwidth plus per-transfer
+// latency. Used to answer the paper's closing remark — past a threshold
+// the communication capability, not garbling, bottlenecks the server.
+#pragma once
+
+#include <cstdint>
+
+namespace maxel::hwsim {
+
+struct PcieLinkConfig {
+  // Sustained application-level bandwidth. Xillybus on Gen3 x8 reaches
+  // roughly 3.5 GB/s of the 7.88 GB/s line rate.
+  double bandwidth_bytes_per_sec = 3.5e9;
+  double latency_sec = 1e-6;  // per-DMA setup latency
+  std::uint64_t burst_bytes = 4096;
+};
+
+class PcieLink {
+ public:
+  explicit PcieLink(const PcieLinkConfig& cfg = PcieLinkConfig()) : cfg_(cfg) {}
+
+  // Time to move `bytes` (burst-granular DMA with per-burst latency
+  // amortized across the queue depth).
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const {
+    if (bytes == 0) return 0.0;
+    const auto bursts = (bytes + cfg_.burst_bytes - 1) / cfg_.burst_bytes;
+    return cfg_.latency_sec +
+           static_cast<double>(bytes) / cfg_.bandwidth_bytes_per_sec +
+           static_cast<double>(bursts - 1) * 1e-8;  // queued-burst overhead
+  }
+
+  void record_transfer(std::uint64_t bytes) {
+    bytes_moved_ += bytes;
+    seconds_busy_ += transfer_seconds(bytes);
+    ++transfers_;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] double seconds_busy() const { return seconds_busy_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] const PcieLinkConfig& config() const { return cfg_; }
+
+  // Max garbled-table rate (tables/sec) the link can sustain.
+  [[nodiscard]] double max_tables_per_sec(std::size_t bytes_per_table) const {
+    return cfg_.bandwidth_bytes_per_sec / static_cast<double>(bytes_per_table);
+  }
+
+ private:
+  PcieLinkConfig cfg_;
+  std::uint64_t bytes_moved_ = 0;
+  double seconds_busy_ = 0.0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace maxel::hwsim

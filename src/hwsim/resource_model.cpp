@@ -1,0 +1,71 @@
+#include "hwsim/resource_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maxel::hwsim {
+namespace {
+
+std::size_t ilog2(std::size_t v) {
+  std::size_t l = 0;
+  while ((1u << (l + 1)) <= v) ++l;
+  return l;
+}
+
+// Calibrated primitive costs (see header): fit on the paper's b=8 and
+// b=32 columns; b=16 is predicted.
+constexpr double kLutPerCore = 2750.0;
+constexpr double kLutPerDelayBit = 3.6621;
+constexpr double kFfPerCore = 2600.0;
+constexpr double kFfPerDelayBit = 1.7578;
+
+}  // namespace
+
+std::size_t MacArchitecture::latency_stages() const {
+  return bit_width + ilog2(bit_width) + 2;
+}
+
+std::size_t MacArchitecture::delay_label_bits() const {
+  const std::size_t half = bit_width / 2;
+  return 128 * half * (ilog2(half) + 2);
+}
+
+ResourceUsage estimate_mac_unit(std::size_t bit_width) {
+  if (bit_width < 4 || bit_width > 64)
+    throw std::invalid_argument("estimate_mac_unit: bit width out of range");
+  const MacArchitecture arch{bit_width};
+  ResourceUsage r;
+  const auto cores = static_cast<double>(arch.cores());
+  const auto delay = static_cast<double>(arch.delay_label_bits());
+  r.lut = kLutPerCore * cores + kLutPerDelayBit * delay;
+  r.flip_flop = kFfPerCore * cores + kFfPerDelayBit * delay;
+  // LUTRAM: exact quadratic interpolation of the published points,
+  // clamped to be non-negative outside the evaluated range.
+  const double b = static_cast<double>(bit_width);
+  r.lutram = std::max(0.0, -2.0 / 3.0 * b * b + 48.0 * b - 640.0 / 3.0);
+  return r;
+}
+
+ResourceUsage paper_table1(std::size_t bit_width) {
+  switch (bit_width) {
+    case 8:
+      return {2.95e4, 1.28e2, 2.44e4};
+    case 16:
+      return {5.91e4, 3.84e2, 4.88e4};
+    case 32:
+      return {1.11e5, 6.40e2, 8.40e4};
+    default:
+      throw std::invalid_argument("paper_table1: only b in {8,16,32}");
+  }
+}
+
+std::size_t max_mac_units(std::size_t bit_width, const DeviceCapacity& device) {
+  const ResourceUsage one = estimate_mac_unit(bit_width);
+  const double by_lut = device.lut / one.lut;
+  const double by_lutram = one.lutram > 0 ? device.lutram / one.lutram : 1e18;
+  const double by_ff = device.flip_flop / one.flip_flop;
+  const double units = std::min(by_lut, std::min(by_lutram, by_ff));
+  return static_cast<std::size_t>(units);
+}
+
+}  // namespace maxel::hwsim

@@ -1,0 +1,65 @@
+#include "ml/kernel_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace maxel::ml {
+
+KernelSolveResult solve_kernel_gd(const fixed::Matrix& a,
+                                  const std::vector<double>& y,
+                                  const KernelSolverConfig& cfg) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  if (y.size() != n) throw std::invalid_argument("solve_kernel_gd: shape");
+
+  double mu = cfg.mu;
+  if (mu <= 0.0) {
+    // 1/||A||_F^2 <= 1/lambda_max(A^T A): unconditionally stable.
+    double fro2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < d; ++j) fro2 += a(i, j) * a(i, j);
+    if (fro2 == 0.0) throw std::invalid_argument("solve_kernel_gd: zero A");
+    mu = 1.0 / fro2;
+  }
+
+  KernelSolveResult res;
+  res.step_size = mu;
+  res.x.assign(d, 0.0);
+
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    std::uint64_t macs = 0;
+    // r = A x - y  (n*d MACs on the secure path).
+    std::vector<double> r(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < d; ++j) s += a(i, j) * res.x[j];
+      macs += d;
+      r[i] = s - y[i];
+    }
+    // g = A^T r  (another n*d MACs).
+    std::vector<double> g(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) g[j] += a(i, j) * r[i];
+      macs += d;
+    }
+    res.macs_per_iteration = macs;
+
+    double gnorm2 = 0.0;
+    for (const double v : g) gnorm2 += v * v;
+    double rnorm2 = 0.0;
+    for (const double v : r) rnorm2 += v * v;
+    res.residual_norms.push_back(std::sqrt(rnorm2));
+    ++res.iterations_run;
+    if (std::sqrt(gnorm2) < cfg.tolerance) break;
+
+    for (std::size_t j = 0; j < d; ++j) res.x[j] -= mu * g[j];
+  }
+  return res;
+}
+
+double seconds_per_iteration(const KernelSolveResult& r,
+                             const MacBackend& backend) {
+  return backend.seconds_for(static_cast<double>(r.macs_per_iteration));
+}
+
+}  // namespace maxel::ml

@@ -1,0 +1,45 @@
+// Kernel-based machine learning (Sec. 2.1, Eq. 1-2): the paper frames
+// privacy-sensitive ML as  min f(x) s.t. Ax = y,  solved by iterated
+// matrix multiplication
+//
+//     x_{t+1} = x_t - mu (A^T A x_t - A^T y),
+//
+// i.e. gradient descent whose inner loop is exactly the MAC workload
+// MAXelerator accelerates. This module implements the solver with exact
+// MAC accounting, so the per-iteration secure cost follows directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/matrix.hpp"
+#include "ml/mac_cost_model.hpp"
+
+namespace maxel::ml {
+
+struct KernelSolverConfig {
+  double mu = 0.0;            // 0: auto (1 / ||A||_F^2, always stable)
+  std::size_t iterations = 100;
+  double tolerance = 1e-10;   // stop when ||gradient|| falls below
+};
+
+struct KernelSolveResult {
+  std::vector<double> x;
+  std::vector<double> residual_norms;  // ||Ax - y|| per iteration
+  std::size_t iterations_run = 0;
+  std::uint64_t macs_per_iteration = 0;  // counted multiply-accumulates
+  double step_size = 0.0;
+};
+
+// Gradient descent on ||Ax - y||^2 per Eq. 2. Each iteration costs
+// 2*n*d MACs (forward A x, backward A^T r) on the privacy-sensitive
+// path — both counted, not estimated.
+KernelSolveResult solve_kernel_gd(const fixed::Matrix& a,
+                                  const std::vector<double>& y,
+                                  const KernelSolverConfig& cfg = {});
+
+// Secure-iteration cost under a MAC backend: seconds per Eq. 2 step.
+double seconds_per_iteration(const KernelSolveResult& r,
+                             const MacBackend& backend);
+
+}  // namespace maxel::ml

@@ -1,0 +1,30 @@
+#include "ml/mac_cost_model.hpp"
+
+#include "baseline/tinygarble.hpp"
+#include "hwsim/resource_model.hpp"
+
+namespace maxel::ml {
+
+MacBackend maxelerator_backend(std::size_t bit_width, std::size_t units) {
+  const hwsim::MacArchitecture arch{bit_width};
+  MacBackend b;
+  b.name = "MAXelerator b" + std::to_string(bit_width) + " x" +
+           std::to_string(units);
+  b.time_per_mac_us =
+      static_cast<double>(arch.cycles_per_mac()) / 200.0;  // 200 MHz
+  b.cores = units;
+  return b;
+}
+
+MacBackend tinygarble_paper_backend(std::size_t bit_width,
+                                    std::size_t threads) {
+  const auto p = baseline::paper_tinygarble(bit_width);
+  MacBackend b;
+  b.name = "TinyGarble b" + std::to_string(bit_width) + " x" +
+           std::to_string(threads);
+  b.time_per_mac_us = p.time_per_mac_us;
+  b.cores = threads;
+  return b;
+}
+
+}  // namespace maxel::ml

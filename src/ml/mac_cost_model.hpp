@@ -1,0 +1,31 @@
+// Per-MAC cost backends used by the case-study runtime models (Sec. 6):
+// the paper assumes "a 32 bit fixed point system with 24 cores on
+// MAXelerator", i.e. one full MAC unit, and compares against software GC.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace maxel::ml {
+
+struct MacBackend {
+  std::string name;
+  double time_per_mac_us = 0.0;
+  std::size_t cores = 1;     // parallel MAC engines of this backend
+  // Aggregate MAC throughput (all engines).
+  [[nodiscard]] double macs_per_sec() const {
+    return static_cast<double>(cores) * 1e6 / time_per_mac_us;
+  }
+  [[nodiscard]] double seconds_for(double macs) const {
+    return macs / macs_per_sec();
+  }
+};
+
+// MAXelerator at bit width b: 3b cycles/MAC at 200 MHz per MAC unit.
+MacBackend maxelerator_backend(std::size_t bit_width, std::size_t units = 1);
+
+// The paper's published TinyGarble software rates (Xeon E5-2600).
+MacBackend tinygarble_paper_backend(std::size_t bit_width,
+                                    std::size_t threads = 1);
+
+}  // namespace maxel::ml

@@ -1,0 +1,48 @@
+#include "ml/portfolio.hpp"
+
+#include "crypto/prg.hpp"
+
+namespace maxel::ml {
+
+fixed::Matrix make_synthetic_covariance(std::size_t dim, std::uint64_t seed) {
+  crypto::Prg prg(crypto::Block{seed, 0x434F5656ull});
+  const auto uniform = [&prg] {
+    return static_cast<double>(prg.next_below(1u << 20)) / (1u << 20) - 0.5;
+  };
+  fixed::Matrix a(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) a(i, j) = uniform();
+  fixed::Matrix cov = a.transpose() * a;
+  for (std::size_t i = 0; i < dim; ++i) cov(i, i) += 0.05;
+  return cov;
+}
+
+std::vector<double> make_portfolio_weights(std::size_t dim,
+                                           std::uint64_t seed) {
+  crypto::Prg prg(crypto::Block{seed, 0x57474854ull});
+  std::vector<double> w(dim);
+  double sum = 0.0;
+  for (auto& v : w) {
+    v = 1.0 + static_cast<double>(prg.next_below(1000));
+    sum += v;
+  }
+  for (auto& v : w) v /= sum;
+  return w;
+}
+
+double portfolio_risk(const std::vector<double>& w, const fixed::Matrix& cov) {
+  return fixed::dot(w, cov * w);
+}
+
+PortfolioTiming portfolio_timing(const PortfolioCase& c,
+                                 const MacBackend& software,
+                                 const MacBackend& accelerated) {
+  PortfolioTiming t;
+  t.macs = static_cast<double>(c.rounds) * macs_per_evaluation(c.dim);
+  t.tinygarble_s = software.seconds_for(t.macs);
+  t.maxelerator_s = accelerated.seconds_for(t.macs);
+  t.speedup = t.tinygarble_s / t.maxelerator_s;
+  return t;
+}
+
+}  // namespace maxel::ml

@@ -1,0 +1,83 @@
+#include "ml/recommender.hpp"
+
+#include <cmath>
+
+#include "crypto/prg.hpp"
+
+namespace maxel::ml {
+
+std::vector<Rating> make_synthetic_ratings(const MfConfig& cfg) {
+  crypto::Prg prg(crypto::Block{cfg.seed, 0x4D4F5649ull});
+  const auto uniform = [&prg] {
+    return static_cast<double>(prg.next_below(1u << 20)) / (1u << 20);
+  };
+
+  // Planted low-rank structure so factorization has signal to recover.
+  const std::size_t k = cfg.dim;
+  fixed::Matrix pu(cfg.num_users, k), qi(cfg.num_items, k);
+  for (std::size_t u = 0; u < cfg.num_users; ++u)
+    for (std::size_t f = 0; f < k; ++f) pu(u, f) = uniform() - 0.5;
+  for (std::size_t i = 0; i < cfg.num_items; ++i)
+    for (std::size_t f = 0; f < k; ++f) qi(i, f) = uniform() - 0.5;
+
+  std::vector<Rating> ratings(cfg.num_ratings);
+  for (auto& r : ratings) {
+    r.user = static_cast<std::uint32_t>(prg.next_below(cfg.num_users));
+    r.item = static_cast<std::uint32_t>(prg.next_below(cfg.num_items));
+    double v = 3.0;
+    for (std::size_t f = 0; f < k; ++f) v += 2.0 * pu(r.user, f) * qi(r.item, f);
+    v += 0.2 * (uniform() - 0.5);
+    r.value = std::min(5.0, std::max(1.0, v));
+  }
+  return ratings;
+}
+
+MfResult train_matrix_factorization(const MfConfig& cfg,
+                                    const std::vector<Rating>& ratings) {
+  crypto::Prg prg(crypto::Block{cfg.seed ^ 0xABCDu, 0x4D465452ull});
+  const auto uniform = [&prg] {
+    return static_cast<double>(prg.next_below(1u << 20)) / (1u << 20);
+  };
+
+  MfResult res;
+  res.users = fixed::Matrix(cfg.num_users, cfg.dim);
+  res.items = fixed::Matrix(cfg.num_items, cfg.dim);
+  for (std::size_t u = 0; u < cfg.num_users; ++u)
+    for (std::size_t f = 0; f < cfg.dim; ++f)
+      res.users(u, f) = 0.1 * (uniform() - 0.5);
+  for (std::size_t i = 0; i < cfg.num_items; ++i)
+    for (std::size_t f = 0; f < cfg.dim; ++f)
+      res.items(i, f) = 0.1 * (uniform() - 0.5);
+
+  const double lr = cfg.learning_rate;
+  const double reg = cfg.regularization;
+
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    std::uint64_t macs = 0;
+    double se = 0.0;
+    for (const auto& r : ratings) {
+      // Prediction: d MACs on the privacy-sensitive path.
+      double pred = 3.0;
+      for (std::size_t f = 0; f < cfg.dim; ++f)
+        pred += res.users(r.user, f) * res.items(r.item, f);
+      macs += cfg.dim;
+
+      const double err = r.value - pred;
+      se += err * err;
+      // Gradient update: 2d multiply-accumulates per rating.
+      for (std::size_t f = 0; f < cfg.dim; ++f) {
+        const double uf = res.users(r.user, f);
+        const double vf = res.items(r.item, f);
+        res.users(r.user, f) = uf + lr * (err * vf - reg * uf);
+        res.items(r.item, f) = vf + lr * (err * uf - reg * vf);
+      }
+      macs += 2 * cfg.dim;
+    }
+    res.macs_per_iteration = macs;
+    res.rmse_per_iteration.push_back(
+        std::sqrt(se / static_cast<double>(ratings.size())));
+  }
+  return res;
+}
+
+}  // namespace maxel::ml

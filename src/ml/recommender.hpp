@@ -1,0 +1,76 @@
+// Privacy-preserving recommendation case study (Sec. 6, first case).
+//
+// Nikolaenko et al. (CCS'13) run gradient-descent matrix factorization
+// under garbled circuits; on MovieLens one iteration takes 2.9 h on a
+// 16-core server, with more than 2/3 of the time in the MAC-dominated
+// gradient computations (complexity O(S d), S = #ratings + #movies).
+// MAXelerator claims the total drops to ~1 h (65-69% improvement).
+//
+// We implement the actual factorization (plaintext math on synthetic
+// MovieLens-shaped data, with exact MAC-op accounting) and the runtime
+// model that turns MAC rates into the headline improvement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/matrix.hpp"
+#include "ml/mac_cost_model.hpp"
+
+namespace maxel::ml {
+
+struct Rating {
+  std::uint32_t user = 0;
+  std::uint32_t item = 0;
+  double value = 0.0;
+};
+
+struct MfConfig {
+  std::size_t num_users = 943;    // MovieLens-100K shape
+  std::size_t num_items = 1682;
+  std::size_t num_ratings = 10000;
+  std::size_t dim = 10;           // d: user/item profile dimension
+  double learning_rate = 0.01;
+  double regularization = 0.05;
+  std::size_t iterations = 15;
+  std::uint64_t seed = 7;
+};
+
+std::vector<Rating> make_synthetic_ratings(const MfConfig& cfg);
+
+struct MfResult {
+  fixed::Matrix users;   // num_users x dim
+  fixed::Matrix items;   // num_items x dim
+  std::vector<double> rmse_per_iteration;
+  std::uint64_t macs_per_iteration = 0;  // counted, not estimated
+};
+
+// Trains by stochastic gradient descent, counting every multiply-
+// accumulate on the privacy-sensitive path (predictions + gradients).
+MfResult train_matrix_factorization(const MfConfig& cfg,
+                                    const std::vector<Rating>& ratings);
+
+// The paper's headline numbers and our model of them.
+struct RecommendationCase {
+  double paper_baseline_hours = 2.9;   // [6] per iteration, 16 cores
+  double paper_accelerated_hours = 1.0;
+  double gradient_fraction = 2.0 / 3.0;  // ">2/3 of the execution time"
+
+  // Accelerating only the gradient MACs by `speedup`:
+  // T' = T*(1 - f) + T*f/speedup.
+  [[nodiscard]] double model_accelerated_hours(double mac_speedup) const {
+    return paper_baseline_hours * (1.0 - gradient_fraction) +
+           paper_baseline_hours * gradient_fraction / mac_speedup;
+  }
+  [[nodiscard]] double model_improvement_percent(double mac_speedup) const {
+    return 100.0 *
+           (1.0 - model_accelerated_hours(mac_speedup) / paper_baseline_hours);
+  }
+};
+
+// MAC-rate speedup of the accelerated backend over the baseline backend.
+inline double backend_speedup(const MacBackend& fast, const MacBackend& slow) {
+  return fast.macs_per_sec() / slow.macs_per_sec();
+}
+
+}  // namespace maxel::ml

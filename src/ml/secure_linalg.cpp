@@ -1,0 +1,102 @@
+#include "ml/secure_linalg.hpp"
+
+#include <stdexcept>
+
+#include "circuit/circuits.hpp"
+
+namespace maxel::ml {
+
+using circuit::RoundInputs;
+using fixed::FixedFormat;
+using fixed::Word;
+
+SecureDotResult secure_dot(const std::vector<double>& server,
+                           const std::vector<double>& client,
+                           const FixedFormat& fmt,
+                           const proto::ProtocolOptions& opt) {
+  if (server.size() != client.size())
+    throw std::invalid_argument("secure_dot: length mismatch");
+
+  circuit::MacOptions mac;
+  mac.bit_width = fmt.total_bits;
+  mac.acc_width = fmt.total_bits;
+  mac.is_signed = true;
+  const circuit::Circuit c = circuit::make_mac_circuit(mac);
+
+  const std::vector<Word> a = fixed::encode_vector(server, fmt);
+  const std::vector<Word> x = fixed::encode_vector(client, fmt);
+
+  std::vector<RoundInputs> rounds(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    rounds[i].garbler_bits = circuit::to_bits(a[i], fmt.total_bits);
+    rounds[i].evaluator_bits = circuit::to_bits(x[i], fmt.total_bits);
+  }
+
+  proto::TwoPartyProtocol protocol(c, opt);
+  const proto::ProtocolResult res = protocol.run(rounds);
+
+  SecureDotResult out;
+  out.raw = circuit::from_bits(res.outputs) & fmt.mask();
+  // The raw accumulator carries 2*frac_bits fractional bits.
+  FixedFormat wide = fmt;
+  wide.frac_bits = 2 * fmt.frac_bits;
+  out.value = fixed::decode(out.raw, wide);
+  out.rounds = res.rounds;
+  out.garbler_bytes = res.garbler_bytes_sent;
+  out.table_bytes = res.table_bytes;
+  return out;
+}
+
+SecureDotResult secure_dot_scaled(const std::vector<double>& server,
+                                  const std::vector<double>& client,
+                                  const FixedFormat& fmt,
+                                  const proto::ProtocolOptions& opt) {
+  if (server.size() != client.size())
+    throw std::invalid_argument("secure_dot_scaled: length mismatch");
+  if (fmt.total_bits > 32)
+    throw std::invalid_argument("secure_dot_scaled: needs total_bits <= 32");
+
+  circuit::MacOptions mac;
+  mac.bit_width = fmt.total_bits;
+  mac.acc_width = 2 * fmt.total_bits;
+  mac.is_signed = true;
+  const circuit::Circuit c = circuit::make_fixed_mac_circuit(mac, fmt.frac_bits);
+
+  const std::vector<Word> a = fixed::encode_vector(server, fmt);
+  const std::vector<Word> x = fixed::encode_vector(client, fmt);
+  std::vector<RoundInputs> rounds(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    rounds[i].garbler_bits = circuit::to_bits(a[i], fmt.total_bits);
+    rounds[i].evaluator_bits = circuit::to_bits(x[i], fmt.total_bits);
+  }
+
+  proto::TwoPartyProtocol protocol(c, opt);
+  const proto::ProtocolResult res = protocol.run(rounds);
+
+  SecureDotResult out;
+  out.raw = circuit::from_bits(res.outputs) & fmt.mask();
+  out.value = fixed::decode(out.raw, fmt);  // already rescaled in-circuit
+  out.rounds = res.rounds;
+  out.garbler_bytes = res.garbler_bytes_sent;
+  out.table_bytes = res.table_bytes;
+  return out;
+}
+
+SecureMatVecResult secure_matvec(const fixed::Matrix& server_rows,
+                                 const std::vector<double>& client,
+                                 const FixedFormat& fmt,
+                                 const proto::ProtocolOptions& opt) {
+  SecureMatVecResult out;
+  out.values.reserve(server_rows.rows());
+  for (std::size_t r = 0; r < server_rows.rows(); ++r) {
+    std::vector<double> row(server_rows.cols());
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] = server_rows(r, c);
+    const SecureDotResult d = secure_dot(row, client, fmt, opt);
+    out.values.push_back(d.value);
+    out.total_rounds += d.rounds;
+    out.total_garbler_bytes += d.garbler_bytes;
+  }
+  return out;
+}
+
+}  // namespace maxel::ml

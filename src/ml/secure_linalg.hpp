@@ -1,0 +1,54 @@
+// Secure fixed-point linear algebra over the two-party GC protocol: the
+// server (garbler) holds model rows, the client (evaluator) holds its
+// feature/weight vector, and dot products run through the sequential MAC
+// circuit — the exact workload MAXelerator accelerates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed.hpp"
+#include "fixed/matrix.hpp"
+#include "proto/protocol.hpp"
+
+namespace maxel::ml {
+
+struct SecureDotResult {
+  fixed::Word raw = 0;      // accumulator, 2*frac_bits fractional bits
+  double value = 0.0;       // decoded real value
+  std::uint64_t rounds = 0; // MAC rounds executed (= vector length)
+  std::uint64_t garbler_bytes = 0;
+  std::uint64_t table_bytes = 0;
+};
+
+// One secure dot product via `length` sequential MAC rounds. Inputs are
+// real-valued; they are encoded into the given fixed-point format. The
+// product accumulates 2*frac_bits fractional bits; values must be scaled
+// so the accumulator does not overflow total_bits.
+SecureDotResult secure_dot(const std::vector<double>& server,
+                           const std::vector<double>& client,
+                           const fixed::FixedFormat& fmt,
+                           const proto::ProtocolOptions& opt = {});
+
+// Like secure_dot, but with a wide (2*total_bits) in-circuit accumulator
+// and free in-circuit rescaling: the decoded result is back in the input
+// fixed-point format, and intermediate products cannot overflow until
+// the final truncation. Costs more ANDs per round (wider datapath).
+SecureDotResult secure_dot_scaled(const std::vector<double>& server,
+                                  const std::vector<double>& client,
+                                  const fixed::FixedFormat& fmt,
+                                  const proto::ProtocolOptions& opt = {});
+
+// Secure matrix-vector product: one secure_dot per matrix row (the outer
+// loop of Eq. 3 in the paper).
+struct SecureMatVecResult {
+  std::vector<double> values;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_garbler_bytes = 0;
+};
+SecureMatVecResult secure_matvec(const fixed::Matrix& server_rows,
+                                 const std::vector<double>& client,
+                                 const fixed::FixedFormat& fmt,
+                                 const proto::ProtocolOptions& opt = {});
+
+}  // namespace maxel::ml

@@ -1,0 +1,61 @@
+#include "ot/base_ot.hpp"
+
+#include <stdexcept>
+
+namespace maxel::ot {
+
+Block point_to_key(Fp127::u128 point, std::uint64_t index) {
+  std::uint8_t buf[24];
+  Fp127::to_block(point).to_bytes(buf);
+  std::memcpy(buf + 16, &index, 8);
+  const auto d = crypto::Sha256::hash(buf, sizeof(buf));
+  return Block::from_bytes(d.data());
+}
+
+void BaseOtSender::send_phase1(std::size_t n) {
+  n_ = n;
+  a_ = Fp127::random_element(rng_);
+  big_a_ = Fp127::pow(Fp127::generator(), a_);
+  ch_.send_block(Fp127::to_block(big_a_));
+}
+
+void BaseOtSender::send_phase2(
+    const std::vector<std::pair<Block, Block>>& msgs) {
+  if (msgs.size() != n_)
+    throw std::invalid_argument("BaseOtSender: message count mismatch");
+  const Fp127::u128 inv_a_pow = Fp127::pow(Fp127::inv(big_a_), a_);  // A^-a
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const Fp127::u128 big_b = Fp127::from_block(ch_.recv_block());
+    const Fp127::u128 b_pow_a = Fp127::pow(big_b, a_);
+    const Block k0 = point_to_key(b_pow_a, i);
+    // (B/A)^a = B^a * A^-a.
+    const Block k1 = point_to_key(Fp127::mul(b_pow_a, inv_a_pow), i);
+    ch_.send_block(msgs[i].first ^ k0);
+    ch_.send_block(msgs[i].second ^ k1);
+  }
+}
+
+void BaseOtReceiver::recv_phase1(const std::vector<bool>& choices) {
+  choices_ = choices;
+  big_a_ = Fp127::from_block(ch_.recv_block());
+  b_.resize(choices.size());
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    b_[i] = Fp127::random_element(rng_);
+    Fp127::u128 big_b = Fp127::pow(Fp127::generator(), b_[i]);
+    if (choices[i]) big_b = Fp127::mul(big_a_, big_b);
+    ch_.send_block(Fp127::to_block(big_b));
+  }
+}
+
+std::vector<Block> BaseOtReceiver::recv_phase2() {
+  std::vector<Block> out(choices_.size());
+  for (std::size_t i = 0; i < choices_.size(); ++i) {
+    const Block e0 = ch_.recv_block();
+    const Block e1 = ch_.recv_block();
+    const Block k = point_to_key(Fp127::pow(big_a_, b_[i]), i);
+    out[i] = (choices_[i] ? e1 : e0) ^ k;
+  }
+  return out;
+}
+
+}  // namespace maxel::ot

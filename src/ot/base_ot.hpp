@@ -1,0 +1,133 @@
+// 1-out-of-2 Oblivious Transfer.
+//
+// Base OT: the Diffie-Hellman pattern of Chou-Orlandi ("the simplest OT",
+// honest-but-curious usage) over Z_p*, p = 2^127-1:
+//   S: a <- rand,  A = g^a                          --- A -->
+//   R: b <- rand,  B = (c == 0 ? g^b : A * g^b)     <-- B ---
+//   S: k0 = H(B^a), k1 = H((B/A)^a); e_i = m_i ^ k_i --- e0,e1 -->
+//   R: k_c = H(A^b), m_c = e_c ^ k_c
+//
+// Phase methods are called in orchestration order by a single-threaded
+// driver (see proto/); each phase performs its sends/recvs immediately.
+//
+// OtSender/OtReceiver are the abstract interfaces the GC protocol uses,
+// so base OT, IKNP-extended OT, and an insecure in-process shortcut (for
+// tests) are interchangeable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "crypto/block.hpp"
+#include "crypto/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "ot/field.hpp"
+#include "proto/channel.hpp"
+
+namespace maxel::ot {
+
+using crypto::Block;
+
+class OtSender {
+ public:
+  virtual ~OtSender() = default;
+  // Transfers messages[i] = (m0, m1); the receiver obtains m_{c[i]}.
+  // Drives the full protocol; call strictly interleaved with the matching
+  // receiver methods (see run_ot()).
+  virtual void send_phase1(std::size_t n) = 0;
+  virtual void send_phase2(const std::vector<std::pair<Block, Block>>& msgs) = 0;
+};
+
+class OtReceiver {
+ public:
+  virtual ~OtReceiver() = default;
+  virtual void recv_phase1(const std::vector<bool>& choices) = 0;
+  virtual std::vector<Block> recv_phase2() = 0;
+};
+
+// Correct phase interleaving for any sender/receiver implementation pair.
+inline std::vector<Block> run_ot(OtSender& s, OtReceiver& r,
+                                 const std::vector<std::pair<Block, Block>>& m,
+                                 const std::vector<bool>& c) {
+  s.send_phase1(m.size());
+  r.recv_phase1(c);
+  s.send_phase2(m);
+  return r.recv_phase2();
+}
+
+class BaseOtSender final : public OtSender {
+ public:
+  BaseOtSender(proto::Channel& ch, crypto::RandomSource& rng)
+      : ch_(ch), rng_(rng) {}
+
+  void send_phase1(std::size_t n) override;
+  void send_phase2(const std::vector<std::pair<Block, Block>>& msgs) override;
+
+ private:
+  proto::Channel& ch_;
+  crypto::RandomSource& rng_;
+  Fp127::u128 a_ = 0;
+  Fp127::u128 big_a_ = 0;
+  std::size_t n_ = 0;
+};
+
+class BaseOtReceiver final : public OtReceiver {
+ public:
+  BaseOtReceiver(proto::Channel& ch, crypto::RandomSource& rng)
+      : ch_(ch), rng_(rng) {}
+
+  void recv_phase1(const std::vector<bool>& choices) override;
+  std::vector<Block> recv_phase2() override;
+
+ private:
+  proto::Channel& ch_;
+  crypto::RandomSource& rng_;
+  std::vector<bool> choices_;
+  std::vector<Fp127::u128> b_;
+  Fp127::u128 big_a_ = 0;
+};
+
+// Hash of a group element (plus index) to a 128-bit pad.
+Block point_to_key(Fp127::u128 point, std::uint64_t index);
+
+// Insecure in-process OT for unit tests and fast local simulation: the
+// "sender" simply keeps the message pairs in memory and the receiver picks.
+// Exercises zero cryptography; never use across a real boundary.
+class TrustedOtPair {
+ public:
+  class Sender final : public OtSender {
+   public:
+    explicit Sender(TrustedOtPair& shared) : shared_(shared) {}
+    void send_phase1(std::size_t) override {}
+    void send_phase2(const std::vector<std::pair<Block, Block>>& m) override {
+      shared_.msgs_ = m;
+    }
+
+   private:
+    TrustedOtPair& shared_;
+  };
+  class Receiver final : public OtReceiver {
+   public:
+    explicit Receiver(TrustedOtPair& shared) : shared_(shared) {}
+    void recv_phase1(const std::vector<bool>& c) override { choices_ = c; }
+    std::vector<Block> recv_phase2() override {
+      std::vector<Block> out(choices_.size());
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = choices_[i] ? shared_.msgs_[i].second : shared_.msgs_[i].first;
+      return out;
+    }
+
+   private:
+    TrustedOtPair& shared_;
+    std::vector<bool> choices_;
+  };
+
+  Sender sender() { return Sender(*this); }
+  Receiver receiver() { return Receiver(*this); }
+
+ private:
+  std::vector<std::pair<Block, Block>> msgs_;
+};
+
+}  // namespace maxel::ot

@@ -1,0 +1,93 @@
+// Arithmetic in the multiplicative group of GF(p), p = 2^127 - 1
+// (a Mersenne prime), used by the base oblivious transfer.
+//
+// NOTE (simulation-grade parameters): the paper's host-side OT would use
+// a production group (e.g. a 256-bit elliptic curve). A 127-bit prime
+// field keeps this repo dependency-free and fast while exercising the
+// identical protocol structure and message pattern; see DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/block.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel::ot {
+
+class Fp127 {
+ public:
+  using u128 = unsigned __int128;
+
+  static constexpr u128 p() { return (u128(1) << 127) - 1; }
+
+  // Canonical representative in [0, p).
+  static constexpr u128 reduce(u128 x) {
+    // x < 2^128: fold twice, then final conditional subtract.
+    x = (x & p()) + (x >> 127);
+    x = (x & p()) + (x >> 127);
+    return x >= p() ? x - p() : x;
+  }
+
+  static constexpr u128 add(u128 a, u128 b) { return reduce(a + b); }
+
+  static u128 mul(u128 a, u128 b) {
+    // 128x128 -> 256-bit product via 64-bit limbs, then Mersenne fold:
+    // 2^128 = 2 (mod p), so hi*2^128 + lo = 2*hi + lo (mod p).
+    const std::uint64_t a0 = static_cast<std::uint64_t>(a);
+    const std::uint64_t a1 = static_cast<std::uint64_t>(a >> 64);
+    const std::uint64_t b0 = static_cast<std::uint64_t>(b);
+    const std::uint64_t b1 = static_cast<std::uint64_t>(b >> 64);
+
+    const u128 p00 = u128(a0) * b0;
+    const u128 p01 = u128(a0) * b1;
+    const u128 p10 = u128(a1) * b0;
+    const u128 p11 = u128(a1) * b1;
+
+    const u128 mid = p01 + p10;
+    const u128 mid_lo = mid << 64;
+    u128 lo = p00 + mid_lo;
+    u128 hi = p11 + (mid >> 64) + ((mid < p01) ? (u128(1) << 64) : 0) +
+              ((lo < p00) ? 1 : 0);
+
+    // hi*2^128 + lo == 2*hi + lo (mod 2^127 - 1).
+    const u128 hi_mod = reduce(hi);
+    return add(reduce(lo), add(hi_mod, hi_mod));
+  }
+
+  static u128 pow(u128 base, u128 exp) {
+    u128 r = 1;
+    base = reduce(base);
+    while (exp != 0) {
+      if (exp & 1) r = mul(r, base);
+      base = mul(base, base);
+      exp >>= 1;
+    }
+    return r;
+  }
+
+  static u128 inv(u128 a) { return pow(a, p() - 2); }
+
+  // Uniform nonzero exponent / element.
+  static u128 random_element(crypto::RandomSource& rng) {
+    for (;;) {
+      const crypto::Block b = rng.next_block();
+      const u128 v =
+          reduce((u128(b.hi & 0x7FFFFFFFFFFFFFFFull) << 64) | b.lo);
+      if (v != 0) return v;
+    }
+  }
+
+  static crypto::Block to_block(u128 v) {
+    return crypto::Block{static_cast<std::uint64_t>(v),
+                         static_cast<std::uint64_t>(v >> 64)};
+  }
+  static u128 from_block(const crypto::Block& b) {
+    return (u128(b.hi) << 64) | b.lo;
+  }
+
+  // A fixed group generator-like base element (any element of large order
+  // serves the DH pattern; 5 generates a subgroup of order > 2^125 here).
+  static constexpr u128 generator() { return 5; }
+};
+
+}  // namespace maxel::ot

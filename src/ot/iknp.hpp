@@ -1,0 +1,95 @@
+// IKNP oblivious-transfer extension (Ishai-Kilian-Nissim-Petrank,
+// CRYPTO'03) with the fixed-key-AES correlation-robust hash.
+//
+// k = 128 base OTs (run once, in the reverse direction) are stretched
+// into arbitrarily many fast OTs; this is how the paper's host CPU would
+// serve per-round evaluator labels to memory-constrained clients
+// (Sec. 3: OT every round under sequential GC).
+//
+// Setup runs once over the channel with its own 4-step orchestration
+// (iknp_setup); afterwards each batch follows the standard OtSender /
+// OtReceiver phase interface, so the GC protocol can swap base OT and
+// extended OT freely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/block.hpp"
+#include "crypto/gc_hash.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+#include "ot/base_ot.hpp"
+#include "proto/channel.hpp"
+
+namespace maxel::ot {
+
+inline constexpr std::size_t kIknpWidth = 128;
+
+// A column of m bits, packed 64 per word.
+using BitColumn = std::vector<std::uint64_t>;
+
+class IknpSender final : public OtSender {
+ public:
+  IknpSender(proto::Channel& ch, crypto::RandomSource& rng)
+      : ch_(ch), rng_(rng), base_(ch, rng) {}
+
+  // Setup steps 2 and 4 (the receiver owns steps 1 and 3).
+  void setup_step2();
+  void setup_step4();
+
+  void send_phase1(std::size_t n) override;
+  void send_phase2(const std::vector<std::pair<Block, Block>>& msgs) override;
+
+  [[nodiscard]] bool is_setup() const { return !prgs_.empty(); }
+
+ private:
+  proto::Channel& ch_;
+  crypto::RandomSource& rng_;
+  BaseOtReceiver base_;      // reverse-direction base OT
+  std::vector<bool> s_;      // secret choice string, one bit per column
+  Block s_block_;            // s_ packed into a block
+  std::vector<crypto::Prg> prgs_;  // G(k_i^{s_i}), stateful across batches
+  std::size_t n_ = 0;
+  std::uint64_t ot_index_ = 0;  // global tweak counter
+  crypto::GcHash hash_;
+};
+
+class IknpReceiver final : public OtReceiver {
+ public:
+  IknpReceiver(proto::Channel& ch, crypto::RandomSource& rng)
+      : ch_(ch), rng_(rng), base_(ch, rng) {}
+
+  // Setup steps 1 and 3.
+  void setup_step1();
+  void setup_step3();
+
+  void recv_phase1(const std::vector<bool>& choices) override;
+  std::vector<Block> recv_phase2() override;
+
+  [[nodiscard]] bool is_setup() const { return !prgs0_.empty(); }
+
+ private:
+  proto::Channel& ch_;
+  crypto::RandomSource& rng_;
+  BaseOtSender base_;
+  std::vector<std::pair<Block, Block>> seed_pairs_;
+  std::vector<crypto::Prg> prgs0_;
+  std::vector<crypto::Prg> prgs1_;
+  std::vector<bool> choices_;
+  std::vector<Block> t_rows_;   // row view of T for the current batch
+  std::uint64_t ot_index_ = 0;
+  crypto::GcHash hash_;
+};
+
+// One-shot in-process setup orchestration (both endpoints local). Over a
+// real link, call the four steps in order across the wire.
+inline void iknp_setup(IknpSender& sender, IknpReceiver& receiver) {
+  receiver.setup_step1();
+  sender.setup_step2();
+  receiver.setup_step3();
+  sender.setup_step4();
+}
+
+}  // namespace maxel::ot

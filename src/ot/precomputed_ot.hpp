@@ -1,0 +1,81 @@
+// OT precomputation (Beaver '95 derandomization) — the missing piece of
+// the paper's offline/online split: garbled tables are precomputed
+// (Sec. 3), and with precomputed random OTs the *entire* public-key work
+// moves offline too. Online, serving a client costs XORs and transfer
+// only, which is what lets a sequential-GC server run OT every round for
+// memory-constrained clients without latency spikes.
+//
+//   offline: any OT (base or IKNP) transfers random pairs (r0, r1) to
+//            the sender while the receiver gets (c, r_c) for random c;
+//   online:  receiver sends d = b ^ c; sender replies
+//            f0 = m0 ^ r_d, f1 = m1 ^ r_{1^d}; receiver outputs
+//            m_b = f_b ^ r_c.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "crypto/rng.hpp"
+#include "ot/base_ot.hpp"
+#include "proto/channel.hpp"
+
+namespace maxel::ot {
+
+// Material produced by the offline phase.
+struct OtPool {
+  // Sender side: the random message pairs.
+  std::vector<std::pair<Block, Block>> sender_pairs;
+  // Receiver side: random choice bits and the received messages.
+  std::vector<bool> choices;
+  std::vector<Block> received;
+};
+
+// Runs the offline phase over an existing OT implementation pair
+// (in-process orchestration; over a network, drive the phases manually).
+// Returns the pool split across the two sides.
+OtPool precompute_ot_pool(OtSender& sender, OtReceiver& receiver,
+                          std::size_t n, crypto::RandomSource& sender_rng,
+                          crypto::RandomSource& receiver_rng);
+
+class PrecomputedOtSender final : public OtSender {
+ public:
+  PrecomputedOtSender(proto::Channel& ch,
+                      std::vector<std::pair<Block, Block>> pairs)
+      : ch_(ch), pairs_(std::move(pairs)) {}
+
+  void send_phase1(std::size_t n) override;
+  void send_phase2(const std::vector<std::pair<Block, Block>>& msgs) override;
+
+  [[nodiscard]] std::size_t remaining() const { return pairs_.size() - used_; }
+
+ private:
+  proto::Channel& ch_;
+  std::vector<std::pair<Block, Block>> pairs_;
+  std::size_t used_ = 0;
+  std::size_t n_ = 0;
+};
+
+class PrecomputedOtReceiver final : public OtReceiver {
+ public:
+  PrecomputedOtReceiver(proto::Channel& ch, std::vector<bool> choices,
+                        std::vector<Block> received)
+      : ch_(ch), choices_(std::move(choices)), received_(std::move(received)) {}
+
+  void recv_phase1(const std::vector<bool>& online_choices) override;
+  std::vector<Block> recv_phase2() override;
+
+  [[nodiscard]] std::size_t remaining() const {
+    return choices_.size() - used_;
+  }
+
+ private:
+  proto::Channel& ch_;
+  std::vector<bool> choices_;    // offline random c
+  std::vector<Block> received_;  // offline r_c
+  std::vector<bool> online_;     // current batch's b
+  std::size_t used_ = 0;
+  std::size_t batch_start_ = 0;
+};
+
+}  // namespace maxel::ot

@@ -1,0 +1,142 @@
+// Duplex byte channels with exact traffic accounting.
+//
+// Protocol objects (OT, GC transfer) are written in explicit phases and
+// driven by a single-threaded orchestrator, so the in-memory channel is a
+// simple pair of byte queues: send() appends, recv() pops and throws if
+// the orchestration order is wrong (a cheap deadlock detector).
+//
+// Byte counters feed the communication columns of the evaluation: garbled
+// table traffic is protocol-determined, so counting bytes here is exact
+// regardless of the physical link (the paper's PCIe + network).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "crypto/block.hpp"
+
+namespace maxel::proto {
+
+using crypto::Block;
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  void send_bytes(const std::uint8_t* data, std::size_t n) {
+    raw_send(data, n);
+    bytes_sent_ += n;
+  }
+  void recv_bytes(std::uint8_t* data, std::size_t n) {
+    raw_recv(data, n);
+    bytes_received_ += n;
+  }
+
+  void send_block(const Block& b) {
+    std::uint8_t buf[16];
+    b.to_bytes(buf);
+    send_bytes(buf, 16);
+  }
+  Block recv_block() {
+    std::uint8_t buf[16];
+    recv_bytes(buf, 16);
+    return Block::from_bytes(buf);
+  }
+
+  void send_blocks(const std::vector<Block>& v) {
+    send_u64(v.size());
+    for (const auto& b : v) send_block(b);
+  }
+  std::vector<Block> recv_blocks() {
+    const std::uint64_t n = recv_u64();
+    std::vector<Block> v(n);
+    for (auto& b : v) b = recv_block();
+    return v;
+  }
+
+  void send_u64(std::uint64_t v) {
+    std::uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    send_bytes(buf, 8);
+  }
+  std::uint64_t recv_u64() {
+    std::uint8_t buf[8];
+    recv_bytes(buf, 8);
+    std::uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+
+  void send_bits(const std::vector<bool>& bits) {
+    send_u64(bits.size());
+    std::vector<std::uint8_t> packed((bits.size() + 7) / 8, 0);
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      if (bits[i]) packed[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (!packed.empty()) send_bytes(packed.data(), packed.size());
+  }
+  std::vector<bool> recv_bits() {
+    const std::uint64_t n = recv_u64();
+    std::vector<std::uint8_t> packed((n + 7) / 8);
+    if (!packed.empty()) recv_bytes(packed.data(), packed.size());
+    std::vector<bool> bits(n);
+    for (std::size_t i = 0; i < n; ++i)
+      bits[i] = (packed[i / 8] >> (i % 8)) & 1u;
+    return bits;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  void reset_counters() { bytes_sent_ = bytes_received_ = 0; }
+
+ protected:
+  virtual void raw_send(const std::uint8_t* data, std::size_t n) = 0;
+  virtual void raw_recv(std::uint8_t* data, std::size_t n) = 0;
+
+ private:
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+// In-memory duplex channel pair.
+class MemoryChannel final : public Channel {
+ public:
+  // Returns the two endpoints of a fresh duplex link.
+  static std::pair<std::unique_ptr<MemoryChannel>,
+                   std::unique_ptr<MemoryChannel>>
+  create_pair() {
+    auto q_ab = std::make_shared<std::deque<std::uint8_t>>();
+    auto q_ba = std::make_shared<std::deque<std::uint8_t>>();
+    auto a = std::unique_ptr<MemoryChannel>(new MemoryChannel(q_ab, q_ba));
+    auto b = std::unique_ptr<MemoryChannel>(new MemoryChannel(q_ba, q_ab));
+    return {std::move(a), std::move(b)};
+  }
+
+ protected:
+  void raw_send(const std::uint8_t* data, std::size_t n) override {
+    out_->insert(out_->end(), data, data + n);
+  }
+  void raw_recv(std::uint8_t* data, std::size_t n) override {
+    if (in_->size() < n)
+      throw std::runtime_error(
+          "MemoryChannel: recv before matching send (phase-order bug)");
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = in_->front();
+      in_->pop_front();
+    }
+  }
+
+ private:
+  MemoryChannel(std::shared_ptr<std::deque<std::uint8_t>> out,
+                std::shared_ptr<std::deque<std::uint8_t>> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  std::shared_ptr<std::deque<std::uint8_t>> out_;
+  std::shared_ptr<std::deque<std::uint8_t>> in_;
+};
+
+}  // namespace maxel::proto

@@ -1,0 +1,103 @@
+#include "proto/precompute.hpp"
+
+#include <stdexcept>
+
+namespace maxel::proto {
+
+using crypto::Block;
+
+GarblingBank::GarblingBank(const circuit::Circuit& c, gc::Scheme scheme,
+                           std::size_t rounds_per_session)
+    : circ_(c), scheme_(scheme), rounds_per_session_(rounds_per_session) {}
+
+void GarblingBank::precompute(std::size_t n, crypto::RandomSource& rng) {
+  for (std::size_t s = 0; s < n; ++s) {
+    gc::CircuitGarbler garbler(circ_, scheme_, rng);
+    PrecomputedSession session;
+    session.scheme = scheme_;
+    session.delta = garbler.delta();
+    session.rounds.reserve(rounds_per_session_);
+    for (std::size_t r = 0; r < rounds_per_session_; ++r) {
+      PrecomputedSession::Round round;
+      round.tables = garbler.garble_round();
+      if (r == 0) session.initial_state_labels = garbler.initial_state_labels();
+      round.garbler_labels0.reserve(circ_.garbler_inputs.size());
+      for (std::size_t i = 0; i < circ_.garbler_inputs.size(); ++i)
+        round.garbler_labels0.push_back(garbler.garbler_input_label(i, false));
+      round.evaluator_pairs.reserve(circ_.evaluator_inputs.size());
+      for (std::size_t i = 0; i < circ_.evaluator_inputs.size(); ++i)
+        round.evaluator_pairs.push_back(garbler.evaluator_input_labels(i));
+      round.fixed_labels = garbler.fixed_wire_labels();
+      round.output_map = garbler.output_map();
+
+      stats_.stored_bytes +=
+          round.tables.byte_size(scheme_) +
+          16 * (round.garbler_labels0.size() +
+                2 * round.evaluator_pairs.size() + round.fixed_labels.size());
+      session.rounds.push_back(std::move(round));
+    }
+    store_.push_back(std::move(session));
+    ++stats_.sessions_ready;
+  }
+}
+
+PrecomputedSession GarblingBank::take_session() {
+  if (store_.empty())
+    throw std::runtime_error("GarblingBank: no precomputed sessions left");
+  PrecomputedSession s = std::move(store_.back());
+  store_.pop_back();  // fresh labels per client: sessions are single-use
+  --stats_.sessions_ready;
+  ++stats_.sessions_served;
+  return s;
+}
+
+PrecomputedGarblerParty::PrecomputedGarblerParty(PrecomputedSession session,
+                                                 Channel& ch,
+                                                 crypto::RandomSource& rng)
+    : session_(std::move(session)),
+      ch_(ch),
+      owned_ot_(std::make_unique<ot::BaseOtSender>(ch, rng)),
+      ot_(owned_ot_.get()) {}
+
+PrecomputedGarblerParty::PrecomputedGarblerParty(PrecomputedSession session,
+                                                 Channel& ch,
+                                                 ot::OtSender& external_ot)
+    : session_(std::move(session)), ch_(ch), ot_(&external_ot) {}
+
+void PrecomputedGarblerParty::garble_and_send(
+    const std::vector<bool>& garbler_bits) {
+  if (sent_rounds_ >= session_.rounds.size())
+    throw std::runtime_error("PrecomputedGarblerParty: session exhausted");
+  const auto& r = session_.rounds[sent_rounds_];
+  if (garbler_bits.size() != r.garbler_labels0.size())
+    throw std::invalid_argument(
+        "PrecomputedGarblerParty: input arity mismatch");
+
+  // Same wire format as GarblerParty::garble_and_send, so the ordinary
+  // EvaluatorParty is oblivious to precomputation.
+  const std::size_t rows = gc::rows_per_and(session_.scheme);
+  ch_.send_u64(r.tables.tables.size());
+  for (const auto& t : r.tables.tables)
+    for (std::size_t i = 0; i < rows; ++i) ch_.send_block(t.ct[i]);
+
+  std::vector<Block> g_labels(garbler_bits.size());
+  for (std::size_t i = 0; i < garbler_bits.size(); ++i)
+    g_labels[i] = garbler_bits[i] ? r.garbler_labels0[i] ^ session_.delta
+                                  : r.garbler_labels0[i];
+  ch_.send_blocks(g_labels);
+  ch_.send_blocks(r.fixed_labels);
+  if (sent_rounds_ == 0) ch_.send_blocks(session_.initial_state_labels);
+  ch_.send_bits(r.output_map);
+
+  ot_->send_phase1(r.evaluator_pairs.size());
+  ++sent_rounds_;
+}
+
+void PrecomputedGarblerParty::finish_ot() {
+  if (ot_rounds_ >= sent_rounds_)
+    throw std::logic_error("PrecomputedGarblerParty: finish_ot before send");
+  ot_->send_phase2(session_.rounds[ot_rounds_].evaluator_pairs);
+  ++ot_rounds_;
+}
+
+}  // namespace maxel::proto

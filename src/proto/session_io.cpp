@@ -1,0 +1,151 @@
+#include "proto/session_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace maxel::proto {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'X', 'S', 'E', 'S', 'S', '1', '\0'};
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  os.write(buf, 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) throw std::runtime_error("load_session: truncated stream");
+  std::uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+void put_block(std::ostream& os, const crypto::Block& b) {
+  std::uint8_t raw[16];
+  b.to_bytes(raw);
+  os.write(reinterpret_cast<const char*>(raw), 16);
+}
+
+crypto::Block get_block(std::istream& is) {
+  std::uint8_t raw[16];
+  is.read(reinterpret_cast<char*>(raw), 16);
+  if (!is) throw std::runtime_error("load_session: truncated stream");
+  return crypto::Block::from_bytes(raw);
+}
+
+void put_blocks(std::ostream& os, const std::vector<crypto::Block>& v) {
+  put_u64(os, v.size());
+  for (const auto& b : v) put_block(os, b);
+}
+
+std::vector<crypto::Block> get_blocks(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  if (n > (1u << 28)) throw std::runtime_error("load_session: bad count");
+  std::vector<crypto::Block> v(n);
+  for (auto& b : v) b = get_block(is);
+  return v;
+}
+
+void put_bits(std::ostream& os, const std::vector<bool>& bits) {
+  put_u64(os, bits.size());
+  std::vector<char> packed((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) packed[i / 8] |= static_cast<char>(1 << (i % 8));
+  os.write(packed.data(), static_cast<std::streamsize>(packed.size()));
+}
+
+std::vector<bool> get_bits(std::istream& is) {
+  const std::uint64_t n = get_u64(is);
+  if (n > (1u << 28)) throw std::runtime_error("load_session: bad count");
+  std::vector<char> packed((n + 7) / 8);
+  is.read(packed.data(), static_cast<std::streamsize>(packed.size()));
+  if (!is) throw std::runtime_error("load_session: truncated stream");
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bits[i] = (packed[i / 8] >> (i % 8)) & 1;
+  return bits;
+}
+
+}  // namespace
+
+void save_session(const PrecomputedSession& s, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const char scheme = static_cast<char>(s.scheme);
+  os.write(&scheme, 1);
+  put_block(os, s.delta);
+  put_u64(os, s.rounds.size());
+  const std::size_t rows = gc::rows_per_and(s.scheme);
+  for (const auto& r : s.rounds) {
+    put_u64(os, r.tables.tables.size());
+    for (const auto& t : r.tables.tables)
+      for (std::size_t i = 0; i < rows; ++i) put_block(os, t.ct[i]);
+    put_blocks(os, r.garbler_labels0);
+    put_u64(os, r.evaluator_pairs.size());
+    for (const auto& [l0, l1] : r.evaluator_pairs) {
+      put_block(os, l0);
+      put_block(os, l1);
+    }
+    put_blocks(os, r.fixed_labels);
+    put_bits(os, r.output_map);
+  }
+  put_blocks(os, s.initial_state_labels);
+  if (!os) throw std::runtime_error("save_session: write failure");
+}
+
+PrecomputedSession load_session(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_session: bad magic");
+  PrecomputedSession s;
+  char scheme = 0;
+  is.read(&scheme, 1);
+  if (scheme < 0 || scheme > 2)
+    throw std::runtime_error("load_session: bad scheme");
+  s.scheme = static_cast<gc::Scheme>(scheme);
+  s.delta = get_block(is);
+  const std::uint64_t n_rounds = get_u64(is);
+  if (n_rounds > (1u << 24)) throw std::runtime_error("load_session: bad count");
+  const std::size_t rows = gc::rows_per_and(s.scheme);
+  s.rounds.resize(n_rounds);
+  for (auto& r : s.rounds) {
+    const std::uint64_t n_tables = get_u64(is);
+    if (n_tables > (1u << 28))
+      throw std::runtime_error("load_session: bad count");
+    r.tables.tables.resize(n_tables);
+    for (auto& t : r.tables.tables)
+      for (std::size_t i = 0; i < rows; ++i) t.ct[i] = get_block(is);
+    r.garbler_labels0 = get_blocks(is);
+    const std::uint64_t n_pairs = get_u64(is);
+    if (n_pairs > (1u << 28)) throw std::runtime_error("load_session: bad count");
+    r.evaluator_pairs.resize(n_pairs);
+    for (auto& [l0, l1] : r.evaluator_pairs) {
+      l0 = get_block(is);
+      l1 = get_block(is);
+    }
+    r.fixed_labels = get_blocks(is);
+    r.output_map = get_bits(is);
+  }
+  s.initial_state_labels = get_blocks(is);
+  return s;
+}
+
+void save_session_file(const PrecomputedSession& s, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_session_file: cannot open " + path);
+  save_session(s, os);
+}
+
+PrecomputedSession load_session_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_session_file: cannot open " + path);
+  return load_session(is);
+}
+
+}  // namespace maxel::proto

@@ -1,0 +1,32 @@
+// Binary persistence for precomputed garbling sessions — the host-side
+// store of Fig. 1 ("the host ... simply performs the garbling with one
+// of the stored garbled circuits"): MAXelerator streams sessions up over
+// PCIe and the host parks them on disk until a client connects.
+//
+// Format (little-endian):
+//   magic "MXSESS1\0" | scheme u8 | delta 16B | n_rounds u64
+//   per round: n_tables u64, tables (rows(scheme) x 16B each),
+//              garbler_labels0, evaluator_pairs, fixed_labels (16B each,
+//              u64-count-prefixed), output_map (bit-packed)
+//   initial_state_labels (count-prefixed)
+//
+// NOTE: a stored session contains label secrets (both labels of every
+// input wire and delta-offset material); treat the store like a key
+// store. Sessions remain single-use after reload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "proto/precompute.hpp"
+
+namespace maxel::proto {
+
+void save_session(const PrecomputedSession& s, std::ostream& os);
+PrecomputedSession load_session(std::istream& is);
+
+// Convenience file helpers; throw std::runtime_error on I/O failure.
+void save_session_file(const PrecomputedSession& s, const std::string& path);
+PrecomputedSession load_session_file(const std::string& path);
+
+}  // namespace maxel::proto

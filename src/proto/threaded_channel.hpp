@@ -1,0 +1,63 @@
+// Blocking duplex channel for running the two parties on separate
+// threads — the deployment shape of Fig. 1, where the host serves a
+// remote client. recv() blocks until data arrives (condition variable),
+// so the phase-structured parties need no orchestration order: each side
+// simply runs its own loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "proto/channel.hpp"
+
+namespace maxel::proto {
+
+class ThreadedChannel final : public Channel {
+ public:
+  static std::pair<std::unique_ptr<ThreadedChannel>,
+                   std::unique_ptr<ThreadedChannel>>
+  create_pair() {
+    auto q_ab = std::make_shared<Queue>();
+    auto q_ba = std::make_shared<Queue>();
+    auto a = std::unique_ptr<ThreadedChannel>(new ThreadedChannel(q_ab, q_ba));
+    auto b = std::unique_ptr<ThreadedChannel>(new ThreadedChannel(q_ba, q_ab));
+    return {std::move(a), std::move(b)};
+  }
+
+ protected:
+  void raw_send(const std::uint8_t* data, std::size_t n) override {
+    {
+      const std::lock_guard<std::mutex> lock(out_->mu);
+      out_->bytes.insert(out_->bytes.end(), data, data + n);
+    }
+    out_->cv.notify_one();
+  }
+
+  void raw_recv(std::uint8_t* data, std::size_t n) override {
+    std::unique_lock<std::mutex> lock(in_->mu);
+    in_->cv.wait(lock, [&] { return in_->bytes.size() >= n; });
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = in_->bytes.front();
+      in_->bytes.pop_front();
+    }
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::uint8_t> bytes;
+  };
+
+  ThreadedChannel(std::shared_ptr<Queue> out, std::shared_ptr<Queue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  std::shared_ptr<Queue> out_;
+  std::shared_ptr<Queue> in_;
+};
+
+}  // namespace maxel::proto

@@ -1,0 +1,147 @@
+// Bristol Fashion serialization: round trips for every builder circuit
+// (export -> import -> semantic equivalence on random inputs), lowering
+// of extended gate types, constants, and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/arith_ext.hpp"
+#include "circuit/bristol.hpp"
+#include "circuit/builder.hpp"
+#include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+using crypto::Prg;
+
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       std::uint64_t seed) {
+  ASSERT_EQ(a.garbler_inputs.size(), b.garbler_inputs.size());
+  ASSERT_EQ(a.evaluator_inputs.size(), b.evaluator_inputs.size());
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  Prg prg(crypto::Block{seed, 0xB1});
+  for (int t = 0; t < 40; ++t) {
+    const auto g = prg.bits(a.garbler_inputs.size());
+    const auto e = prg.bits(a.evaluator_inputs.size());
+    ASSERT_EQ(eval_plain(a, g, e), eval_plain(b, g, e)) << "trial " << t;
+  }
+}
+
+TEST(Bristol, RoundTripAdder) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(8);
+  const Bus x = bld.evaluator_inputs(8);
+  bld.set_outputs(bld.add(a, x));
+  const Circuit c = bld.take();
+  expect_equivalent(c, from_bristol(to_bristol(c)), 1);
+}
+
+TEST(Bristol, RoundTripSignedMultiplier) {
+  const Circuit c = make_multiplier_circuit(MacOptions{8, 8, true});
+  expect_equivalent(c, from_bristol(to_bristol(c)), 2);
+}
+
+TEST(Bristol, RoundTripDivider) {
+  const Circuit c = make_divider_circuit(6);
+  expect_equivalent(c, from_bristol(to_bristol(c)), 3);
+}
+
+TEST(Bristol, RoundTripMillionaires) {
+  const Circuit c = make_millionaires_circuit(12);
+  expect_equivalent(c, from_bristol(to_bristol(c)), 4);
+}
+
+TEST(Bristol, LowersEveryExtendedGateType) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(2);
+  const Bus x = bld.evaluator_inputs(2);
+  Bus out;
+  out.push_back(bld.gate(GateType::kNand, a[0], x[0]));
+  out.push_back(bld.gate(GateType::kNor, a[1], x[1]));
+  out.push_back(bld.gate(GateType::kOr, a[0], x[1]));
+  out.push_back(bld.gate(GateType::kXnor, a[1], x[0]));
+  bld.set_outputs(out);
+  const Circuit c = bld.take();
+
+  const std::string text = to_bristol(c);
+  // Only Bristol primitives appear.
+  EXPECT_EQ(text.find("NAND"), std::string::npos);
+  EXPECT_EQ(text.find("NOR"), std::string::npos);
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_NE(text.find("INV"), std::string::npos);
+  expect_equivalent(c, from_bristol(text), 5);
+}
+
+TEST(Bristol, ConstantWiresSynthesized) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(4);
+  // Force const usage: NOT gates (XNOR with const0) and a const bus add.
+  Bus out = bld.add(a, bld.constant_bus(5, 4));
+  out.push_back(bld.not_(a[0]));
+  bld.set_outputs(out);
+  const Circuit c = bld.take();
+  expect_equivalent(c, from_bristol(to_bristol(c)), 6);
+}
+
+TEST(Bristol, OutputsAreFinalWires) {
+  const Circuit c = make_millionaires_circuit(4);
+  const std::string text = to_bristol(c);
+  std::istringstream is(text);
+  std::size_t gates = 0, wires = 0;
+  is >> gates >> wires;
+  // The single output must be wire wires-1, produced by the last line.
+  std::string last_line, line;
+  std::getline(is, line);
+  while (std::getline(is, line))
+    if (!line.empty()) last_line = line;
+  std::istringstream gl(last_line);
+  std::size_t ni = 0, no = 0, in = 0, out = 0;
+  std::string op;
+  gl >> ni >> no >> in >> out >> op;
+  EXPECT_EQ(out, wires - 1);
+  EXPECT_EQ(op, "EQW");
+}
+
+TEST(Bristol, RejectsSequentialCircuits) {
+  const Circuit c = make_mac_circuit(MacOptions{8, 8, true});
+  EXPECT_THROW((void)to_bristol(c), std::invalid_argument);
+}
+
+TEST(Bristol, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_bristol("garbage"), std::runtime_error);
+  EXPECT_THROW((void)from_bristol("1 3\n1 2\n1 1\n2 1 0 5 2 XOR\n"),
+               std::runtime_error);  // out-of-range wire
+  EXPECT_THROW((void)from_bristol("1 4\n1 2\n1 1\n2 1 0 3 2 NANDX\n"),
+               std::runtime_error);  // unknown op
+  EXPECT_THROW((void)from_bristol("1 4\n1 2\n1 1\n2 1 0 3 2 XOR\n"),
+               std::runtime_error);  // uses undefined wire 3
+}
+
+TEST(Bristol, ParsesHandWrittenCircuit) {
+  // 1-bit full adder in Bristol Fashion: inputs a, b (party 1), c (party
+  // 2); outputs carry, sum as the last two wires.
+  const std::string text =
+      "4 7\n"
+      "2 2 1\n"
+      "1 2\n"
+      "2 1 0 1 3 XOR\n"   // t = a ^ b
+      "2 1 3 2 6 XOR\n"   // sum = t ^ c  (wire 6 = last)
+      "2 1 0 1 4 AND\n"   // g = a & b
+      "2 1 3 2 5 AND\n"   // p = t & c   (wire 5)
+      ;
+  // outputs = wires 5, 6 => {p, sum}; p^g would be carry but this tiny
+  // example just checks parsing + evaluation order.
+  const Circuit c = from_bristol(text);
+  EXPECT_EQ(c.garbler_inputs.size(), 2u);
+  EXPECT_EQ(c.evaluator_inputs.size(), 1u);
+  // a=1, b=0 (garbler), c=1 (evaluator).
+  const auto out = eval_plain(c, {true, false}, {true});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0]);   // p = (a^b) & c = 1
+  EXPECT_FALSE(out[1]);  // sum = a ^ b ^ c = 0
+}
+
+}  // namespace
+}  // namespace maxel::circuit

@@ -1,0 +1,522 @@
+// Unit and property tests for the netlist IR and the circuit builders:
+// exhaustive sweeps at small widths, randomized checks at larger widths,
+// gate-count invariants (the 1-AND-per-bit adder), and the reference
+// wraparound MAC semantics.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "circuit/circuits.hpp"
+#include "circuit/netlist.hpp"
+#include "crypto/prg.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+using crypto::Prg;
+
+std::uint64_t mask_of(std::size_t w) {
+  return w >= 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+// Evaluates a combinational circuit on integer inputs split between the
+// two parties (each party holds one bus, LSB-first, bus width inferred).
+std::uint64_t run_word_circuit(const Circuit& c, std::uint64_t g_val,
+                               std::uint64_t e_val) {
+  const auto out = eval_plain(c, to_bits(g_val, c.garbler_inputs.size()),
+                              to_bits(e_val, c.evaluator_inputs.size()));
+  return from_bits(out);
+}
+
+TEST(GateSemantics, TruthTables) {
+  EXPECT_EQ(eval_gate(GateType::kXor, false, true), true);
+  EXPECT_EQ(eval_gate(GateType::kXnor, true, true), true);
+  EXPECT_EQ(eval_gate(GateType::kAnd, true, true), true);
+  EXPECT_EQ(eval_gate(GateType::kAnd, true, false), false);
+  EXPECT_EQ(eval_gate(GateType::kNand, true, true), false);
+  EXPECT_EQ(eval_gate(GateType::kOr, false, false), false);
+  EXPECT_EQ(eval_gate(GateType::kOr, true, false), true);
+  EXPECT_EQ(eval_gate(GateType::kNor, false, false), true);
+}
+
+TEST(GateSemantics, AndFormMatchesEveryNonXorType) {
+  for (GateType t : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                     GateType::kNor}) {
+    const AndForm f = and_form(t);
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        const bool expect = eval_gate(t, a != 0, b != 0);
+        const bool got = (((a != 0) != f.alpha) && ((b != 0) != f.beta)) !=
+                         f.gamma;
+        EXPECT_EQ(got, expect);
+      }
+    }
+  }
+}
+
+TEST(Builder, ConstantFoldingEmitsNoGates) {
+  Builder b;
+  const Wire x = b.garbler_input();
+  EXPECT_EQ(b.xor_(x, Builder::const0()), x);
+  EXPECT_EQ(b.and_(x, Builder::const1()), x);
+  EXPECT_EQ(b.and_(x, Builder::const0()), Builder::const0());
+  EXPECT_EQ(b.or_(x, Builder::const0()), x);
+  EXPECT_EQ(b.or_(x, Builder::const1()), Builder::const1());
+  EXPECT_EQ(b.xor_(x, x), Builder::const0());
+  EXPECT_EQ(b.and_(x, x), x);
+  EXPECT_EQ(b.circuit().gates.size(), 0u);
+}
+
+TEST(Builder, NotIsFree) {
+  Builder b;
+  const Wire x = b.garbler_input();
+  const Wire nx = b.not_(x);
+  b.set_outputs({nx});
+  const Circuit c = b.take();
+  EXPECT_EQ(c.and_count(), 0u);
+  EXPECT_EQ(from_bits(eval_plain(c, {true}, {})), 0u);
+  EXPECT_EQ(from_bits(eval_plain(c, {false}, {})), 1u);
+}
+
+TEST(Builder, MuxSelectsExhaustively) {
+  Builder b;
+  const Wire s = b.garbler_input();
+  const Wire x = b.evaluator_input();
+  const Wire y = b.evaluator_input();
+  b.set_outputs({b.mux(s, x, y)});
+  const Circuit c = b.take();
+  EXPECT_EQ(c.and_count(), 1u);  // 1 AND per mux bit
+  for (int s_v = 0; s_v < 2; ++s_v) {
+    for (int x_v = 0; x_v < 2; ++x_v) {
+      for (int y_v = 0; y_v < 2; ++y_v) {
+        const auto out =
+            eval_plain(c, {s_v != 0}, {x_v != 0, y_v != 0});
+        EXPECT_EQ(out[0], s_v != 0 ? x_v != 0 : y_v != 0);
+      }
+    }
+  }
+}
+
+class AdderWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderWidth, ExhaustiveOrRandomMatchesIntegerAdd) {
+  const std::size_t w = GetParam();
+  Builder b;
+  const Bus a = b.garbler_inputs(w);
+  const Bus x = b.evaluator_inputs(w);
+  b.set_outputs(b.add(a, x));
+  const Circuit c = b.take();
+
+  // TinyGarble-optimized adder: exactly one AND per bit except the MSB
+  // (whose carry-out is dropped).
+  EXPECT_EQ(c.and_count(), w - 1);
+
+  const std::uint64_t m = mask_of(w);
+  if (w <= 5) {
+    for (std::uint64_t i = 0; i <= m; ++i)
+      for (std::uint64_t j = 0; j <= m; ++j)
+        EXPECT_EQ(run_word_circuit(c, i, j), (i + j) & m);
+  } else {
+    Prg prg(crypto::Block{w, 1});
+    for (int t = 0; t < 200; ++t) {
+      const std::uint64_t i = prg.next_u64() & m;
+      const std::uint64_t j = prg.next_u64() & m;
+      EXPECT_EQ(run_word_circuit(c, i, j), (i + j) & m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidth,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 32, 48));
+
+TEST(Builder, SubMatchesIntegerSub) {
+  constexpr std::size_t w = 8;
+  Builder b;
+  const Bus a = b.garbler_inputs(w);
+  const Bus x = b.evaluator_inputs(w);
+  b.set_outputs(b.sub(a, x));
+  const Circuit c = b.take();
+  for (std::uint64_t i = 0; i < 256; i += 7)
+    for (std::uint64_t j = 0; j < 256; j += 5)
+      EXPECT_EQ(run_word_circuit(c, i, j), (i - j) & 0xFF);
+}
+
+TEST(Builder, NegateMatchesTwosComplement) {
+  constexpr std::size_t w = 6;
+  Builder b;
+  const Bus a = b.garbler_inputs(w);
+  b.set_outputs(b.negate(a));
+  const Circuit c = b.take();
+  for (std::uint64_t i = 0; i < 64; ++i)
+    EXPECT_EQ(run_word_circuit(c, i, 0), (~i + 1) & 0x3F);
+}
+
+TEST(Builder, CondNegateBothBranches) {
+  constexpr std::size_t w = 6;
+  Builder b;
+  const Bus a = b.garbler_inputs(w);
+  const Wire s = b.evaluator_input();
+  b.set_outputs(b.cond_negate(a, s));
+  const Circuit c = b.take();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(run_word_circuit(c, i, 0), i);
+    EXPECT_EQ(run_word_circuit(c, i, 1), (~i + 1) & 0x3F);
+  }
+}
+
+struct MulCase {
+  std::size_t width;
+  std::size_t out_width;
+  bool is_signed;
+  Builder::MulStructure structure;
+};
+
+class Multiplier : public ::testing::TestWithParam<MulCase> {};
+
+TEST_P(Multiplier, MatchesReferenceProduct) {
+  const MulCase p = GetParam();
+  const MacOptions opt{p.width, p.out_width, p.is_signed, p.structure};
+  const Circuit c = make_multiplier_circuit(opt);
+  const std::uint64_t m = mask_of(p.width);
+
+  const auto reference = [&](std::uint64_t a, std::uint64_t x) {
+    return mac_reference(0, a, x, opt);
+  };
+
+  if (p.width <= 5) {
+    for (std::uint64_t a = 0; a <= m; ++a)
+      for (std::uint64_t x = 0; x <= m; ++x)
+        ASSERT_EQ(run_word_circuit(c, a, x), reference(a, x))
+            << "a=" << a << " x=" << x;
+  } else {
+    Prg prg(crypto::Block{p.width, p.is_signed ? 2u : 3u});
+    for (int t = 0; t < 100; ++t) {
+      const std::uint64_t a = prg.next_u64() & m;
+      const std::uint64_t x = prg.next_u64() & m;
+      ASSERT_EQ(run_word_circuit(c, a, x), reference(a, x))
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, Multiplier,
+    ::testing::Values(
+        MulCase{4, 4, false, Builder::MulStructure::kSerial},
+        MulCase{4, 4, false, Builder::MulStructure::kTree},
+        MulCase{4, 8, false, Builder::MulStructure::kSerial},
+        MulCase{4, 8, false, Builder::MulStructure::kTree},
+        MulCase{5, 5, true, Builder::MulStructure::kSerial},
+        MulCase{5, 5, true, Builder::MulStructure::kTree},
+        MulCase{5, 10, true, Builder::MulStructure::kTree},
+        MulCase{8, 8, true, Builder::MulStructure::kSerial},
+        MulCase{8, 8, true, Builder::MulStructure::kTree},
+        MulCase{8, 16, true, Builder::MulStructure::kTree},
+        MulCase{16, 16, true, Builder::MulStructure::kTree},
+        MulCase{16, 16, false, Builder::MulStructure::kSerial},
+        MulCase{32, 32, true, Builder::MulStructure::kTree},
+        MulCase{32, 32, false, Builder::MulStructure::kSerial}));
+
+TEST(Multiplier, SignedMatchesIntegerProductMod2W) {
+  // The mux/2's-complement sandwich must agree with the true signed
+  // product mod 2^w for every input (including INT_MIN patterns).
+  const MacOptions opt{4, 4, true, Builder::MulStructure::kTree};
+  const Circuit c = make_multiplier_circuit(opt);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t x = 0; x < 16; ++x) {
+      const std::int64_t sa = from_bits_signed(to_bits(a, 4));
+      const std::int64_t sx = from_bits_signed(to_bits(x, 4));
+      const std::uint64_t expect =
+          static_cast<std::uint64_t>(sa * sx) & 0xF;
+      ASSERT_EQ(run_word_circuit(c, a, x), expect) << "a=" << sa << " x=" << sx;
+    }
+  }
+}
+
+TEST(Multiplier, TreeAndSerialComputeTheSameFunction) {
+  for (std::size_t w : {6u, 8u, 12u}) {
+    const MacOptions serial{w, w, true, Builder::MulStructure::kSerial};
+    const MacOptions tree{w, w, true, Builder::MulStructure::kTree};
+    const Circuit cs = make_multiplier_circuit(serial);
+    const Circuit ct = make_multiplier_circuit(tree);
+    Prg prg(crypto::Block{w, 17});
+    const std::uint64_t m = mask_of(w);
+    for (int t = 0; t < 64; ++t) {
+      const std::uint64_t a = prg.next_u64() & m;
+      const std::uint64_t x = prg.next_u64() & m;
+      ASSERT_EQ(run_word_circuit(cs, a, x), run_word_circuit(ct, a, x));
+    }
+  }
+}
+
+TEST(Multiplier, TreeDecomposesIntoIndependentPartialSums) {
+  // The paper's Fig. 2 advantage is schedulability, not combinational
+  // depth: the b/2 MUX_ADD partial-sum streams are mutually independent.
+  // In netlist terms: the tree multiplier has at least b/2 AND gates at
+  // multiplicative depth 0 per operand pair (the partial products), and
+  // the number of depth-0 ANDs is no smaller than the serial structure's.
+  for (std::size_t w : {8u, 16u, 32u}) {
+    const MacOptions tree{w, w, false, Builder::MulStructure::kTree};
+    const Circuit c = make_multiplier_circuit(tree);
+    std::vector<std::size_t> depth(c.num_wires, 0);
+    std::size_t depth0_ands = 0;
+    for (const auto& g : c.gates) {
+      const std::size_t in = std::max(depth[g.a], depth[g.b]);
+      depth[g.out] = in + (is_free(g.type) ? 0 : 1);
+      if (!is_free(g.type) && in == 0) ++depth0_ands;
+    }
+    EXPECT_GE(depth0_ands, w / 2) << "width " << w;
+  }
+}
+
+TEST(Multiplier, AndCountGrowsQuadratically) {
+  for (const auto structure :
+       {Builder::MulStructure::kSerial, Builder::MulStructure::kTree}) {
+    const auto count = [&](std::size_t w) {
+      return make_multiplier_circuit(MacOptions{w, w, false, structure})
+          .and_count();
+    };
+    // Doubling the width should roughly quadruple the AND count.
+    const double r16 = static_cast<double>(count(16)) / count(8);
+    const double r32 = static_cast<double>(count(32)) / count(16);
+    EXPECT_GT(r16, 3.0);
+    EXPECT_LT(r16, 6.0);
+    EXPECT_GT(r32, 3.0);
+    EXPECT_LT(r32, 6.0);
+  }
+}
+
+
+class KaratsubaWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KaratsubaWidth, MatchesSchoolbookProduct) {
+  const std::size_t w = GetParam();
+  Builder b;
+  const Bus a = b.garbler_inputs(w);
+  const Bus x = b.evaluator_inputs(w);
+  b.set_outputs(b.mult_karatsuba(a, x, 2 * w));
+  const Circuit c = b.take();
+  const std::uint64_t m = mask_of(w);
+  if (w <= 5) {
+    for (std::uint64_t i = 0; i <= m; ++i)
+      for (std::uint64_t j = 0; j <= m; ++j)
+        ASSERT_EQ(run_word_circuit(c, i, j), i * j) << i << "*" << j;
+  } else {
+    Prg prg(crypto::Block{w, 0x4A});
+    for (int t = 0; t < 100; ++t) {
+      const std::uint64_t i = prg.next_u64() & m;
+      const std::uint64_t j = prg.next_u64() & m;
+      ASSERT_EQ(run_word_circuit(c, i, j) & mask_of(std::min<std::size_t>(64, 2 * w)),
+                (i * j) & mask_of(std::min<std::size_t>(64, 2 * w)))
+          << i << "*" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KaratsubaWidth,
+                         ::testing::Values(3, 5, 8, 12, 16, 24, 32));
+
+TEST(Karatsuba, TruncatedWidthMatchesSerial) {
+  Builder b1, b2;
+  const Bus a1 = b1.garbler_inputs(16), x1 = b1.evaluator_inputs(16);
+  b1.set_outputs(b1.mult_karatsuba(a1, x1, 16));
+  const Circuit ck = b1.take();
+  const Bus a2 = b2.garbler_inputs(16), x2 = b2.evaluator_inputs(16);
+  b2.set_outputs(b2.mult_serial(a2, x2, 16));
+  const Circuit cs = b2.take();
+  Prg prg(crypto::Block{0x4B, 1});
+  for (int t = 0; t < 60; ++t) {
+    const std::uint64_t i = prg.next_u64() & 0xFFFF;
+    const std::uint64_t j = prg.next_u64() & 0xFFFF;
+    ASSERT_EQ(run_word_circuit(ck, i, j), run_word_circuit(cs, i, j));
+  }
+}
+
+TEST(Karatsuba, BeatsSchoolbookAtLargeWidths) {
+  const auto ands = [](std::size_t w, bool kara) {
+    Builder b;
+    const Bus a = b.garbler_inputs(w), x = b.evaluator_inputs(w);
+    b.set_outputs(kara ? b.mult_karatsuba(a, x, 2 * w)
+                       : b.mult_serial(a, x, 2 * w));
+    return b.take().and_count();
+  };
+  // Small widths: schoolbook wins (Karatsuba's linear combines dominate).
+  EXPECT_GE(ands(8, true), ands(8, false));
+  // Large widths: the three-multiplications recursion wins.
+  EXPECT_LT(ands(64, true), ands(64, false));
+}
+
+TEST(Millionaires, ExhaustiveAt4Bits) {
+  const Circuit c = make_millionaires_circuit(4);
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t b = 0; b < 16; ++b)
+      EXPECT_EQ(run_word_circuit(c, a, b), a < b ? 1u : 0u);
+}
+
+TEST(Builder, EqComparator) {
+  Builder b;
+  const Bus a = b.garbler_inputs(6);
+  const Bus x = b.evaluator_inputs(6);
+  b.set_outputs({b.eq(a, x)});
+  const Circuit c = b.take();
+  Prg prg(crypto::Block{66, 0});
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t i = prg.next_u64() & 0x3F;
+    const std::uint64_t j = t % 2 == 0 ? i : (prg.next_u64() & 0x3F);
+    EXPECT_EQ(run_word_circuit(c, i, j), i == j ? 1u : 0u);
+  }
+}
+
+
+TEST(FixedMac, InCircuitRescalingMatchesReference) {
+  const MacOptions opt{8, 16, true, Builder::MulStructure::kTree};
+  const std::size_t frac = 4;
+  const Circuit c = make_fixed_mac_circuit(opt, frac);
+  ASSERT_TRUE(c.is_sequential());
+  ASSERT_EQ(c.dffs.size(), 16u);
+  ASSERT_EQ(c.outputs.size(), 8u);
+
+  Prg prg(crypto::Block{0xF1D0, 1});
+  std::vector<RoundInputs> rounds(10);
+  std::vector<std::uint64_t> av(10), xv(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    av[i] = prg.next_u64() & 0xFF;
+    xv[i] = prg.next_u64() & 0xFF;
+    rounds[i].garbler_bits = to_bits(av[i], 8);
+    rounds[i].evaluator_bits = to_bits(xv[i], 8);
+  }
+  EXPECT_EQ(from_bits(eval_sequential_plain(c, rounds)),
+            fixed_dot_reference(av, xv, opt, frac));
+}
+
+TEST(FixedMac, RealValueSemantics) {
+  // Small real values: the rescaled output equals the quantized dot.
+  const MacOptions opt{16, 32, true, Builder::MulStructure::kTree};
+  const std::size_t frac = 6;
+  const Circuit c = make_fixed_mac_circuit(opt, frac);
+  const double scale = 64.0;  // 2^frac
+  const std::vector<double> a = {1.5, -2.25, 0.5};
+  const std::vector<double> x = {2.0, 1.0, -4.0};
+  std::vector<RoundInputs> rounds(3);
+  std::vector<std::uint64_t> av(3), xv(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    av[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(a[i] * scale)) &
+            0xFFFF;
+    xv[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(x[i] * scale)) &
+            0xFFFF;
+    rounds[i].garbler_bits = to_bits(av[i], 16);
+    rounds[i].evaluator_bits = to_bits(xv[i], 16);
+  }
+  const auto out = eval_sequential_plain(c, rounds);
+  const double got =
+      static_cast<double>(from_bits_signed(out)) / scale;
+  // 1.5*2 - 2.25*1 + 0.5*(-4) = -1.25
+  EXPECT_NEAR(got, -1.25, 1.0 / scale);
+}
+
+TEST(FixedMac, RejectsBadConfigs) {
+  EXPECT_THROW((void)make_fixed_mac_circuit(MacOptions{8, 8, true}, 2),
+               std::invalid_argument);  // acc too narrow
+  EXPECT_THROW((void)make_fixed_mac_circuit(MacOptions{8, 16, true}, 8),
+               std::invalid_argument);  // frac >= b
+}
+
+TEST(SequentialMac, MatchesReferenceOverRounds) {
+  for (const auto structure :
+       {Builder::MulStructure::kSerial, Builder::MulStructure::kTree}) {
+    const MacOptions opt{8, 8, true, structure};
+    const Circuit c = make_mac_circuit(opt);
+    ASSERT_TRUE(c.is_sequential());
+    ASSERT_EQ(c.dffs.size(), 8u);
+
+    Prg prg(crypto::Block{88, 4});
+    std::vector<RoundInputs> rounds(16);
+    std::uint64_t expect = 0;
+    for (auto& r : rounds) {
+      const std::uint64_t a = prg.next_u64() & 0xFF;
+      const std::uint64_t x = prg.next_u64() & 0xFF;
+      r.garbler_bits = to_bits(a, 8);
+      r.evaluator_bits = to_bits(x, 8);
+      expect = mac_reference(expect, a, x, opt);
+    }
+    EXPECT_EQ(from_bits(eval_sequential_plain(c, rounds)), expect);
+  }
+}
+
+TEST(SequentialMac, WideAccumulator) {
+  const MacOptions opt{8, 20, true, Builder::MulStructure::kTree};
+  const Circuit c = make_mac_circuit(opt);
+  ASSERT_EQ(c.dffs.size(), 20u);
+  Prg prg(crypto::Block{77, 0});
+  std::vector<RoundInputs> rounds(32);
+  std::uint64_t expect = 0;
+  for (auto& r : rounds) {
+    const std::uint64_t a = prg.next_u64() & 0xFF;
+    const std::uint64_t x = prg.next_u64() & 0xFF;
+    r.garbler_bits = to_bits(a, 8);
+    r.evaluator_bits = to_bits(x, 8);
+    expect = mac_reference(expect, a, x, opt);
+  }
+  EXPECT_EQ(from_bits(eval_sequential_plain(c, rounds)), expect);
+}
+
+TEST(DotProduct, CombinationalMatchesSequentialSemantics) {
+  const MacOptions opt{6, 6, true, Builder::MulStructure::kTree};
+  const std::size_t n = 5;
+  const Circuit c = make_dot_product_circuit(n, opt);
+  Prg prg(crypto::Block{55, 0});
+  std::vector<std::uint64_t> a(n), x(n);
+  std::vector<bool> g_bits, e_bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = prg.next_u64() & 0x3F;
+    x[i] = prg.next_u64() & 0x3F;
+    const auto ab = to_bits(a[i], 6);
+    const auto xb = to_bits(x[i], 6);
+    g_bits.insert(g_bits.end(), ab.begin(), ab.end());
+    e_bits.insert(e_bits.end(), xb.begin(), xb.end());
+  }
+  EXPECT_EQ(from_bits(eval_plain(c, g_bits, e_bits)),
+            dot_reference(a, x, opt));
+}
+
+TEST(Netlist, AndDepthOfPureXorCircuitIsZero) {
+  Builder b;
+  const Bus a = b.garbler_inputs(8);
+  const Bus x = b.evaluator_inputs(8);
+  b.set_outputs(b.xor_bus(a, x));
+  EXPECT_EQ(and_depth(b.take()), 0u);
+}
+
+TEST(Netlist, HistogramAccountsEveryGate) {
+  const MacOptions opt{8, 8, true, Builder::MulStructure::kTree};
+  const Circuit c = make_mac_circuit(opt);
+  const GateHistogram h = histogram(c);
+  EXPECT_EQ(h.xor_gates + h.xnor_gates + h.and_gates + h.nand_gates +
+                h.or_gates + h.nor_gates,
+            c.gates.size());
+  EXPECT_EQ(h.and_gates + h.nand_gates + h.or_gates + h.nor_gates,
+            c.and_count());
+}
+
+TEST(Netlist, UnconnectedDffThrows) {
+  Builder b;
+  (void)b.make_dff();
+  EXPECT_THROW((void)b.take(), std::logic_error);
+}
+
+TEST(Netlist, InputArityMismatchThrows) {
+  Builder b;
+  (void)b.garbler_inputs(4);
+  b.set_outputs({Builder::const0()});
+  const Circuit c = b.take();
+  EXPECT_THROW((void)eval_plain(c, {true}, {}), std::invalid_argument);
+}
+
+TEST(BitHelpers, RoundTrips) {
+  EXPECT_EQ(from_bits(to_bits(0xDEADBEEF, 32)), 0xDEADBEEFu);
+  EXPECT_EQ(from_bits_signed(to_bits(0xF, 4)), -1);
+  EXPECT_EQ(from_bits_signed(to_bits(7, 4)), 7);
+  EXPECT_EQ(from_bits_signed(to_bits(8, 4)), -8);
+}
+
+}  // namespace
+}  // namespace maxel::circuit

@@ -1,0 +1,141 @@
+// Fixed-point and matrix substrate tests, including the key coherence
+// property: the plaintext fixed-point dot product is bit-identical to
+// the garbled MAC netlist's reference semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
+#include "fixed/fixed.hpp"
+#include "fixed/matrix.hpp"
+
+namespace maxel::fixed {
+namespace {
+
+TEST(Fixed, EncodeDecodeRoundTrip) {
+  const FixedFormat f{32, 16};
+  for (const double v : {0.0, 1.0, -1.0, 3.14159, -2048.5, 0.0000152587890625}) {
+    EXPECT_NEAR(decode(encode(v, f), f), v, f.resolution());
+  }
+}
+
+TEST(Fixed, NegativeValuesAreTwosComplement) {
+  const FixedFormat f{16, 8};
+  const Word w = encode(-1.0, f);
+  EXPECT_EQ(w, 0xFF00u);
+  EXPECT_DOUBLE_EQ(decode(w, f), -1.0);
+}
+
+TEST(Fixed, OverflowThrows) {
+  const FixedFormat f{16, 8};
+  EXPECT_THROW((void)encode(200.0, f), std::overflow_error);
+  EXPECT_THROW((void)encode(-200.0, f), std::overflow_error);
+  EXPECT_NO_THROW((void)encode(127.0, f));
+}
+
+TEST(Fixed, AddWrapsLikeAccumulator) {
+  const FixedFormat f{8, 0};
+  EXPECT_EQ(add(200, 100, f), (200u + 100u) & 0xFF);
+}
+
+TEST(Fixed, RescaleDividesByScale) {
+  const FixedFormat f{32, 8};
+  const Word a = encode(3.5, f);
+  const Word b = encode(2.0, f);
+  const Word prod = mul_raw(a, b, f);  // 2*frac bits
+  EXPECT_DOUBLE_EQ(decode(rescale(prod, f), f), 7.0);
+  // Negative product path.
+  const Word c = encode(-3.5, f);
+  EXPECT_DOUBLE_EQ(decode(rescale(mul_raw(c, b, f), f), f), -7.0);
+}
+
+TEST(Fixed, DotRawMatchesGarbledMacSemantics) {
+  const FixedFormat f{16, 4};
+  const circuit::MacOptions mac{16, 16, true,
+                                circuit::Builder::MulStructure::kTree};
+  crypto::Prg prg(crypto::Block{321, 0});
+  std::vector<Word> a(12), x(12);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = encode((static_cast<double>(prg.next_below(64)) - 32.0) / 16.0, f);
+    x[i] = encode((static_cast<double>(prg.next_below(64)) - 32.0) / 16.0, f);
+  }
+  std::vector<std::uint64_t> av(a.begin(), a.end()), xv(x.begin(), x.end());
+  EXPECT_EQ(dot_raw(a, x, f), circuit::dot_reference(av, xv, mac));
+}
+
+TEST(Fixed, VectorHelpers) {
+  const FixedFormat f{32, 16};
+  const std::vector<double> v = {1.5, -2.25, 0.0};
+  EXPECT_EQ(decode_vector(encode_vector(v, f), f), v);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+
+  const Matrix p = a * at;  // 2x2
+  EXPECT_DOUBLE_EQ(p(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 77.0);
+}
+
+TEST(Matrix, MatVecAndIdentity) {
+  const Matrix i3 = Matrix::identity(3);
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(i3 * v, v);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW((void)(a * b), std::invalid_argument);
+  EXPECT_THROW((void)(a * std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, CholeskySolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  const auto x = cholesky_solve(a, {10.0, 8.0});
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 5; a(1, 0) = 5; a(1, 1) = 1;
+  EXPECT_THROW((void)cholesky_solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Matrix, LeastSquaresRecoversPlantedModel) {
+  crypto::Prg prg(crypto::Block{5150, 0});
+  const std::size_t n = 200, d = 4;
+  const std::vector<double> beta = {2.0, -1.0, 0.5, 3.0};
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double yi = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v =
+          static_cast<double>(prg.next_below(2000)) / 1000.0 - 1.0;
+      x(i, j) = v;
+      yi += beta[j] * v;
+    }
+    y[i] = yi;
+  }
+  const auto est = least_squares(x, y);
+  for (std::size_t j = 0; j < d; ++j) EXPECT_NEAR(est[j], beta[j], 1e-6);
+}
+
+TEST(Matrix, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_THROW((void)dot({1}, {1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxel::fixed

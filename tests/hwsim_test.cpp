@@ -1,0 +1,207 @@
+// Tests for the FPGA substrate models: resource estimation (Table 1),
+// the PCIe link model, the per-core table memory port constraints, and
+// the label-generator bank power-gating accounting.
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+#include "hwsim/label_bank.hpp"
+#include "hwsim/memory.hpp"
+#include "hwsim/pcie.hpp"
+#include "hwsim/power.hpp"
+#include "hwsim/resource_model.hpp"
+
+namespace maxel::hwsim {
+namespace {
+
+TEST(ResourceModel, MatchesPaperAtCalibrationPoints) {
+  // b=8 and b=32 are calibration points: the structural model must land
+  // within 1% of Table 1 there.
+  for (const std::size_t b : {8u, 32u}) {
+    const ResourceUsage model = estimate_mac_unit(b);
+    const ResourceUsage paper = paper_table1(b);
+    EXPECT_NEAR(model.lut, paper.lut, 0.01 * paper.lut) << "b=" << b;
+    EXPECT_NEAR(model.flip_flop, paper.flip_flop, 0.01 * paper.flip_flop);
+    EXPECT_NEAR(model.lutram, paper.lutram, 0.01 * paper.lutram);
+  }
+}
+
+TEST(ResourceModel, PredictsTheUncalibratedColumn) {
+  // b=16 is a prediction; the paper's reproduction claim is linear-ish
+  // growth, so within 10% counts as reproducing Table 1's shape.
+  const ResourceUsage model = estimate_mac_unit(16);
+  const ResourceUsage paper = paper_table1(16);
+  EXPECT_NEAR(model.lut, paper.lut, 0.10 * paper.lut);
+  EXPECT_NEAR(model.flip_flop, paper.flip_flop, 0.10 * paper.flip_flop);
+  EXPECT_NEAR(model.lutram, paper.lutram, 0.25 * paper.lutram);
+}
+
+TEST(ResourceModel, GrowsMonotonicallyAndRoughlyLinearly) {
+  const ResourceUsage r8 = estimate_mac_unit(8);
+  const ResourceUsage r16 = estimate_mac_unit(16);
+  const ResourceUsage r32 = estimate_mac_unit(32);
+  EXPECT_LT(r8.lut, r16.lut);
+  EXPECT_LT(r16.lut, r32.lut);
+  // "Resource utilization increases linearly with b": doubling b should
+  // cost between 1.5x and 2.5x LUTs.
+  EXPECT_GT(r32.lut / r16.lut, 1.5);
+  EXPECT_LT(r32.lut / r16.lut, 2.5);
+}
+
+TEST(ResourceModel, ArchitectureFormulas) {
+  const MacArchitecture a{32};
+  EXPECT_EQ(a.cores(), 24u);
+  EXPECT_EQ(a.ands_per_stage(), 72u);
+  EXPECT_EQ(a.idle_slots_per_stage(), 0u);
+  EXPECT_EQ(a.cycles_per_mac(), 96u);
+  EXPECT_EQ(a.latency_stages(), 32u + 5u + 2u);
+  const MacArchitecture b{16};
+  EXPECT_EQ(b.idle_slots_per_stage(), 2u);  // the paper's "highest 2"
+}
+
+TEST(ResourceModel, DeviceFitsRoughly25MacUnits) {
+  // Sec. 6: "25 times more GC cores can fit in our current implementation
+  // platform" — i.e. O(25) 32-bit MAC units on the XCVU095.
+  const std::size_t units = max_mac_units(32);
+  EXPECT_GE(units, 4u);
+  EXPECT_LE(units, 40u);
+}
+
+TEST(ResourceModel, RejectsOutOfRangeWidth) {
+  EXPECT_THROW((void)estimate_mac_unit(2), std::invalid_argument);
+  EXPECT_THROW((void)estimate_mac_unit(80), std::invalid_argument);
+  EXPECT_THROW((void)paper_table1(10), std::invalid_argument);
+}
+
+TEST(Pcie, TransferTimeScalesWithBytes) {
+  const PcieLink link;
+  EXPECT_EQ(link.transfer_seconds(0), 0.0);
+  const double t1 = link.transfer_seconds(1 << 20);
+  const double t64 = link.transfer_seconds(64 << 20);
+  EXPECT_GT(t64, 50 * t1 * 0.5);
+  EXPECT_GT(t1, link.config().latency_sec);
+}
+
+TEST(Pcie, RecordsTraffic) {
+  PcieLink link;
+  link.record_transfer(1000);
+  link.record_transfer(2000);
+  EXPECT_EQ(link.bytes_moved(), 3000u);
+  EXPECT_EQ(link.transfers(), 2u);
+  EXPECT_GT(link.seconds_busy(), 0.0);
+}
+
+TEST(Pcie, TableRateDerivedFromBandwidth) {
+  PcieLinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 3.2e9;
+  const PcieLink link(cfg);
+  EXPECT_DOUBLE_EQ(link.max_tables_per_sec(32), 1e8);
+}
+
+TEST(TableMemory, SingleWritePortPerBlock) {
+  TableMemory mem(4, 16);
+  mem.write(0, /*cycle=*/1);
+  EXPECT_THROW(mem.write(0, 1), std::logic_error);
+  mem.write(1, 1);  // different block, same cycle: fine
+  mem.write(0, 2);
+  EXPECT_EQ(mem.total_writes(), 3u);
+}
+
+TEST(TableMemory, SingleSharedReadPort) {
+  TableMemory mem(2, 16);
+  mem.write(0, 0);
+  mem.write(1, 0);
+  EXPECT_TRUE(mem.drain_one(1));
+  EXPECT_THROW((void)mem.drain_one(1), std::logic_error);
+  EXPECT_TRUE(mem.drain_one(2));
+  EXPECT_FALSE(mem.drain_one(3));  // empty
+}
+
+TEST(TableMemory, RoundRobinDrainAndPeakFill) {
+  TableMemory mem(2, 16);
+  for (std::uint64_t c = 0; c < 6; ++c) mem.write(c % 2, c);
+  EXPECT_EQ(mem.peak_fill(), 6u);
+  std::uint64_t cycle = 100;
+  while (mem.total_fill() > 0) EXPECT_TRUE(mem.drain_one(cycle++));
+  EXPECT_EQ(mem.total_reads(), 6u);
+}
+
+TEST(TableMemory, OverflowBackPressureIsCounted) {
+  TableMemory mem(1, 2);
+  mem.write(0, 0);
+  mem.write(0, 1);
+  mem.write(0, 2);  // full: stall
+  EXPECT_EQ(mem.overflow_stalls(), 1u);
+  EXPECT_EQ(mem.total_fill(), 2u);
+}
+
+TEST(LabelBank, TracksConsumptionAndGating) {
+  crypto::SystemRandom rng(crypto::Block{3, 3});
+  // Capacity 512 bits/cycle, buffer of one cycle, starting full.
+  LabelBank bank(/*bits_per_cycle=*/512, rng, /*buffer_depth_bits=*/512);
+  (void)bank.next_label();  // consumes 128 of the 512 buffered bits
+  bank.end_cycle();         // refills 128, gates the other 384
+  bank.end_cycle();         // buffer full: fully gated cycle
+  EXPECT_EQ(bank.total_bits(), 128u);
+  EXPECT_EQ(bank.cycles(), 2u);
+  EXPECT_EQ(bank.peak_bits_per_cycle(), 128u);
+  EXPECT_EQ(bank.underflow_stalls(), 0u);
+  // 128 of 1024 produced bit-cycles active -> 87.5% gated.
+  EXPECT_NEAR(bank.gated_fraction(), 0.875, 1e-9);
+}
+
+TEST(LabelBank, BurstsAreAbsorbedByTheBuffer) {
+  crypto::SystemRandom rng(crypto::Block{4, 4});
+  LabelBank bank(128, rng, /*buffer_depth_bits=*/1024);
+  for (int i = 0; i < 8; ++i) (void)bank.next_label();  // one-cycle burst
+  bank.end_cycle();
+  EXPECT_EQ(bank.underflow_stalls(), 0u);
+  EXPECT_EQ(bank.peak_bits_per_cycle(), 1024u);
+}
+
+TEST(LabelBank, UnderflowDetectedWhenUndersized) {
+  crypto::SystemRandom rng(crypto::Block{5, 5});
+  LabelBank bank(128, rng, /*buffer_depth_bits=*/128);
+  (void)bank.next_label();
+  (void)bank.next_label();  // buffer empty: stall recorded
+  bank.end_cycle();
+  EXPECT_EQ(bank.underflow_stalls(), 1u);
+}
+
+TEST(LabelBank, LabelsAreFresh) {
+  crypto::SystemRandom rng(crypto::Block{5, 5});
+  LabelBank bank(128, rng);
+  EXPECT_NE(bank.next_label(), bank.next_label());
+}
+
+
+TEST(PowerModel, EnergyScalesWithActivity) {
+  const PowerModel pm;
+  const auto small = pm.estimate(32, 1000, 1u << 20, 0.9, 10000, 200.0);
+  const auto big = pm.estimate(32, 10000, 10u << 20, 0.9, 100000, 200.0);
+  EXPECT_GT(big.dynamic_gc_j, 9.0 * small.dynamic_gc_j);
+  EXPECT_GT(big.total_j(), small.total_j());
+  EXPECT_GT(small.average_watts(1e-3), 0.0);
+}
+
+TEST(PowerModel, GatingSavingMatchesGatedFraction) {
+  const PowerModel pm;
+  // 90% gated: the avoided energy is 9x the spent RNG energy.
+  const auto e = pm.estimate(32, 0, 1u << 20, 0.9, 1000, 200.0);
+  EXPECT_NEAR(e.rng_gated_saving_j, 9.0 * e.dynamic_rng_j,
+              1e-6 * e.dynamic_rng_j);
+  // No gating: no saving.
+  const auto f = pm.estimate(32, 0, 1u << 20, 0.0, 1000, 200.0);
+  EXPECT_DOUBLE_EQ(f.rng_gated_saving_j, 0.0);
+}
+
+TEST(PowerModel, StaticEnergyTracksDeviceAndTime) {
+  const PowerModel pm;
+  const auto short_run = pm.estimate(8, 0, 0, 0.0, 1000, 200.0);
+  const auto long_run = pm.estimate(8, 0, 0, 0.0, 2000, 200.0);
+  EXPECT_NEAR(long_run.static_j, 2.0 * short_run.static_j, 1e-12);
+  const auto wide = pm.estimate(32, 0, 0, 0.0, 1000, 200.0);
+  EXPECT_GT(wide.static_j, short_run.static_j);  // more LUTs leak more
+}
+
+}  // namespace
+}  // namespace maxel::hwsim

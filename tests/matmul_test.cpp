@@ -1,0 +1,108 @@
+// Matrix-multiplication orchestration: the Sec. 4.3 performance formula
+// (1 product per 3*M*N*P*b cycles), multi-unit/PCIe interplay, and the
+// full simulator-backed secure matrix product verified element by
+// element through the standard evaluator.
+#include <gtest/gtest.h>
+
+#include "circuit/circuits.hpp"
+#include "core/matmul.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel::core {
+namespace {
+
+TEST(MatMulPlan, PaperFormula) {
+  MatMulPlan plan;
+  plan.rows = 10;    // N
+  plan.inner = 20;   // M
+  plan.cols = 5;     // P
+  plan.bit_width = 32;
+  EXPECT_DOUBLE_EQ(plan.total_macs(), 1000.0);
+  // 1 product per 3*M*N*P*b cycles (Sec. 4.3).
+  EXPECT_DOUBLE_EQ(plan.total_cycles_per_unit(), 3.0 * 1000.0 * 32.0);
+  EXPECT_DOUBLE_EQ(plan.garble_seconds(), 3.0 * 1000.0 * 32.0 / 200e6);
+}
+
+TEST(MatMulPlan, UnitsScaleGarblingLinearly) {
+  MatMulPlan one;
+  one.rows = one.inner = one.cols = 32;
+  MatMulPlan four = one;
+  four.units = 4;
+  EXPECT_DOUBLE_EQ(one.garble_seconds(), 4.0 * four.garble_seconds());
+  // Table traffic is workload-determined, not unit-determined.
+  EXPECT_DOUBLE_EQ(one.table_bytes(), four.table_bytes());
+}
+
+TEST(MatMulPlan, PcieEventuallyBinds) {
+  MatMulPlan plan;
+  plan.rows = plan.inner = plan.cols = 64;
+  plan.bit_width = 32;
+  const std::size_t sat = plan.pcie_saturation_units();
+  EXPECT_GE(sat, 1u);
+  EXPECT_LT(sat, 200u);
+
+  MatMulPlan at_sat = plan;
+  at_sat.units = sat;
+  // At saturation the effective time is link-dominated...
+  EXPECT_NEAR(at_sat.effective_seconds(), at_sat.pcie_seconds(),
+              0.05 * at_sat.pcie_seconds());
+  // ...and adding units no longer helps.
+  MatMulPlan beyond = plan;
+  beyond.units = sat * 4;
+  EXPECT_NEAR(beyond.effective_seconds(), at_sat.effective_seconds(),
+              0.05 * at_sat.effective_seconds());
+}
+
+TEST(MatMulPlan, TableBytesMatchSimulator) {
+  MatMulPlan plan;
+  plan.rows = 1;
+  plan.inner = 6;
+  plan.cols = 1;
+  plan.bit_width = 8;
+  MaxeleratorConfig cfg;
+  cfg.bit_width = 8;
+  crypto::SystemRandom rng(crypto::Block{5, 6});
+  MaxeleratorSim sim(cfg, rng);
+  sim.run(6);
+  EXPECT_DOUBLE_EQ(plan.table_bytes(),
+                   static_cast<double>(sim.stats().table_bytes));
+}
+
+TEST(SecureMatMul, SimulatorProductMatchesReference) {
+  const std::size_t b = 8;
+  const std::size_t n = 2, m = 3, p = 2;
+  crypto::Prg prg(crypto::Block{7, 7});
+  std::vector<std::vector<std::uint64_t>> a(n, std::vector<std::uint64_t>(m));
+  std::vector<std::vector<std::uint64_t>> x(m, std::vector<std::uint64_t>(p));
+  for (auto& row : a)
+    for (auto& v : row) v = prg.next_u64() & 0xFF;
+  for (auto& row : x)
+    for (auto& v : row) v = prg.next_u64() & 0xFF;
+
+  crypto::SystemRandom rng(crypto::Block{8, 8});
+  const SecureMatMulResult res = secure_matmul_on_sim(a, x, b, rng);
+  ASSERT_TRUE(res.verified);
+
+  const circuit::MacOptions ref{b, b, true};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      std::uint64_t expect = 0;
+      for (std::size_t l = 0; l < m; ++l)
+        expect = circuit::mac_reference(expect, a[i][l], x[l][j], ref);
+      EXPECT_EQ(res.product[i][j], expect) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(res.tables, n * p * m * (2 * b + 8) * b);
+}
+
+TEST(SecureMatMul, ShapeValidation) {
+  crypto::SystemRandom rng(crypto::Block{9, 9});
+  std::vector<std::vector<std::uint64_t>> a = {{1, 2}};
+  std::vector<std::vector<std::uint64_t>> bad = {{1}};  // inner mismatch
+  EXPECT_THROW((void)secure_matmul_on_sim(a, bad, 8, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxel::core

@@ -1,0 +1,156 @@
+// ML nonlinearity blocks: signed comparison, ReLU, max, argmax —
+// exhaustive at small widths, random at full width, and garbled
+// end-to-end.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "circuit/ml_blocks.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+#include "gc/garble.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+using crypto::Prg;
+
+std::int64_t as_signed(std::uint64_t v, std::size_t w) {
+  return from_bits_signed(to_bits(v, w));
+}
+
+TEST(LtSigned, ExhaustiveAt4Bits) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(4);
+  const Bus b = bld.evaluator_inputs(4);
+  bld.set_outputs({lt_signed(bld, a, b)});
+  const Circuit c = bld.take();
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      const bool expect = as_signed(x, 4) < as_signed(y, 4);
+      EXPECT_EQ(eval_plain(c, to_bits(x, 4), to_bits(y, 4))[0], expect)
+          << x << " vs " << y;
+    }
+  }
+}
+
+TEST(Relu, ExhaustiveAt5Bits) {
+  Builder bld;
+  const Bus v = bld.evaluator_inputs(5);
+  bld.set_outputs(relu(bld, v));
+  const Circuit c = bld.take();
+  EXPECT_EQ(c.and_count(), 5u);  // 1 AND per bit
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    const std::int64_t sv = as_signed(x, 5);
+    const std::uint64_t expect = sv > 0 ? x : 0;
+    EXPECT_EQ(from_bits(eval_plain(c, {}, to_bits(x, 5))), expect);
+  }
+}
+
+TEST(MaxMin, SignedPairsExhaustive) {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(4);
+  const Bus b = bld.evaluator_inputs(4);
+  bld.set_outputs(max_signed(bld, a, b));
+  bld.append_outputs(min_signed(bld, a, b));
+  const Circuit c = bld.take();
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      const auto out = eval_plain(c, to_bits(x, 4), to_bits(y, 4));
+      const std::int64_t sx = as_signed(x, 4), sy = as_signed(y, 4);
+      EXPECT_EQ(as_signed(from_bits({out.begin(), out.begin() + 4}), 4),
+                std::max(sx, sy));
+      EXPECT_EQ(as_signed(from_bits({out.begin() + 4, out.end()}), 4),
+                std::min(sx, sy));
+    }
+  }
+}
+
+class VectorSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VectorSize, MaxAndArgmaxMatchReference) {
+  const std::size_t n = GetParam();
+  const std::size_t w = 8;
+  const Circuit cmax = make_maxpool_circuit(n, w);
+  const Circuit carg = make_argmax_circuit(n, w);
+
+  Prg prg(crypto::Block{n, 0xA6});
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<bool> bits;
+    std::vector<std::int64_t> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t raw =
+          trial < 5 ? (trial % 2 ? 0x80 : 0x7F) : (prg.next_u64() & 0xFF);
+      vals[i] = as_signed(raw, w);
+      const auto vb = to_bits(raw, w);
+      bits.insert(bits.end(), vb.begin(), vb.end());
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      if (vals[i] > vals[best]) best = i;
+
+    EXPECT_EQ(as_signed(from_bits(eval_plain(cmax, {}, bits)), w), vals[best]);
+    EXPECT_EQ(from_bits(eval_plain(carg, {}, bits)), best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VectorSize,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 16));
+
+TEST(ArgMax, TiesResolveToLowestIndex) {
+  const Circuit c = make_argmax_circuit(4, 4);
+  // All equal: index 0.
+  std::vector<bool> bits;
+  for (int i = 0; i < 4; ++i) {
+    const auto vb = to_bits(5, 4);
+    bits.insert(bits.end(), vb.begin(), vb.end());
+  }
+  EXPECT_EQ(from_bits(eval_plain(c, {}, bits)), 0u);
+}
+
+TEST(MlBlocks, GarbledArgmaxEndToEnd) {
+  const Circuit c = make_argmax_circuit(4, 8);
+  crypto::SystemRandom rng(crypto::Block{0xA7, 1});
+  Prg prg(crypto::Block{0xA8, 2});
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<bool> bits;
+    std::vector<std::int64_t> vals(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::uint64_t raw = prg.next_u64() & 0xFF;
+      vals[i] = as_signed(raw, 8);
+      const auto vb = to_bits(raw, 8);
+      bits.insert(bits.end(), vb.begin(), vb.end());
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < 4; ++i)
+      if (vals[i] > vals[best]) best = i;
+    const auto got =
+        gc::garble_and_evaluate(c, gc::Scheme::kHalfGates, {}, bits, rng);
+    EXPECT_EQ(from_bits(got), best);
+  }
+}
+
+TEST(MlBlocks, GarbledReluLayer) {
+  const Circuit c = make_relu_layer_circuit(3, 8);
+  crypto::SystemRandom rng(crypto::Block{0xA9, 3});
+  const std::vector<std::uint64_t> raw = {0x05, 0xFB, 0x80};  // +5, -5, -128
+  std::vector<bool> bits;
+  for (const auto v : raw) {
+    const auto vb = to_bits(v, 8);
+    bits.insert(bits.end(), vb.begin(), vb.end());
+  }
+  const auto got =
+      gc::garble_and_evaluate(c, gc::Scheme::kHalfGates, {}, bits, rng);
+  EXPECT_EQ(from_bits({got.begin(), got.begin() + 8}), 0x05u);
+  EXPECT_EQ(from_bits({got.begin() + 8, got.begin() + 16}), 0u);
+  EXPECT_EQ(from_bits({got.begin() + 16, got.end()}), 0u);
+}
+
+TEST(MlBlocks, EmptyInputsRejected) {
+  Builder bld;
+  EXPECT_THROW((void)vector_max_signed(bld, {}), std::invalid_argument);
+  EXPECT_THROW((void)argmax_signed(bld, {}), std::invalid_argument);
+  EXPECT_THROW((void)relu(bld, Bus{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxel::circuit

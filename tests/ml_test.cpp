@@ -1,0 +1,230 @@
+// ML case-study tests: the actual solvers (ridge regression, matrix
+// factorization, portfolio risk), the runtime models that reproduce the
+// paper's Sec. 6 numbers, and the secure linear-algebra layer running
+// real GC protocol rounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/kernel_solver.hpp"
+#include "ml/mac_cost_model.hpp"
+#include "ml/portfolio.hpp"
+#include "ml/recommender.hpp"
+#include "ml/ridge.hpp"
+#include "ml/secure_linalg.hpp"
+
+namespace maxel::ml {
+namespace {
+
+TEST(MacBackend, MaxeleratorRatesMatchTable2) {
+  EXPECT_NEAR(maxelerator_backend(8).time_per_mac_us, 0.12, 1e-12);
+  EXPECT_NEAR(maxelerator_backend(16).time_per_mac_us, 0.24, 1e-12);
+  EXPECT_NEAR(maxelerator_backend(32).time_per_mac_us, 0.48, 1e-12);
+  EXPECT_NEAR(maxelerator_backend(32).macs_per_sec(), 2.08e6, 0.01e6);
+  // Adding units scales linearly ("throughput can be increased linearly
+  // by adding more GC cores to the FPGA").
+  EXPECT_DOUBLE_EQ(maxelerator_backend(32, 25).macs_per_sec(),
+                   25.0 * maxelerator_backend(32).macs_per_sec());
+}
+
+TEST(MacBackend, SpeedupOverTinyGarbleMatchesPaperBand) {
+  // Table 2 last row: 44x / 48x / 57x per core.
+  for (const auto& [b, expect] :
+       std::initializer_list<std::pair<std::size_t, double>>{
+           {8, 44.0}, {16, 48.0}, {32, 57.0}}) {
+    const double s = backend_speedup(maxelerator_backend(b),
+                                     tinygarble_paper_backend(b));
+    // Per-core: MAXelerator has cores(b) GC cores per unit.
+    const double cores = b == 8 ? 8.0 : (b == 16 ? 14.0 : 24.0);
+    EXPECT_NEAR(s / cores, expect, 0.05 * expect) << "b=" << b;
+  }
+}
+
+TEST(Ridge, SolverRecoversPlantedModel) {
+  const RidgeDataset data = make_synthetic_dataset("t", 400, 8, 1, 0.05);
+  const RidgeFit fit = solve_ridge(data, 1e-3);
+  EXPECT_EQ(fit.beta.size(), 8u);
+  // Noise level 0.05 => training RMSE should be near the noise floor.
+  EXPECT_LT(fit.train_rmse, 0.1);
+}
+
+TEST(Ridge, LambdaRegularizes) {
+  const RidgeDataset data = make_synthetic_dataset("t", 50, 10, 2, 0.0);
+  const RidgeFit tight = solve_ridge(data, 1e-6);
+  const RidgeFit heavy = solve_ridge(data, 1e3);
+  EXPECT_LT(fixed::norm2(heavy.beta), fixed::norm2(tight.beta));
+}
+
+TEST(Ridge, OpCountsFollowComplexity) {
+  const RidgeOpCounts c = ridge_op_counts(1000, 10);
+  EXPECT_DOUBLE_EQ(c.macs, 1000.0 + 100.0);  // d^3 + d^2
+  EXPECT_DOUBLE_EQ(c.divisions, 100.0);
+  EXPECT_DOUBLE_EQ(c.square_roots, 10.0);
+  EXPECT_DOUBLE_EQ(c.samples, 1000.0);
+}
+
+TEST(Ridge, Table3ModelReproducesShape) {
+  const auto rows = reproduce_table3(maxelerator_backend(32));
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    // Each modeled improvement should land within 2x of the published
+    // factor (16.8x - 39.8x band).
+    EXPECT_GT(r.model_improvement, 0.5 * r.paper_improvement) << r.name;
+    EXPECT_LT(r.model_improvement, 2.0 * r.paper_improvement) << r.name;
+    // The fitted baseline should land near the published runtime.
+    EXPECT_NEAR(r.model_baseline_s, r.paper_baseline_s,
+                0.6 * r.paper_baseline_s)
+        << r.name;
+  }
+  // Shape: the largest-d dataset improves the most, as in the paper.
+  EXPECT_GT(rows.front().model_improvement, rows.back().model_improvement);
+}
+
+TEST(Ridge, CostModelIsNonNegative) {
+  const RidgeCostModel m = fit_ridge_cost_model(maxelerator_backend(32));
+  EXPECT_GE(m.t_mac_us, 0.0);
+  EXPECT_GE(m.t_div_us, 0.0);
+  EXPECT_GE(m.t_sqrt_us, 0.0);
+  EXPECT_GE(m.t_sample_us, 0.0);
+  EXPECT_GT(m.t_mac_us + m.t_div_us + m.t_sqrt_us + m.t_sample_us, 0.0);
+}
+
+TEST(Recommender, TrainingConvergesOnSyntheticRatings) {
+  MfConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_items = 150;
+  cfg.num_ratings = 12000;  // dense enough for the factors to identify
+  cfg.dim = 4;
+  cfg.iterations = 25;
+  cfg.learning_rate = 0.08;
+  const auto ratings = make_synthetic_ratings(cfg);
+  ASSERT_EQ(ratings.size(), cfg.num_ratings);
+  const MfResult res = train_matrix_factorization(cfg, ratings);
+
+  ASSERT_EQ(res.rmse_per_iteration.size(), cfg.iterations);
+  EXPECT_LT(res.rmse_per_iteration.back(),
+            0.7 * res.rmse_per_iteration.front());
+  // Counted MACs: (prediction d + gradient 2d) per rating.
+  EXPECT_EQ(res.macs_per_iteration, cfg.num_ratings * 3 * cfg.dim);
+}
+
+TEST(Recommender, CaseModelReproducesHeadline) {
+  // With the Table 2 speedup band (>= 44x aggregate), the 2.9 h iteration
+  // drops to about 1 h, a 65-69% improvement — the paper's claim.
+  const RecommendationCase c;
+  const double speedup = backend_speedup(maxelerator_backend(32),
+                                         tinygarble_paper_backend(32, 16));
+  EXPECT_GT(speedup, 44.0);
+  const double ours = c.model_accelerated_hours(speedup);
+  EXPECT_NEAR(ours, 1.0, 0.05);
+  EXPECT_NEAR(c.model_improvement_percent(speedup), 66.0, 3.0);
+}
+
+TEST(Portfolio, CovarianceIsSpd) {
+  const auto cov = make_synthetic_covariance(5, 3);
+  // SPD check: Cholesky must succeed.
+  EXPECT_NO_THROW((void)fixed::cholesky_solve(cov, {1, 1, 1, 1, 1}));
+}
+
+TEST(Portfolio, RiskIsPositive) {
+  const auto cov = make_synthetic_covariance(4, 9);
+  const auto w = make_portfolio_weights(4, 10);
+  double sum = 0.0;
+  for (const double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(portfolio_risk(w, cov), 0.0);
+}
+
+TEST(Portfolio, TimingModelMatchesPaperOrder) {
+  const PortfolioCase c;
+  const PortfolioTiming t = portfolio_timing(
+      c, tinygarble_paper_backend(32), maxelerator_backend(32));
+  EXPECT_DOUBLE_EQ(t.macs, 252.0 * 6.0);
+  // Pure MAC garbling time under TinyGarble: ~0.99 s; the paper's 1.33 s
+  // total adds OT/host overhead — same order.
+  EXPECT_NEAR(t.tinygarble_s, c.paper_tinygarble_s, 0.5 * c.paper_tinygarble_s);
+  // MAXelerator side: sub-paper (their 15.23 ms total is host-dominated);
+  // ours is the garbling component and must be well below it.
+  EXPECT_LT(t.maxelerator_s, c.paper_maxelerator_s);
+  EXPECT_GT(t.speedup, 100.0);
+}
+
+
+TEST(KernelSolver, ConvergesToLeastSquares) {
+  // Eq. 2 gradient descent must reach the normal-equation solution.
+  const RidgeDataset data = make_synthetic_dataset("gd", 120, 6, 11, 0.0);
+  KernelSolverConfig cfg;
+  cfg.iterations = 5000;
+  cfg.tolerance = 1e-12;
+  const KernelSolveResult res = solve_kernel_gd(data.x, data.y, cfg);
+  const auto direct = fixed::least_squares(data.x, data.y);
+  for (std::size_t j = 0; j < 6; ++j)
+    EXPECT_NEAR(res.x[j], direct[j], 1e-5) << "coef " << j;
+  // Residuals must be non-increasing (fixed stable step).
+  for (std::size_t i = 1; i < res.residual_norms.size(); ++i)
+    EXPECT_LE(res.residual_norms[i], res.residual_norms[i - 1] + 1e-12);
+  EXPECT_EQ(res.macs_per_iteration, 2u * 120u * 6u);
+}
+
+TEST(KernelSolver, AutoStepIsStable) {
+  const RidgeDataset data = make_synthetic_dataset("gd2", 60, 10, 12, 0.1);
+  KernelSolverConfig cfg;
+  cfg.iterations = 200;
+  const KernelSolveResult res = solve_kernel_gd(data.x, data.y, cfg);
+  EXPECT_GT(res.step_size, 0.0);
+  EXPECT_LT(res.residual_norms.back(), res.residual_norms.front());
+}
+
+TEST(KernelSolver, SecureIterationCostFollowsBackends) {
+  const RidgeDataset data = make_synthetic_dataset("gd3", 100, 8, 13, 0.0);
+  KernelSolverConfig cfg;
+  cfg.iterations = 1;
+  const KernelSolveResult res = solve_kernel_gd(data.x, data.y, cfg);
+  const double sw = seconds_per_iteration(res, tinygarble_paper_backend(32));
+  const double hw = seconds_per_iteration(res, maxelerator_backend(32));
+  EXPECT_GT(sw / hw, 1000.0);  // device-level Table 2 gap
+}
+
+TEST(SecureLinalg, SecureDotMatchesPlaintext) {
+  const fixed::FixedFormat fmt{32, 8};
+  const std::vector<double> a = {1.5, -2.0, 0.25, 3.0};
+  const std::vector<double> x = {0.5, 1.0, -4.0, 2.0};
+  const SecureDotResult r = secure_dot(a, x, fmt);
+  EXPECT_NEAR(r.value, fixed::dot(a, x), 1e-9);
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_GT(r.table_bytes, 0u);
+  EXPECT_GT(r.garbler_bytes, r.table_bytes);  // tables + labels + OT
+}
+
+TEST(SecureLinalg, SecureMatVecMatchesPlaintext) {
+  const fixed::FixedFormat fmt{32, 8};
+  fixed::Matrix m(2, 3);
+  m(0, 0) = 1.0; m(0, 1) = 2.0; m(0, 2) = -1.5;
+  m(1, 0) = 0.5; m(1, 1) = -1.0; m(1, 2) = 4.0;
+  const std::vector<double> x = {2.0, -0.5, 1.0};
+  const SecureMatVecResult r = secure_matvec(m, x, fmt);
+  const std::vector<double> expect = m * x;
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], expect[0], 1e-9);
+  EXPECT_NEAR(r.values[1], expect[1], 1e-9);
+  EXPECT_EQ(r.total_rounds, 6u);
+}
+
+
+TEST(SecureLinalg, ScaledDotReturnsInputFormat) {
+  const fixed::FixedFormat fmt{16, 6};
+  const std::vector<double> a = {1.5, -2.25, 0.5, 3.0};
+  const std::vector<double> x = {2.0, 1.0, -4.0, 0.25};
+  const SecureDotResult r = secure_dot_scaled(a, x, fmt);
+  EXPECT_NEAR(r.value, fixed::dot(a, x), 4.0 * fmt.resolution());
+  EXPECT_EQ(r.rounds, 4u);
+}
+
+TEST(SecureLinalg, LengthMismatchThrows) {
+  const fixed::FixedFormat fmt{32, 8};
+  EXPECT_THROW((void)secure_dot({1.0}, {1.0, 2.0}, fmt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxel::ml

@@ -1,0 +1,159 @@
+// Precomputed garbling bank (Sec. 3's deployment model): sessions are
+// produced offline, served online with the exact wire format of the
+// on-demand garbler (the client cannot tell), sessions are single-use,
+// and labels differ across sessions.
+#include <gtest/gtest.h>
+
+#include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+#include "ot/precomputed_ot.hpp"
+#include "proto/precompute.hpp"
+#include "proto/protocol.hpp"
+
+namespace maxel::proto {
+namespace {
+
+using circuit::MacOptions;
+using circuit::to_bits;
+using crypto::Block;
+using crypto::SystemRandom;
+
+// Drives one full served session against the ordinary EvaluatorParty.
+std::uint64_t serve_session(const circuit::Circuit& c,
+                            PrecomputedSession session,
+                            const std::vector<std::uint64_t>& a_vals,
+                            const std::vector<std::uint64_t>& x_vals,
+                            std::size_t bits) {
+  auto [g_ch, e_ch] = MemoryChannel::create_pair();
+  SystemRandom g_rng(Block{1, 1});
+  SystemRandom e_rng(Block{1, 2});
+  PrecomputedGarblerParty garbler(std::move(session), *g_ch, g_rng);
+  ProtocolOptions opt;
+  opt.ot = OtMode::kBase;  // PrecomputedGarblerParty serves base OT
+  EvaluatorParty evaluator(c, opt, *e_ch, e_rng);
+
+  std::vector<bool> out;
+  for (std::size_t r = 0; r < a_vals.size(); ++r) {
+    garbler.garble_and_send(to_bits(a_vals[r], bits));
+    evaluator.receive_and_choose(to_bits(x_vals[r], bits));
+    garbler.finish_ot();
+    out = evaluator.evaluate_round();
+  }
+  return circuit::from_bits(out);
+}
+
+TEST(GarblingBank, ServedSessionComputesCorrectMac) {
+  const MacOptions mac{8, 8, true};
+  const circuit::Circuit c = circuit::make_mac_circuit(mac);
+  GarblingBank bank(c, gc::Scheme::kHalfGates, /*rounds_per_session=*/6);
+  SystemRandom rng(Block{3, 3});
+  bank.precompute(2, rng);
+  EXPECT_EQ(bank.stats().sessions_ready, 2u);
+  EXPECT_GT(bank.stats().stored_bytes, 0u);
+
+  crypto::Prg prg(Block{4, 4});
+  std::vector<std::uint64_t> a(6), x(6);
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    a[i] = prg.next_u64() & 0xFF;
+    x[i] = prg.next_u64() & 0xFF;
+    expect = circuit::mac_reference(expect, a[i], x[i], mac);
+  }
+  EXPECT_EQ(serve_session(c, bank.take_session(), a, x, 8), expect);
+  EXPECT_EQ(bank.stats().sessions_served, 1u);
+  EXPECT_EQ(bank.stats().sessions_ready, 1u);
+}
+
+TEST(GarblingBank, SessionsAreSingleUseAndExhaust) {
+  const circuit::Circuit c = circuit::make_millionaires_circuit(8);
+  GarblingBank bank(c, gc::Scheme::kHalfGates, 1);
+  SystemRandom rng(Block{5, 5});
+  bank.precompute(1, rng);
+  (void)bank.take_session();
+  EXPECT_THROW((void)bank.take_session(), std::runtime_error);
+}
+
+TEST(GarblingBank, FreshLabelsPerSession) {
+  // Sec. 3: "even if the model does not change, new labels are required
+  // for every garbling operation to ensure security."
+  const circuit::Circuit c = circuit::make_millionaires_circuit(8);
+  GarblingBank bank(c, gc::Scheme::kHalfGates, 1);
+  SystemRandom rng(Block{6, 6});
+  bank.precompute(2, rng);
+  const auto s1 = bank.take_session();
+  const auto s2 = bank.take_session();
+  EXPECT_NE(s1.delta, s2.delta);
+  EXPECT_NE(s1.rounds[0].garbler_labels0[0], s2.rounds[0].garbler_labels0[0]);
+  EXPECT_NE(s1.rounds[0].tables.tables[0], s2.rounds[0].tables.tables[0]);
+}
+
+TEST(GarblingBank, ServedSessionExhaustsAfterItsRounds) {
+  const circuit::Circuit c = circuit::make_millionaires_circuit(4);
+  GarblingBank bank(c, gc::Scheme::kHalfGates, 1);
+  SystemRandom rng(Block{7, 7});
+  bank.precompute(1, rng);
+
+  auto [g_ch, e_ch] = MemoryChannel::create_pair();
+  SystemRandom g_rng(Block{8, 1});
+  PrecomputedGarblerParty garbler(bank.take_session(), *g_ch, g_rng);
+  garbler.garble_and_send(to_bits(3, 4));
+  EXPECT_THROW(garbler.garble_and_send(to_bits(3, 4)), std::runtime_error);
+}
+
+
+TEST(GarblingBank, FullyOfflineServingWithBeaverOt) {
+  // Precomputed tables + precomputed OT: the online phase is transfer
+  // and XOR only, and still decodes the right MAC.
+  const MacOptions mac{8, 8, true};
+  const circuit::Circuit c = circuit::make_mac_circuit(mac);
+  GarblingBank bank(c, gc::Scheme::kHalfGates, 4);
+  SystemRandom rng(Block{21, 1});
+  bank.precompute(1, rng);
+
+  // Offline OT pool over base OT.
+  auto [po_s, po_r] = MemoryChannel::create_pair();
+  SystemRandom s_rng(Block{21, 2});
+  SystemRandom e_rng(Block{21, 3});
+  ot::BaseOtSender pool_s(*po_s, s_rng);
+  ot::BaseOtReceiver pool_r(*po_r, e_rng);
+  const ot::OtPool pool =
+      ot::precompute_ot_pool(pool_s, pool_r, 4 * 8, s_rng, e_rng);
+
+  auto [g_ch, e_ch] = MemoryChannel::create_pair();
+  ot::PrecomputedOtSender ot_s(*g_ch, pool.sender_pairs);
+  ot::PrecomputedOtReceiver ot_r(*e_ch, pool.choices, pool.received);
+  PrecomputedGarblerParty garbler(bank.take_session(), *g_ch, ot_s);
+  EvaluatorParty evaluator(c, gc::Scheme::kHalfGates, *e_ch, ot_r);
+
+  crypto::Prg prg(Block{22, 22});
+  std::uint64_t expect = 0;
+  std::vector<bool> out;
+  for (int r = 0; r < 4; ++r) {
+    const std::uint64_t a = prg.next_u64() & 0xFF;
+    const std::uint64_t x = prg.next_u64() & 0xFF;
+    expect = circuit::mac_reference(expect, a, x, mac);
+    garbler.garble_and_send(to_bits(a, 8));
+    evaluator.receive_and_choose(to_bits(x, 8));
+    garbler.finish_ot();
+    out = evaluator.evaluate_round();
+  }
+  EXPECT_EQ(circuit::from_bits(out), expect);
+}
+
+TEST(GarblingBank, MillionairesEndToEnd) {
+  const circuit::Circuit c = circuit::make_millionaires_circuit(16);
+  GarblingBank bank(c, gc::Scheme::kHalfGates, 1);
+  SystemRandom rng(Block{9, 9});
+  bank.precompute(3, rng);
+
+  const auto run = [&](std::uint64_t a, std::uint64_t b) {
+    return serve_session(c, bank.take_session(), {a}, {b}, 16) != 0;
+  };
+  EXPECT_TRUE(run(100, 200));
+  EXPECT_FALSE(run(200, 100));
+  EXPECT_FALSE(run(150, 150));
+}
+
+}  // namespace
+}  // namespace maxel::proto

@@ -1,0 +1,107 @@
+// Session persistence: byte-exact round trips, a served-after-reload
+// end-to-end run, and malformed-stream rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+#include "proto/precompute.hpp"
+#include "proto/protocol.hpp"
+#include "proto/session_io.hpp"
+
+namespace maxel::proto {
+namespace {
+
+using circuit::MacOptions;
+using circuit::to_bits;
+using crypto::Block;
+using crypto::SystemRandom;
+
+PrecomputedSession make_session(const circuit::Circuit& c, std::size_t rounds,
+                                std::uint64_t seed) {
+  GarblingBank bank(c, gc::Scheme::kHalfGates, rounds);
+  SystemRandom rng(Block{seed, 0x10});
+  bank.precompute(1, rng);
+  return bank.take_session();
+}
+
+TEST(SessionIo, RoundTripIsExact) {
+  const circuit::Circuit c = circuit::make_mac_circuit(MacOptions{8, 8, true});
+  const PrecomputedSession s = make_session(c, 4, 1);
+
+  std::stringstream buf;
+  save_session(s, buf);
+  const PrecomputedSession t = load_session(buf);
+
+  EXPECT_EQ(t.scheme, s.scheme);
+  EXPECT_EQ(t.delta, s.delta);
+  ASSERT_EQ(t.rounds.size(), s.rounds.size());
+  for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+    EXPECT_EQ(t.rounds[r].tables.tables, s.rounds[r].tables.tables);
+    EXPECT_EQ(t.rounds[r].garbler_labels0, s.rounds[r].garbler_labels0);
+    EXPECT_EQ(t.rounds[r].evaluator_pairs, s.rounds[r].evaluator_pairs);
+    EXPECT_EQ(t.rounds[r].fixed_labels, s.rounds[r].fixed_labels);
+    EXPECT_EQ(t.rounds[r].output_map, s.rounds[r].output_map);
+  }
+  EXPECT_EQ(t.initial_state_labels, s.initial_state_labels);
+}
+
+TEST(SessionIo, ReloadedSessionServesCorrectly) {
+  const MacOptions mac{8, 8, true};
+  const circuit::Circuit c = circuit::make_mac_circuit(mac);
+  std::stringstream buf;
+  save_session(make_session(c, 5, 2), buf);
+  PrecomputedSession reloaded = load_session(buf);
+
+  auto [g_ch, e_ch] = MemoryChannel::create_pair();
+  SystemRandom g_rng(Block{3, 1});
+  SystemRandom e_rng(Block{3, 2});
+  PrecomputedGarblerParty garbler(std::move(reloaded), *g_ch, g_rng);
+  ProtocolOptions opt;
+  opt.ot = OtMode::kBase;
+  EvaluatorParty evaluator(c, opt, *e_ch, e_rng);
+
+  crypto::Prg prg(Block{4, 4});
+  std::uint64_t expect = 0;
+  std::vector<bool> out;
+  for (int r = 0; r < 5; ++r) {
+    const std::uint64_t a = prg.next_u64() & 0xFF;
+    const std::uint64_t x = prg.next_u64() & 0xFF;
+    expect = circuit::mac_reference(expect, a, x, mac);
+    garbler.garble_and_send(to_bits(a, 8));
+    evaluator.receive_and_choose(to_bits(x, 8));
+    garbler.finish_ot();
+    out = evaluator.evaluate_round();
+  }
+  EXPECT_EQ(circuit::from_bits(out), expect);
+}
+
+TEST(SessionIo, FileRoundTrip) {
+  const circuit::Circuit c = circuit::make_millionaires_circuit(8);
+  const PrecomputedSession s = make_session(c, 1, 5);
+  const std::string path = "/tmp/maxel_session_test.bin";
+  save_session_file(s, path);
+  const PrecomputedSession t = load_session_file(path);
+  EXPECT_EQ(t.delta, s.delta);
+  EXPECT_EQ(t.rounds.size(), 1u);
+}
+
+TEST(SessionIo, RejectsCorruptStreams) {
+  EXPECT_THROW((void)load_session_file("/nonexistent/nope.bin"),
+               std::runtime_error);
+
+  std::stringstream bad_magic("NOTASESSIONxxxxxxxxxxxxxxxxx");
+  EXPECT_THROW((void)load_session(bad_magic), std::runtime_error);
+
+  const circuit::Circuit c = circuit::make_millionaires_circuit(4);
+  std::stringstream buf;
+  save_session(make_session(c, 1, 6), buf);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_session(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace maxel::proto
