@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiplier.dir/ablation_multiplier.cpp.o"
+  "CMakeFiles/ablation_multiplier.dir/ablation_multiplier.cpp.o.d"
+  "ablation_multiplier"
+  "ablation_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

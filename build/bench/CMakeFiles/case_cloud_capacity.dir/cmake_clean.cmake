@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_cloud_capacity.dir/case_cloud_capacity.cpp.o"
+  "CMakeFiles/case_cloud_capacity.dir/case_cloud_capacity.cpp.o.d"
+  "case_cloud_capacity"
+  "case_cloud_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_cloud_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_kernel_solver.dir/case_kernel_solver.cpp.o"
+  "CMakeFiles/case_kernel_solver.dir/case_kernel_solver.cpp.o.d"
+  "case_kernel_solver"
+  "case_kernel_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_kernel_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

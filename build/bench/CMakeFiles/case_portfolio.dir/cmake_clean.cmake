@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_portfolio.dir/case_portfolio.cpp.o"
+  "CMakeFiles/case_portfolio.dir/case_portfolio.cpp.o.d"
+  "case_portfolio"
+  "case_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

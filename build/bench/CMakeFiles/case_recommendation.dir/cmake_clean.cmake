@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_recommendation.dir/case_recommendation.cpp.o"
+  "CMakeFiles/case_recommendation.dir/case_recommendation.cpp.o.d"
+  "case_recommendation"
+  "case_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tree_multiplier.dir/fig2_tree_multiplier.cpp.o"
+  "CMakeFiles/fig2_tree_multiplier.dir/fig2_tree_multiplier.cpp.o.d"
+  "fig2_tree_multiplier"
+  "fig2_tree_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tree_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

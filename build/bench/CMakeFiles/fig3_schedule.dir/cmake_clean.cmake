@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_schedule.dir/fig3_schedule.cpp.o"
+  "CMakeFiles/fig3_schedule.dir/fig3_schedule.cpp.o.d"
+  "fig3_schedule"
+  "fig3_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bitwidth_sweep.dir/fig_bitwidth_sweep.cpp.o"
+  "CMakeFiles/fig_bitwidth_sweep.dir/fig_bitwidth_sweep.cpp.o.d"
+  "fig_bitwidth_sweep"
+  "fig_bitwidth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bitwidth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

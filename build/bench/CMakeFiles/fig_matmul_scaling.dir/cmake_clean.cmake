@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_matmul_scaling.dir/fig_matmul_scaling.cpp.o"
+  "CMakeFiles/fig_matmul_scaling.dir/fig_matmul_scaling.cpp.o.d"
+  "fig_matmul_scaling"
+  "fig_matmul_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_matmul_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

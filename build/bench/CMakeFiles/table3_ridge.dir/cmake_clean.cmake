@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ridge.dir/table3_ridge.cpp.o"
+  "CMakeFiles/table3_ridge.dir/table3_ridge.cpp.o.d"
+  "table3_ridge"
+  "table3_ridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxelerator_sim.dir/maxelerator_sim.cpp.o"
+  "CMakeFiles/maxelerator_sim.dir/maxelerator_sim.cpp.o.d"
+  "maxelerator_sim"
+  "maxelerator_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxelerator_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_risk.dir/portfolio_risk.cpp.o"
+  "CMakeFiles/portfolio_risk.dir/portfolio_risk.cpp.o.d"
+  "portfolio_risk"
+  "portfolio_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_cnn.dir/private_cnn.cpp.o"
+  "CMakeFiles/private_cnn.dir/private_cnn.cpp.o.d"
+  "private_cnn"
+  "private_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_ridge.dir/private_ridge.cpp.o"
+  "CMakeFiles/private_ridge.dir/private_ridge.cpp.o.d"
+  "private_ridge"
+  "private_ridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_baseline.dir/overlay.cpp.o"
+  "CMakeFiles/maxel_baseline.dir/overlay.cpp.o.d"
+  "CMakeFiles/maxel_baseline.dir/overlay_sim.cpp.o"
+  "CMakeFiles/maxel_baseline.dir/overlay_sim.cpp.o.d"
+  "CMakeFiles/maxel_baseline.dir/tinygarble.cpp.o"
+  "CMakeFiles/maxel_baseline.dir/tinygarble.cpp.o.d"
+  "libmaxel_baseline.a"
+  "libmaxel_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

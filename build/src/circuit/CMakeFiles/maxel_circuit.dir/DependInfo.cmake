@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/arith_ext.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/arith_ext.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/arith_ext.cpp.o.d"
+  "/root/repo/src/circuit/bristol.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/bristol.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/bristol.cpp.o.d"
+  "/root/repo/src/circuit/builder.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/builder.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/builder.cpp.o.d"
+  "/root/repo/src/circuit/circuits.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/circuits.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/circuits.cpp.o.d"
+  "/root/repo/src/circuit/ml_blocks.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/ml_blocks.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/ml_blocks.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/optimize.cpp" "src/circuit/CMakeFiles/maxel_circuit.dir/optimize.cpp.o" "gcc" "src/circuit/CMakeFiles/maxel_circuit.dir/optimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/maxel_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_circuit.dir/arith_ext.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/arith_ext.cpp.o.d"
+  "CMakeFiles/maxel_circuit.dir/bristol.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/bristol.cpp.o.d"
+  "CMakeFiles/maxel_circuit.dir/builder.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/builder.cpp.o.d"
+  "CMakeFiles/maxel_circuit.dir/circuits.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/circuits.cpp.o.d"
+  "CMakeFiles/maxel_circuit.dir/ml_blocks.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/ml_blocks.cpp.o.d"
+  "CMakeFiles/maxel_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/maxel_circuit.dir/optimize.cpp.o"
+  "CMakeFiles/maxel_circuit.dir/optimize.cpp.o.d"
+  "libmaxel_circuit.a"
+  "libmaxel_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_core.dir/hw_netlist.cpp.o"
+  "CMakeFiles/maxel_core.dir/hw_netlist.cpp.o.d"
+  "CMakeFiles/maxel_core.dir/matmul.cpp.o"
+  "CMakeFiles/maxel_core.dir/matmul.cpp.o.d"
+  "CMakeFiles/maxel_core.dir/maxelerator.cpp.o"
+  "CMakeFiles/maxel_core.dir/maxelerator.cpp.o.d"
+  "CMakeFiles/maxel_core.dir/schedule.cpp.o"
+  "CMakeFiles/maxel_core.dir/schedule.cpp.o.d"
+  "libmaxel_core.a"
+  "libmaxel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

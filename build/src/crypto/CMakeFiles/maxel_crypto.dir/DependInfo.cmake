@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/maxel_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/maxel_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/block.cpp" "src/crypto/CMakeFiles/maxel_crypto.dir/block.cpp.o" "gcc" "src/crypto/CMakeFiles/maxel_crypto.dir/block.cpp.o.d"
+  "/root/repo/src/crypto/randomness_tests.cpp" "src/crypto/CMakeFiles/maxel_crypto.dir/randomness_tests.cpp.o" "gcc" "src/crypto/CMakeFiles/maxel_crypto.dir/randomness_tests.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/crypto/CMakeFiles/maxel_crypto.dir/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/maxel_crypto.dir/rng.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/maxel_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/maxel_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/maxel_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/maxel_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_crypto.dir/aes.cpp.o"
+  "CMakeFiles/maxel_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/maxel_crypto.dir/block.cpp.o"
+  "CMakeFiles/maxel_crypto.dir/block.cpp.o.d"
+  "CMakeFiles/maxel_crypto.dir/randomness_tests.cpp.o"
+  "CMakeFiles/maxel_crypto.dir/randomness_tests.cpp.o.d"
+  "CMakeFiles/maxel_crypto.dir/rng.cpp.o"
+  "CMakeFiles/maxel_crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/maxel_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/maxel_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/maxel_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/maxel_crypto.dir/sha256.cpp.o.d"
+  "libmaxel_crypto.a"
+  "libmaxel_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_fixed.dir/matrix.cpp.o"
+  "CMakeFiles/maxel_fixed.dir/matrix.cpp.o.d"
+  "libmaxel_fixed.a"
+  "libmaxel_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/garble.cpp" "src/gc/CMakeFiles/maxel_gc.dir/garble.cpp.o" "gcc" "src/gc/CMakeFiles/maxel_gc.dir/garble.cpp.o.d"
+  "/root/repo/src/gc/scheme.cpp" "src/gc/CMakeFiles/maxel_gc.dir/scheme.cpp.o" "gcc" "src/gc/CMakeFiles/maxel_gc.dir/scheme.cpp.o.d"
+  "/root/repo/src/gc/streaming_evaluator.cpp" "src/gc/CMakeFiles/maxel_gc.dir/streaming_evaluator.cpp.o" "gcc" "src/gc/CMakeFiles/maxel_gc.dir/streaming_evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/maxel_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/maxel_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

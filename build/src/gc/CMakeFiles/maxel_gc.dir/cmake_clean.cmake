@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_gc.dir/garble.cpp.o"
+  "CMakeFiles/maxel_gc.dir/garble.cpp.o.d"
+  "CMakeFiles/maxel_gc.dir/scheme.cpp.o"
+  "CMakeFiles/maxel_gc.dir/scheme.cpp.o.d"
+  "CMakeFiles/maxel_gc.dir/streaming_evaluator.cpp.o"
+  "CMakeFiles/maxel_gc.dir/streaming_evaluator.cpp.o.d"
+  "libmaxel_gc.a"
+  "libmaxel_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_hwsim.dir/resource_model.cpp.o"
+  "CMakeFiles/maxel_hwsim.dir/resource_model.cpp.o.d"
+  "libmaxel_hwsim.a"
+  "libmaxel_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/kernel_solver.cpp" "src/ml/CMakeFiles/maxel_ml.dir/kernel_solver.cpp.o" "gcc" "src/ml/CMakeFiles/maxel_ml.dir/kernel_solver.cpp.o.d"
+  "/root/repo/src/ml/mac_cost_model.cpp" "src/ml/CMakeFiles/maxel_ml.dir/mac_cost_model.cpp.o" "gcc" "src/ml/CMakeFiles/maxel_ml.dir/mac_cost_model.cpp.o.d"
+  "/root/repo/src/ml/portfolio.cpp" "src/ml/CMakeFiles/maxel_ml.dir/portfolio.cpp.o" "gcc" "src/ml/CMakeFiles/maxel_ml.dir/portfolio.cpp.o.d"
+  "/root/repo/src/ml/recommender.cpp" "src/ml/CMakeFiles/maxel_ml.dir/recommender.cpp.o" "gcc" "src/ml/CMakeFiles/maxel_ml.dir/recommender.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/ml/CMakeFiles/maxel_ml.dir/ridge.cpp.o" "gcc" "src/ml/CMakeFiles/maxel_ml.dir/ridge.cpp.o.d"
+  "/root/repo/src/ml/secure_linalg.cpp" "src/ml/CMakeFiles/maxel_ml.dir/secure_linalg.cpp.o" "gcc" "src/ml/CMakeFiles/maxel_ml.dir/secure_linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixed/CMakeFiles/maxel_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/maxel_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/maxel_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/maxel_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/maxel_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ot/CMakeFiles/maxel_ot.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/maxel_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/maxel_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_ml.dir/kernel_solver.cpp.o"
+  "CMakeFiles/maxel_ml.dir/kernel_solver.cpp.o.d"
+  "CMakeFiles/maxel_ml.dir/mac_cost_model.cpp.o"
+  "CMakeFiles/maxel_ml.dir/mac_cost_model.cpp.o.d"
+  "CMakeFiles/maxel_ml.dir/portfolio.cpp.o"
+  "CMakeFiles/maxel_ml.dir/portfolio.cpp.o.d"
+  "CMakeFiles/maxel_ml.dir/recommender.cpp.o"
+  "CMakeFiles/maxel_ml.dir/recommender.cpp.o.d"
+  "CMakeFiles/maxel_ml.dir/ridge.cpp.o"
+  "CMakeFiles/maxel_ml.dir/ridge.cpp.o.d"
+  "CMakeFiles/maxel_ml.dir/secure_linalg.cpp.o"
+  "CMakeFiles/maxel_ml.dir/secure_linalg.cpp.o.d"
+  "libmaxel_ml.a"
+  "libmaxel_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

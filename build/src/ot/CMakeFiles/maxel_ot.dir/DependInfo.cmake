@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ot/base_ot.cpp" "src/ot/CMakeFiles/maxel_ot.dir/base_ot.cpp.o" "gcc" "src/ot/CMakeFiles/maxel_ot.dir/base_ot.cpp.o.d"
+  "/root/repo/src/ot/iknp.cpp" "src/ot/CMakeFiles/maxel_ot.dir/iknp.cpp.o" "gcc" "src/ot/CMakeFiles/maxel_ot.dir/iknp.cpp.o.d"
+  "/root/repo/src/ot/precomputed_ot.cpp" "src/ot/CMakeFiles/maxel_ot.dir/precomputed_ot.cpp.o" "gcc" "src/ot/CMakeFiles/maxel_ot.dir/precomputed_ot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/maxel_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

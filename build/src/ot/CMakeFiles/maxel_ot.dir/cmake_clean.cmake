@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_ot.dir/base_ot.cpp.o"
+  "CMakeFiles/maxel_ot.dir/base_ot.cpp.o.d"
+  "CMakeFiles/maxel_ot.dir/iknp.cpp.o"
+  "CMakeFiles/maxel_ot.dir/iknp.cpp.o.d"
+  "CMakeFiles/maxel_ot.dir/precomputed_ot.cpp.o"
+  "CMakeFiles/maxel_ot.dir/precomputed_ot.cpp.o.d"
+  "libmaxel_ot.a"
+  "libmaxel_ot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_ot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxel_proto.dir/precompute.cpp.o"
+  "CMakeFiles/maxel_proto.dir/precompute.cpp.o.d"
+  "CMakeFiles/maxel_proto.dir/protocol.cpp.o"
+  "CMakeFiles/maxel_proto.dir/protocol.cpp.o.d"
+  "CMakeFiles/maxel_proto.dir/session_io.cpp.o"
+  "CMakeFiles/maxel_proto.dir/session_io.cpp.o.d"
+  "libmaxel_proto.a"
+  "libmaxel_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxel_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

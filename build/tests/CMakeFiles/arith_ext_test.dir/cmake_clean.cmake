@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_ext_test.dir/arith_ext_test.cpp.o"
+  "CMakeFiles/arith_ext_test.dir/arith_ext_test.cpp.o.d"
+  "arith_ext_test"
+  "arith_ext_test.pdb"
+  "arith_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

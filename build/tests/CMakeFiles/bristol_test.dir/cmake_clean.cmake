@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bristol_test.dir/bristol_test.cpp.o"
+  "CMakeFiles/bristol_test.dir/bristol_test.cpp.o.d"
+  "bristol_test"
+  "bristol_test.pdb"
+  "bristol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bristol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

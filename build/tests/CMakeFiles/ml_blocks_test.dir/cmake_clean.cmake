@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_blocks_test.dir/ml_blocks_test.cpp.o"
+  "CMakeFiles/ml_blocks_test.dir/ml_blocks_test.cpp.o.d"
+  "ml_blocks_test"
+  "ml_blocks_test.pdb"
+  "ml_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

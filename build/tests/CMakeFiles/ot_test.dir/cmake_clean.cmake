@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_test.dir/ot_test.cpp.o"
+  "CMakeFiles/ot_test.dir/ot_test.cpp.o.d"
+  "ot_test"
+  "ot_test.pdb"
+  "ot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

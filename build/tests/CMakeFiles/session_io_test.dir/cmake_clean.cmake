@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_io_test.dir/session_io_test.cpp.o"
+  "CMakeFiles/session_io_test.dir/session_io_test.cpp.o.d"
+  "session_io_test"
+  "session_io_test.pdb"
+  "session_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/ot_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/hwsim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/fixed_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/arith_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/bristol_test[1]_include.cmake")
+include("/root/repo/build/tests/matmul_test[1]_include.cmake")
+include("/root/repo/build/tests/precompute_test[1]_include.cmake")
+include("/root/repo/build/tests/optimize_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/session_io_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_blocks_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_test[1]_include.cmake")

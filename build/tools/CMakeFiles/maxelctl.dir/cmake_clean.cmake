@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxelctl.dir/maxelctl.cpp.o"
+  "CMakeFiles/maxelctl.dir/maxelctl.cpp.o.d"
+  "maxelctl"
+  "maxelctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxelctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(maxelctl_circuit "/root/repo/build/tools/maxelctl" "circuit" "mult" "--bits" "8" "--optimize")
+set_tests_properties(maxelctl_circuit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(maxelctl_simulate "/root/repo/build/tools/maxelctl" "simulate" "--bits" "8" "--rounds" "6")
+set_tests_properties(maxelctl_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(maxelctl_bench_mac "/root/repo/build/tools/maxelctl" "bench-mac" "--bits" "8" "--rounds" "50")
+set_tests_properties(maxelctl_bench_mac PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(maxelctl_bank "/root/repo/build/tools/maxelctl" "bank" "--bits" "8" "--rounds" "2" "--sessions" "1" "--out" "/root/repo/build/tools/session_test")
+set_tests_properties(maxelctl_bank PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(maxelctl_usage_error "/root/repo/build/tools/maxelctl" "bogus")
+set_tests_properties(maxelctl_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
