@@ -1,0 +1,134 @@
+// GC-core scaling of the parallel garbling engine (tentpole bench).
+//
+// Sweeps the GcCorePool core count for a fixed secure matrix product
+// and reports wall-clock, tables/sec, MAC/sec and speedup vs 1 core —
+// the software analogue of the paper's "k GC cores, one table per core
+// per clock" scaling argument (Sec. 5.1, Tables 1-2). Results land in
+// BENCH_core_scaling.json so later PRs can track the trajectory.
+//
+// Usage: fig_core_scaling [N M P bit_width [max_cores]]
+//   defaults: 8 8 8 8, max_cores = max(8, hardware_concurrency)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/matmul.hpp"
+#include "crypto/prg.hpp"
+
+namespace {
+
+using maxel::crypto::Block;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 8, m = 8, p = 8, b = 8;
+  if (argc >= 5) {
+    n = std::strtoull(argv[1], nullptr, 10);
+    m = std::strtoull(argv[2], nullptr, 10);
+    p = std::strtoull(argv[3], nullptr, 10);
+    b = std::strtoull(argv[4], nullptr, 10);
+  }
+  if (n == 0 || m == 0 || p == 0 || b == 0 || b > 64) {
+    std::fprintf(stderr,
+                 "usage: fig_core_scaling [N M P bit_width [max_cores]] "
+                 "(all dims >= 1, bit_width 1..64)\n");
+    return 2;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::size_t max_cores = hw > 8 ? hw : 8;
+  if (argc >= 6) max_cores = std::strtoull(argv[5], nullptr, 10);
+  if (max_cores == 0) max_cores = 1;
+
+  maxel::bench::header("GC-core scaling: parallel_matmul " +
+                       std::to_string(n) + "x" + std::to_string(m) + "x" +
+                       std::to_string(p) + " @ " + std::to_string(b) +
+                       " bit");
+  std::printf("host threads: %u, AES backend: %s\n", hw,
+              maxel::crypto::aes_backend_name(
+                  maxel::crypto::aes_active_backend()));
+
+  // Deterministic operands.
+  maxel::crypto::Prg prg(Block{0xC0DE, 0xBEEF});
+  std::vector<std::vector<std::uint64_t>> a(n, std::vector<std::uint64_t>(m));
+  std::vector<std::vector<std::uint64_t>> x(m, std::vector<std::uint64_t>(p));
+  for (auto& row : a)
+    for (auto& v : row) v = prg.next_u64();
+  for (auto& row : x)
+    for (auto& v : row) v = prg.next_u64();
+
+  const double total_macs = static_cast<double>(n) * static_cast<double>(m) *
+                            static_cast<double>(p);
+  maxel::bench::JsonReporter rep("core_scaling");
+  maxel::bench::rule(86);
+  std::printf("%7s %10s %12s %12s %9s %9s %9s\n", "cores", "wall_s",
+              "tables/s", "MAC/s", "speedup", "util", "ok");
+  maxel::bench::rule(86);
+
+  double base_wall = 0.0;
+  for (std::size_t cores = 1; cores <= max_cores; cores *= 2) {
+    const double t0 = now_seconds();
+    const auto res = maxel::core::parallel_matmul(a, x, b, Block{42, 2018},
+                                                  cores);
+    const double wall = now_seconds() - t0;
+    if (cores == 1) base_wall = wall;
+
+    // Per-core utilization of the modeled GC datapath, averaged over the
+    // cores that did work (the paper's busy/idle slot accounting).
+    double util = 0.0;
+    std::size_t active_cores = 0;
+    for (const auto& st : res.core_stats) {
+      if (st.busy_slots + st.idle_slots == 0) continue;
+      util += st.utilization();
+      ++active_cores;
+    }
+    if (active_cores > 0) util /= static_cast<double>(active_cores);
+
+    const double tables_per_sec = static_cast<double>(res.tables) / wall;
+    const double mac_per_sec = total_macs / wall;
+    const double speedup = base_wall / wall;
+
+    std::printf("%7zu %10.3f %12s %12s %9.2f %9.2f %9s\n", cores, wall,
+                maxel::bench::sci(tables_per_sec).c_str(),
+                maxel::bench::sci(mac_per_sec).c_str(), speedup, util,
+                res.verified ? "yes" : "NO");
+
+    rep.row()
+        .num("rows", static_cast<std::uint64_t>(n))
+        .num("inner", static_cast<std::uint64_t>(m))
+        .num("cols", static_cast<std::uint64_t>(p))
+        .num("bit_width", static_cast<std::uint64_t>(b))
+        .num("cores", static_cast<std::uint64_t>(cores))
+        .num("host_threads", static_cast<std::uint64_t>(hw))
+        .str("aes_backend",
+             maxel::crypto::aes_backend_name(
+                 maxel::crypto::aes_active_backend()))
+        .num("wall_seconds", wall)
+        .num("tables", res.tables)
+        .num("tables_per_sec", tables_per_sec)
+        .num("mac_per_sec", mac_per_sec)
+        .num("speedup_vs_1core", speedup)
+        .num("mean_core_utilization", util)
+        .boolean("verified", res.verified);
+
+    if (!res.verified) {
+      std::fprintf(stderr, "FAIL: product did not verify at %zu cores\n",
+                   cores);
+      return 1;
+    }
+  }
+  maxel::bench::rule(86);
+
+  const std::string path = rep.write();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

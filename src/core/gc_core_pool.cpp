@@ -1,0 +1,99 @@
+#include "core/gc_core_pool.hpp"
+
+#include "crypto/prg.hpp"
+
+namespace maxel::core {
+
+namespace {
+
+std::size_t resolve_cores(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+GcCorePool::GcCorePool(std::size_t cores, const crypto::Block& root_seed)
+    : cores_(resolve_cores(cores)) {
+  // Derive one independent seed per core from the root seed; block #c of
+  // PRG(root_seed) is core c's seed, so adding cores never perturbs the
+  // streams of existing ones.
+  crypto::Prg seeder(root_seed);
+  core_rngs_.reserve(cores_);
+  for (std::size_t c = 0; c < cores_; ++c)
+    core_rngs_.emplace_back(seeder.next_block());
+
+  jobs_.resize(cores_);
+  threads_.reserve(cores_ > 0 ? cores_ - 1 : 0);
+  for (std::size_t c = 1; c < cores_; ++c)
+    threads_.emplace_back([this, c] { worker_loop(c); });
+}
+
+GcCorePool::~GcCorePool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void GcCorePool::run_range(const Job& job, std::size_t core) {
+  for (std::size_t i = job.begin; i < job.end; ++i) {
+    try {
+      (*job.fn)(i, core);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      break;
+    }
+  }
+}
+
+void GcCorePool::worker_loop(std::size_t core) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = jobs_[core];
+    }
+    if (job.fn != nullptr) run_range(job, core);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void GcCorePool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    first_error_ = nullptr;
+    for (std::size_t c = 0; c < cores_; ++c) {
+      jobs_[c].begin = c * n / cores_;
+      jobs_[c].end = (c + 1) * n / cores_;
+      jobs_[c].fn = &fn;
+    }
+    pending_ = cores_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  // Core 0 works on the calling thread.
+  run_range(jobs_[0], 0);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return pending_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace maxel::core

@@ -1,0 +1,83 @@
+// Thread-pooled software GC cores.
+//
+// The paper's GC engine (Sec. 5.1) instantiates k identical GC cores,
+// each garbling one half-gates table per clock from its own label
+// stream; throughput-per-core is the figure of merit (Tables 1-2).
+// GcCorePool is the software analogue: a fixed pool of worker threads,
+// one logical GC core per worker, each with a private deterministic
+// RandomSource derived from a root seed so a run is reproducible for a
+// fixed (seed, core count) regardless of OS scheduling.
+//
+// Work is sharded statically: parallel_for splits [0, n) into one
+// contiguous range per core (cells/tiles of a matrix product), so the
+// items a given core processes — and therefore each core's label
+// stream and per-core stats — are a pure function of (n, cores).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "crypto/block.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel::core {
+
+class GcCorePool {
+ public:
+  // `cores` == 0 picks std::thread::hardware_concurrency() (min 1).
+  // Every core's RandomSource is seeded as PRG(root_seed) block #core,
+  // so pools built from the same root seed are interchangeable.
+  explicit GcCorePool(std::size_t cores, const crypto::Block& root_seed);
+  ~GcCorePool();
+
+  GcCorePool(const GcCorePool&) = delete;
+  GcCorePool& operator=(const GcCorePool&) = delete;
+
+  [[nodiscard]] std::size_t cores() const { return cores_; }
+
+  // This core's private entropy stream. Only call from inside `fn` with
+  // the core index `fn` was handed (or from the owning thread between
+  // parallel_for calls).
+  [[nodiscard]] crypto::RandomSource& core_rng(std::size_t core) {
+    return core_rngs_[core];
+  }
+
+  // Runs fn(item, core) for every item in [0, n); blocks until all
+  // items completed. Core c handles the contiguous range
+  // [c*n/cores, (c+1)*n/cores). Core 0's share runs on the calling
+  // thread so a 1-core pool degenerates to a plain serial loop.
+  // Exceptions thrown by fn are captured and rethrown here (first one
+  // wins; remaining items of that core are skipped).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t item,
+                                             std::size_t core)>& fn);
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  };
+
+  void worker_loop(std::size_t core);
+  void run_range(const Job& job, std::size_t core);
+
+  std::size_t cores_;
+  std::vector<crypto::SystemRandom> core_rngs_;
+  std::vector<std::thread> threads_;  // cores_-1 entries (core 0 inline)
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Job> jobs_;          // per core, valid when epoch_ advances
+  std::uint64_t epoch_ = 0;        // bumped per parallel_for
+  std::size_t pending_ = 0;        // workers still running this epoch
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace maxel::core

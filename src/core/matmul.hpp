@@ -5,18 +5,23 @@
 // M*N*P*b stages = 3*M*N*P*b cycles per MAC unit, scaling linearly in
 // the number of units until the PCIe link saturates.
 //
-// Two layers here:
+// Three layers here:
 //  * MatMulPlan  — the analytic model (cycles, time, table traffic,
 //    multi-unit scaling, link-bound effective rate);
 //  * secure_matmul_on_sim — actually runs the cycle-accurate simulator
 //    for every output element and has the standard software evaluator
 //    decode the product (integration/verification path; use small
-//    matrices).
+//    matrices);
+//  * parallel_matmul — the same product sharded across a GcCorePool,
+//    one logical GC core per worker thread, with per-core
+//    MaxeleratorStats accounting mirroring the paper's per-core
+//    throughput tables.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/gc_core_pool.hpp"
 #include "core/maxelerator.hpp"
 #include "hwsim/pcie.hpp"
 
@@ -76,5 +81,35 @@ SecureMatMulResult secure_matmul_on_sim(
     const std::vector<std::vector<std::uint64_t>>& a,
     const std::vector<std::vector<std::uint64_t>>& x, std::size_t bit_width,
     crypto::RandomSource& rng);
+
+// Multi-core version: output cells are sharded contiguously across the
+// pool's GC cores; each cell garbles on its owning core with that
+// core's private label stream (deterministic for a fixed root seed and
+// core count) and decodes through the standard evaluator. The decoded
+// product is the plaintext result, so it is bit-identical to the serial
+// path — and to any other core count — whenever `verified` holds.
+struct ParallelMatMulResult {
+  std::vector<std::vector<std::uint64_t>> product;  // [rows][cols]
+  bool verified = false;
+  std::size_t cores = 0;
+  std::uint64_t tables = 0;
+  std::uint64_t cycles = 0;
+  // Per-GC-core accounting, aggregated over that core's cells exactly
+  // like the paper's per-core columns (Tables 1-2); index == core id.
+  std::vector<MaxeleratorStats> core_stats;
+};
+
+// Convenience: builds a pool of `cores` workers seeded from `root_seed`
+// (cores == 0 -> hardware concurrency) and runs on it.
+ParallelMatMulResult parallel_matmul(
+    const std::vector<std::vector<std::uint64_t>>& a,
+    const std::vector<std::vector<std::uint64_t>>& x, std::size_t bit_width,
+    const crypto::Block& root_seed, std::size_t cores);
+
+// Reuses a caller-owned pool (amortizes thread startup across products).
+ParallelMatMulResult parallel_matmul_on_pool(
+    const std::vector<std::vector<std::uint64_t>>& a,
+    const std::vector<std::vector<std::uint64_t>>& x, std::size_t bit_width,
+    GcCorePool& pool);
 
 }  // namespace maxel::core

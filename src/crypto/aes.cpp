@@ -1,7 +1,25 @@
 #include "crypto/aes.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
 namespace maxel::crypto {
 namespace {
+
+// ---- Backend resolution -------------------------------------------------
+
+std::atomic<AesBackend> g_requested{AesBackend::kAuto};
+
+AesBackend resolve_from_env() {
+  const char* env = std::getenv("MAXEL_AES_BACKEND");
+  if (env != nullptr) {
+    if (std::strcmp(env, "table") == 0) return AesBackend::kTable;
+    if (std::strcmp(env, "aesni") == 0) return AesBackend::kAesni;
+    // "auto" or anything unrecognized: fall through to detection.
+  }
+  return AesBackend::kAuto;
+}
 
 // ---- Compile-time AES table generation (FIPS-197) ----------------------
 
@@ -96,6 +114,31 @@ void store_be32(std::uint8_t* p, std::uint32_t w) {
 
 }  // namespace
 
+bool aesni_supported() { return detail::aesni_compiled_and_supported(); }
+
+void set_aes_backend(AesBackend b) { g_requested.store(b); }
+
+AesBackend aes_active_backend() {
+  AesBackend b = g_requested.load();
+  if (b == AesBackend::kAuto) b = resolve_from_env();
+  if (b == AesBackend::kAuto)
+    b = aesni_supported() ? AesBackend::kAesni : AesBackend::kTable;
+  if (b == AesBackend::kAesni && !aesni_supported()) b = AesBackend::kTable;
+  return b;
+}
+
+const char* aes_backend_name(AesBackend b) {
+  switch (b) {
+    case AesBackend::kAuto:
+      return "auto";
+    case AesBackend::kTable:
+      return "table";
+    case AesBackend::kAesni:
+      return "aesni";
+  }
+  return "?";
+}
+
 Aes128::Aes128(const Block& key) {
   std::uint8_t kb[16];
   key.to_bytes(kb);
@@ -109,9 +152,30 @@ Aes128::Aes128(const Block& key) {
     }
     rk_[static_cast<std::size_t>(i)] = rk_[static_cast<std::size_t>(i - 4)] ^ t;
   }
+  // AESENC consumes round keys as raw bytes; the FIPS word layout above
+  // stores each word big-endian, so serialize in that order once here.
+  for (int i = 0; i < 44; ++i)
+    store_be32(rk_bytes_.data() + 4 * i, rk_[static_cast<std::size_t>(i)]);
 }
 
 Block Aes128::encrypt(const Block& plaintext) const {
+  if (aes_active_backend() == AesBackend::kAesni) {
+    Block out;
+    detail::aesni_encrypt_blocks(rk_bytes_.data(), &plaintext, &out, 1);
+    return out;
+  }
+  return encrypt_table(plaintext);
+}
+
+void Aes128::encrypt_batch(const Block* in, Block* out, std::size_t n) const {
+  if (aes_active_backend() == AesBackend::kAesni) {
+    detail::aesni_encrypt_blocks(rk_bytes_.data(), in, out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = encrypt_table(in[i]);
+}
+
+Block Aes128::encrypt_table(const Block& plaintext) const {
   std::uint8_t in[16];
   plaintext.to_bytes(in);
 
@@ -154,10 +218,6 @@ Block Aes128::encrypt(const Block& plaintext) const {
   store_be32(out + 8, final_word(s2, s3, s0, s1, rk_[42]));
   store_be32(out + 12, final_word(s3, s0, s1, s2, rk_[43]));
   return Block::from_bytes(out);
-}
-
-void Aes128::encrypt4(const Block in[4], Block out[4]) const {
-  for (int i = 0; i < 4; ++i) out[i] = encrypt(in[i]);
 }
 
 }  // namespace maxel::crypto

@@ -8,6 +8,8 @@
 // though the AES key k is public and fixed.
 #pragma once
 
+#include <cstddef>
+
 #include "crypto/aes.hpp"
 #include "crypto/block.hpp"
 
@@ -21,6 +23,36 @@ class GcHash {
   [[nodiscard]] Block operator()(const Block& x, const Block& tweak) const {
     const Block m = x.gf_double() ^ tweak;
     return aes_.encrypt(m) ^ m;
+  }
+
+  // Batched H(x_i, t_i) for n independent inputs: the hot path of
+  // half-gates garbling. Masks are staged in a stack chunk so all AES
+  // calls of a chunk pipeline through the cipher back to back (AES-NI
+  // keeps 8 states in flight) instead of issuing one block at a time.
+  // `out` may alias `x` or `tweaks` elementwise.
+  void hash_batch(const Block* x, const Block* tweaks, Block* out,
+                  std::size_t n) const {
+    constexpr std::size_t kChunk = 16;
+    Block m[kChunk];
+    Block e[kChunk];
+    while (n > 0) {
+      const std::size_t c = n < kChunk ? n : kChunk;
+      for (std::size_t i = 0; i < c; ++i) m[i] = x[i].gf_double() ^ tweaks[i];
+      aes_.encrypt_batch(m, e, c);
+      for (std::size_t i = 0; i < c; ++i) out[i] = e[i] ^ m[i];
+      x += c;
+      tweaks += c;
+      out += c;
+      n -= c;
+    }
+  }
+
+  // Batched variant for callers that already formed the hash inputs
+  // m_i = 2x_i ^ t_i themselves (e.g. a gate garbler staging the four
+  // hashes of one half-gates table together with their tweak halves).
+  void hash_masked_batch(const Block* m, Block* out, std::size_t n) const {
+    aes_.encrypt_batch(m, out, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= m[i];
   }
 
   // Two-input variant used by the classic (4-row) garbled table:

@@ -122,7 +122,13 @@ std::vector<Block> CircuitEvaluator::eval_round(
     throw std::invalid_argument("eval_round: label arity mismatch");
   }
 
-  std::vector<Block> active(circ_.num_wires, Block::zero());
+  // Reuse the wire buffer across rounds (sequential GC evaluates the
+  // same netlist every round; reallocating it per round dominated the
+  // evaluator's time for small MAC netlists). Every wire is written
+  // before it is read — inputs/constants/state here, gate outputs in
+  // topological order below — so stale values never leak across rounds.
+  std::vector<Block>& active = active_;
+  active.resize(circ_.num_wires);
   active[kConstZero] = fixed_labels[0];
   active[kConstOne] = fixed_labels[1];
   for (std::size_t i = 0; i < garbler_labels.size(); ++i)

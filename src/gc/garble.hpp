@@ -100,6 +100,7 @@ class CircuitEvaluator {
   const circuit::Circuit& circ_;
   GateGarbler gg_;  // evaluation does not use delta; zero is fine
   std::vector<Block> state_;
+  std::vector<Block> active_;  // per-round wire buffer, reused across rounds
   std::uint64_t round_ = 0;
 };
 

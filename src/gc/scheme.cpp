@@ -62,10 +62,14 @@ Block GateGarbler::garble_halfgates(const Block& a0, const Block& b0,
   const bool pa = a0.lsb();
   const bool pb = b0.lsb();
 
-  const Block ha0 = hash_(a0, t_g);
-  const Block ha1 = hash_(a0 ^ delta_, t_g);
-  const Block hb0 = hash_(b0, t_e);
-  const Block hb1 = hash_(b0 ^ delta_, t_e);
+  // Both AES pairs of the table issue as one batch so they pipeline
+  // through the cipher (the paper's one-table-per-clock datapath hashes
+  // all four in parallel; AES-NI hides the AESENC latency the same way).
+  const Block xs[4] = {a0, a0 ^ delta_, b0, b0 ^ delta_};
+  const Block ts[4] = {t_g, t_g, t_e, t_e};
+  Block h[4];
+  hash_.hash_batch(xs, ts, h, 4);
+  const Block &ha0 = h[0], &ha1 = h[1], &hb0 = h[2], &hb1 = h[3];
 
   // Generator half gate.
   Block tg = ha0 ^ ha1;
@@ -91,9 +95,14 @@ Block GateGarbler::eval_halfgates(const Block& a, const Block& b,
   const bool sa = a.lsb();
   const bool sb = b.lsb();
 
-  Block wg = hash_(a, t_g);
+  const Block xs[2] = {a, b};
+  const Block ts[2] = {t_g, t_e};
+  Block h[2];
+  hash_.hash_batch(xs, ts, h, 2);
+
+  Block wg = h[0];
   if (sa) wg ^= table.ct[0];
-  Block we = hash_(b, t_e);
+  Block we = h[1];
   if (sb) we ^= table.ct[1] ^ a;
   return wg ^ we;
 }
@@ -109,16 +118,32 @@ Block GateGarbler::garble_rows(const circuit::AndForm& f, const Block& a0,
     return ((va != f.alpha) && (vb != f.beta)) != f.gamma;
   };
 
+  // Stage all row hashes (and the classic scheme's derived output label)
+  // as one masked batch: m = 4A ^ 2B ^ T per row.
+  Block m[5];
+  for (int idx = 0; idx < 4; ++idx) {
+    const bool va = ((idx >> 1) != 0) != pa;
+    const bool vb = ((idx & 1) != 0) != pb;
+    const Block a_lab = va ? a0 ^ delta_ : a0;
+    const Block b_lab = vb ? b0 ^ delta_ : b0;
+    m[idx] = a_lab.gf_double().gf_double() ^ b_lab.gf_double() ^ tweak;
+  }
+  std::size_t nh = 4;
+  if (!reduce_row) {
+    m[4] = a0.gf_double().gf_double() ^ b0.gf_double() ^ derive_tweak(tweak);
+    nh = 5;
+  }
+  Block h[5];
+  hash_.hash_masked_batch(m, h, nh);
+
   Block c0;
   if (reduce_row) {
-    // Force row (0,0) — inputs (pa, pb) — to all zeros.
-    const Block a_pa = pa ? a0 ^ delta_ : a0;
-    const Block b_pb = pb ? b0 ^ delta_ : b0;
-    const Block cv = hash_(a_pa, b_pb, tweak);
-    c0 = gate_out(pa, pb) ? cv ^ delta_ : cv;
+    // Force row (0,0) — inputs (pa, pb) — to all zeros. Row index 0
+    // carries exactly the labels (a0^pa*delta, b0^pb*delta).
+    c0 = gate_out(pa, pb) ? h[0] ^ delta_ : h[0];
   } else {
     // Derive a pseudorandom output label (deterministic garbling).
-    c0 = hash_(a0, b0, derive_tweak(tweak));
+    c0 = h[4];
   }
 
   for (int sa = 0; sa < 2; ++sa) {
@@ -127,11 +152,9 @@ Block GateGarbler::garble_rows(const circuit::AndForm& f, const Block& a0,
       const bool vb = (sb != 0) != pb;
       const int idx = 2 * sa + sb;
       if (reduce_row && idx == 0) continue;
-      const Block a_lab = va ? a0 ^ delta_ : a0;
-      const Block b_lab = vb ? b0 ^ delta_ : b0;
       Block c = c0;
       if (gate_out(va, vb)) c ^= delta_;
-      const Block e = hash_(a_lab, b_lab, tweak) ^ c;
+      const Block e = h[idx] ^ c;
       table.ct[static_cast<std::size_t>(reduce_row ? idx - 1 : idx)] = e;
     }
   }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "crypto/aes.hpp"
 #include "crypto/block.hpp"
@@ -98,6 +99,113 @@ TEST(Aes128, DifferentKeysDiffer) {
   const Aes128 a(Block{1, 0});
   const Aes128 b(Block{2, 0});
   EXPECT_NE(a.encrypt(Block::zero()), b.encrypt(Block::zero()));
+}
+
+// Pins a backend for the scope of a test and restores auto-detection.
+struct ScopedBackend {
+  explicit ScopedBackend(AesBackend b) { set_aes_backend(b); }
+  ~ScopedBackend() { set_aes_backend(AesBackend::kAuto); }
+};
+
+TEST(AesBackend, ActiveBackendIsConcrete) {
+  EXPECT_NE(aes_active_backend(), AesBackend::kAuto);
+  // Pinning the table backend always works; pinning aesni falls back to
+  // table when unsupported instead of crashing.
+  {
+    ScopedBackend pin(AesBackend::kTable);
+    EXPECT_EQ(aes_active_backend(), AesBackend::kTable);
+  }
+  {
+    ScopedBackend pin(AesBackend::kAesni);
+    EXPECT_EQ(aes_active_backend(),
+              aesni_supported() ? AesBackend::kAesni : AesBackend::kTable);
+  }
+}
+
+TEST(AesBackend, AesniMatchesTableOnFips197) {
+  if (!aesni_supported()) GTEST_SKIP() << "no AES-NI on this host/build";
+  const std::uint8_t key_bytes[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                      0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                      0x0c, 0x0d, 0x0e, 0x0f};
+  const std::uint8_t pt_bytes[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                     0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                     0xcc, 0xdd, 0xee, 0xff};
+  const std::uint8_t expect_ct[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                      0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                      0x70, 0xb4, 0xc5, 0x5a};
+  const Aes128 aes(block_from_hex_bytes(key_bytes));
+  const Block pt = block_from_hex_bytes(pt_bytes);
+  Block ct_table, ct_ni;
+  {
+    ScopedBackend pin(AesBackend::kTable);
+    ct_table = aes.encrypt(pt);
+  }
+  {
+    ScopedBackend pin(AesBackend::kAesni);
+    ct_ni = aes.encrypt(pt);
+  }
+  EXPECT_EQ(ct_table, block_from_hex_bytes(expect_ct));
+  EXPECT_EQ(ct_ni, block_from_hex_bytes(expect_ct));
+}
+
+TEST(AesBackend, AesniMatchesTableOn10kRandomBlocks) {
+  if (!aesni_supported()) GTEST_SKIP() << "no AES-NI on this host/build";
+  constexpr std::size_t kN = 10000;
+  // Raw counter blocks as inputs (a PRG would itself call AES through
+  // the backend under test).
+  std::vector<Block> in(kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    in[i] = Block{0x9E3779B97F4A7C15ull * (i + 1), ~static_cast<std::uint64_t>(i)};
+
+  const Aes128 aes;
+  std::vector<Block> out_table(kN), out_ni(kN);
+  {
+    ScopedBackend pin(AesBackend::kTable);
+    aes.encrypt_batch(in.data(), out_table.data(), kN);
+  }
+  {
+    ScopedBackend pin(AesBackend::kAesni);
+    aes.encrypt_batch(in.data(), out_ni.data(), kN);
+    // Odd batch tails exercise the 8/4/2/1-wide ladder.
+    std::vector<Block> odd(kN);
+    aes.encrypt_batch(in.data(), odd.data(), kN - 3);
+    for (std::size_t i = 0; i < kN - 3; ++i) ASSERT_EQ(odd[i], out_ni[i]);
+  }
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(out_table[i], out_ni[i]) << i;
+}
+
+TEST(Aes128, EncryptBatchMatchesScalarAllSizes) {
+  const Aes128 aes;
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{7}, std::size_t{8}, std::size_t{9},
+                        std::size_t{17}, std::size_t{33}}) {
+    std::vector<Block> in(n), out(n);
+    for (std::size_t i = 0; i < n; ++i) in[i] = Block{i * 1234567, i};
+    aes.encrypt_batch(in.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], aes.encrypt(in[i]));
+  }
+}
+
+TEST(GcHash, HashBatchMatchesScalar) {
+  const GcHash h;
+  constexpr std::size_t kN = 37;  // spans two internal chunks
+  std::vector<Block> x(kN), t(kN), out(kN);
+  Prg prg(Block{11, 13});
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = prg.next_block();
+    t[i] = Block{2 * i, i};
+  }
+  h.hash_batch(x.data(), t.data(), out.data(), kN);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], h(x[i], t[i]));
+}
+
+TEST(GcHash, HashMaskedBatchMatchesTwoInputVariant) {
+  const GcHash h;
+  const Block a{0xAAA, 1}, b{0xBBB, 2}, t{6, 3};
+  Block m = a.gf_double().gf_double() ^ b.gf_double() ^ t;
+  Block out;
+  h.hash_masked_batch(&m, &out, 1);
+  EXPECT_EQ(out, h(a, b, t));
 }
 
 TEST(GcHash, TweakSeparatesOutputs) {

@@ -4,6 +4,8 @@
 // element through the standard evaluator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "circuit/circuits.hpp"
 #include "core/matmul.hpp"
 #include "crypto/prg.hpp"
@@ -32,6 +34,55 @@ TEST(MatMulPlan, UnitsScaleGarblingLinearly) {
   EXPECT_DOUBLE_EQ(one.garble_seconds(), 4.0 * four.garble_seconds());
   // Table traffic is workload-determined, not unit-determined.
   EXPECT_DOUBLE_EQ(one.table_bytes(), four.table_bytes());
+}
+
+TEST(MatMulPlan, SaturationUnitsMatchesCeilContract) {
+  // pcie_saturation_units is defined as ceil(one_unit_garble / pcie)
+  // clamped to >= 1 (regression: a hand-rolled `u + 0.999999` ceil used
+  // to under-round values just past an integer). Check against
+  // std::ceil computed from the same public quantities.
+  for (const double clock : {100.0, 200.0, 333.33, 517.0}) {
+    for (const std::size_t dim : {16u, 64u, 128u}) {
+      MatMulPlan plan;
+      plan.rows = plan.inner = plan.cols = dim;
+      plan.bit_width = 32;
+      plan.clock_mhz = clock;
+      const double one_unit = plan.total_cycles_per_unit() / (clock * 1e6);
+      const double u = one_unit / plan.pcie_seconds();
+      const std::size_t expect =
+          u < 1.0 ? 1 : static_cast<std::size_t>(std::ceil(u));
+      EXPECT_EQ(plan.pcie_saturation_units(), expect)
+          << "clock=" << clock << " dim=" << dim;
+    }
+  }
+}
+
+TEST(MatMulPlan, SaturationUnitsExactAndJustPastExactDivision) {
+  MatMulPlan plan;
+  plan.rows = plan.inner = plan.cols = 64;
+  plan.bit_width = 32;
+  const double p = plan.pcie_seconds();
+  ASSERT_GT(p, 0.0);
+  const double cycles = plan.total_cycles_per_unit();
+
+  // Back-solve the clock so one unit needs exactly 4 link-times...
+  plan.clock_mhz = cycles / (4.0 * p) / 1e6;
+  const double u_exact = (cycles / (plan.clock_mhz * 1e6)) / p;
+  EXPECT_EQ(plan.pcie_saturation_units(),
+            static_cast<std::size_t>(std::ceil(u_exact)));
+  EXPECT_LE(plan.pcie_saturation_units(), 5u);
+  EXPECT_GE(plan.pcie_saturation_units(), 4u);
+
+  // ...and just past it: a hair over 4 must round UP to 5 even though
+  // the overshoot is far below the old 0.999999 fudge threshold.
+  plan.clock_mhz = cycles / (4.0 * p) / 1e6 / (1.0 + 1e-9);
+  const double u_past = (cycles / (plan.clock_mhz * 1e6)) / p;
+  ASSERT_GT(u_past, 4.0);
+  EXPECT_EQ(plan.pcie_saturation_units(), 5u);
+
+  // Garbling faster than the link from one unit on: clamps to 1.
+  plan.clock_mhz = cycles / (0.25 * p) / 1e6;
+  EXPECT_EQ(plan.pcie_saturation_units(), 1u);
 }
 
 TEST(MatMulPlan, PcieEventuallyBinds) {
