@@ -1,0 +1,232 @@
+// fig_net_loopback — what does the real TCP transport cost next to the
+// in-memory channels?
+//
+// Three transports implement proto::Channel: MemoryChannel (byte
+// queues, single-threaded orchestration), ThreadedChannel (blocking
+// queues across threads) and TcpChannel (length-framed frames over a
+// loopback socket). This bench measures, per transport, bulk streaming
+// throughput and small-message round-trip latency, then runs the actual
+// garbled-MAC protocol over the two thread-capable transports to show
+// the end-to-end cost of moving from in-process queues to a socket —
+// the step from the paper's single-host experiments to the
+// client/server deployment of Fig. 1.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+#include "net/tcp_channel.hpp"
+#include "proto/channel.hpp"
+#include "proto/protocol.hpp"
+#include "proto/threaded_channel.hpp"
+
+namespace {
+
+using namespace maxel;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr std::size_t kBatchBlocks = 4'096;  // 64 KiB per send_blocks
+constexpr std::size_t kBatches = 64;         // 4 MiB streamed total
+constexpr std::size_t kPingPongs = 2'000;
+
+std::vector<crypto::Block> make_batch() {
+  std::vector<crypto::Block> v(kBatchBlocks);
+  crypto::Prg prg(crypto::Block{11, 13});
+  for (auto& b : v) b = crypto::Block{prg.next_u64(), prg.next_u64()};
+  return v;
+}
+
+// Bulk one-way stream with a final ack, across two threads.
+double stream_mb_per_sec(proto::Channel& tx, proto::Channel& rx) {
+  const auto batch = make_batch();
+  const auto t0 = Clock::now();
+  std::thread receiver([&] {
+    for (std::size_t i = 0; i < kBatches; ++i) (void)rx.recv_blocks();
+    rx.send_u64(1);
+    rx.flush();
+  });
+  for (std::size_t i = 0; i < kBatches; ++i) tx.send_blocks(batch);
+  (void)tx.recv_u64();  // ack (recv auto-flushes pending frames)
+  receiver.join();
+  const double bytes =
+      static_cast<double>(kBatches * (8 + 16 * kBatchBlocks));
+  return bytes / seconds_since(t0) / 1e6;
+}
+
+// Same stream pattern, but orchestrated on one thread (MemoryChannel's
+// contract: send before the matching recv).
+double stream_mb_per_sec_single(proto::Channel& tx, proto::Channel& rx) {
+  const auto batch = make_batch();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    tx.send_blocks(batch);
+    (void)rx.recv_blocks();
+  }
+  const double bytes =
+      static_cast<double>(kBatches * (8 + 16 * kBatchBlocks));
+  return bytes / seconds_since(t0) / 1e6;
+}
+
+double pingpong_us(proto::Channel& a, proto::Channel& b) {
+  const auto t0 = Clock::now();
+  std::thread echo([&] {
+    // Each recv auto-flushes the previous reply; the last one needs an
+    // explicit flush (no further recv follows it).
+    for (std::size_t i = 0; i < kPingPongs; ++i) b.send_u64(b.recv_u64());
+    b.flush();
+  });
+  for (std::size_t i = 0; i < kPingPongs; ++i) {
+    a.send_u64(i);
+    (void)a.recv_u64();
+  }
+  echo.join();
+  return seconds_since(t0) / kPingPongs * 1e6;
+}
+
+double pingpong_us_single(proto::Channel& a, proto::Channel& b) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kPingPongs; ++i) {
+    a.send_u64(i);
+    b.send_u64(b.recv_u64());
+    (void)a.recv_u64();
+  }
+  return seconds_since(t0) / kPingPongs * 1e6;
+}
+
+struct ProtocolResult {
+  double macs_per_sec = 0;
+  double bytes_per_mac = 0;
+};
+
+// The real two-party MAC protocol (IKNP OT), garbler and evaluator on
+// separate threads over the given channel pair.
+ProtocolResult protocol_bench(proto::Channel& g_ch, proto::Channel& e_ch,
+                              std::size_t bits, std::size_t rounds) {
+  const circuit::Circuit c =
+      circuit::make_mac_circuit(circuit::MacOptions{bits, bits, true});
+  proto::ProtocolOptions opt;
+  opt.ot = proto::OtMode::kIknp;
+
+  crypto::Prg prg(crypto::Block{0xBE, 0xAF});
+  const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  std::vector<std::vector<bool>> a_bits(rounds), x_bits(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    a_bits[r] = circuit::to_bits(prg.next_u64() & mask, bits);
+    x_bits[r] = circuit::to_bits(prg.next_u64() & mask, bits);
+  }
+
+  const auto t0 = Clock::now();
+  std::thread garbler([&] {
+    crypto::SystemRandom rng(crypto::Block{1, 2});
+    proto::GarblerParty g(c, opt, g_ch, rng);
+    g.setup_step2();
+    g.setup_step4();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      g.garble_and_send(a_bits[r]);
+      g.finish_ot();
+    }
+    g_ch.flush();
+  });
+  std::thread evaluator([&] {
+    crypto::SystemRandom rng(crypto::Block{3, 4});
+    proto::EvaluatorParty e(c, opt, e_ch, rng);
+    e.setup_step1();
+    e.setup_step3();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      e.receive_and_choose(x_bits[r]);
+      (void)e.evaluate_round();
+    }
+  });
+  garbler.join();
+  evaluator.join();
+  const double secs = seconds_since(t0);
+
+  ProtocolResult res;
+  res.macs_per_sec = static_cast<double>(rounds) / secs;
+  res.bytes_per_mac =
+      static_cast<double>(g_ch.bytes_sent() + g_ch.bytes_received()) /
+      static_cast<double>(rounds);
+  return res;
+}
+
+struct TcpPair {
+  std::unique_ptr<net::TcpChannel> a, b;
+};
+
+TcpPair make_tcp_pair() {
+  net::TcpListener lis(0, "127.0.0.1");
+  TcpPair p;
+  std::thread t([&] { p.b = lis.accept(5'000); });
+  p.a = net::TcpChannel::connect("127.0.0.1", lis.port());
+  t.join();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Transport comparison: loopback channels");
+  std::printf("%-16s %14s %14s %14s %14s\n", "transport", "stream MB/s",
+              "rtt us", "MAC/s (b=16)", "bytes/MAC");
+  bench::rule(76);
+
+  bench::JsonReporter rep("net_loopback");
+  const std::size_t bits = 16, rounds = 400;
+
+  {
+    auto [a, b] = proto::MemoryChannel::create_pair();
+    const double mbps = stream_mb_per_sec_single(*a, *b);
+    auto [c, d] = proto::MemoryChannel::create_pair();
+    const double rtt = pingpong_us_single(*c, *d);
+    std::printf("%-16s %14.0f %14.2f %14s %14s\n", "memory", mbps, rtt, "-",
+                "-");
+    rep.row().str("transport", "memory").num("stream_mb_s", mbps).num(
+        "rtt_us", rtt);
+  }
+  {
+    auto [a, b] = proto::ThreadedChannel::create_pair();
+    const double mbps = stream_mb_per_sec(*a, *b);
+    auto [c, d] = proto::ThreadedChannel::create_pair();
+    const double rtt = pingpong_us(*c, *d);
+    auto [g, e] = proto::ThreadedChannel::create_pair();
+    const ProtocolResult pr = protocol_bench(*g, *e, bits, rounds);
+    std::printf("%-16s %14.0f %14.2f %14.0f %14.0f\n", "threaded", mbps, rtt,
+                pr.macs_per_sec, pr.bytes_per_mac);
+    rep.row()
+        .str("transport", "threaded")
+        .num("stream_mb_s", mbps)
+        .num("rtt_us", rtt)
+        .num("mac_per_sec", pr.macs_per_sec)
+        .num("bytes_per_mac", pr.bytes_per_mac);
+  }
+  {
+    TcpPair s = make_tcp_pair();
+    const double mbps = stream_mb_per_sec(*s.a, *s.b);
+    TcpPair p = make_tcp_pair();
+    const double rtt = pingpong_us(*p.a, *p.b);
+    TcpPair proto_pair = make_tcp_pair();
+    const ProtocolResult pr =
+        protocol_bench(*proto_pair.a, *proto_pair.b, bits, rounds);
+    std::printf("%-16s %14.0f %14.2f %14.0f %14.0f\n", "tcp-loopback", mbps,
+                rtt, pr.macs_per_sec, pr.bytes_per_mac);
+    rep.row()
+        .str("transport", "tcp-loopback")
+        .num("stream_mb_s", mbps)
+        .num("rtt_us", rtt)
+        .num("mac_per_sec", pr.macs_per_sec)
+        .num("bytes_per_mac", pr.bytes_per_mac);
+  }
+
+  std::printf("\nprotocol = two-party garbled MAC, IKNP OT, %zu rounds\n",
+              rounds);
+  std::printf("wrote %s\n", rep.write().c_str());
+  return 0;
+}

@@ -163,6 +163,23 @@ std::vector<Block> CircuitEvaluator::eval_round(
   return out;
 }
 
+void tables_to_bytes(const RoundTables& t, Scheme s, std::uint8_t* out) {
+  const std::size_t rows = rows_per_and(s);
+  for (const auto& table : t.tables)
+    for (std::size_t r = 0; r < rows; ++r, out += 16) table.ct[r].to_bytes(out);
+}
+
+RoundTables tables_from_bytes(const std::uint8_t* data, std::size_t n_tables,
+                              Scheme s) {
+  const std::size_t rows = rows_per_and(s);
+  RoundTables t;
+  t.tables.assign(n_tables, GarbledTable{});
+  for (auto& table : t.tables)
+    for (std::size_t r = 0; r < rows; ++r, data += 16)
+      table.ct[r] = Block::from_bytes(data);
+  return t;
+}
+
 std::vector<bool> decode_with_map(const std::vector<Block>& active,
                                   const std::vector<bool>& map) {
   if (active.size() != map.size())

@@ -38,6 +38,14 @@ struct RoundTables {
   }
 };
 
+// Contiguous wire encoding of a round's tables: rows_per_and(s) x 16
+// bytes per table, netlist order — the dominant payload of every round,
+// moved as one bulk copy (and, over a socket, one syscall) instead of
+// one transfer per block. `out` must hold t.byte_size(s) bytes.
+void tables_to_bytes(const RoundTables& t, Scheme s, std::uint8_t* out);
+RoundTables tables_from_bytes(const std::uint8_t* data, std::size_t n_tables,
+                              Scheme s);
+
 class CircuitGarbler {
  public:
   CircuitGarbler(const circuit::Circuit& c, Scheme scheme,

@@ -1,0 +1,141 @@
+#include "net/client.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuits.hpp"
+#include "crypto/rng.hpp"
+#include "gc/garble.hpp"
+#include "gc/streaming_evaluator.hpp"
+#include "net/demo_inputs.hpp"
+#include "ot/base_ot.hpp"
+#include "ot/iknp.hpp"
+
+namespace maxel::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::string ClientStats::to_json() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"role\":\"client\",\"rounds\":%u,\"bytes_sent\":%llu,"
+      "\"bytes_received\":%llu,\"output_value\":%llu,\"checked\":%s,"
+      "\"verified\":%s,\"working_set_bytes\":%zu,"
+      "\"handshake_seconds\":%.6f,\"transfer_seconds\":%.6f,"
+      "\"ot_seconds\":%.6f,\"eval_seconds\":%.6f,\"total_seconds\":%.6f}",
+      rounds, static_cast<unsigned long long>(bytes_sent),
+      static_cast<unsigned long long>(bytes_received),
+      static_cast<unsigned long long>(output_value),
+      checked ? "true" : "false", verified ? "true" : "false",
+      working_set_bytes, handshake_seconds, transfer_seconds, ot_seconds,
+      eval_seconds, total_seconds);
+  return buf;
+}
+
+ClientStats run_client(const ClientConfig& cfg) {
+  const auto t_total = Clock::now();
+  const circuit::Circuit circ =
+      circuit::make_mac_circuit(circuit::MacOptions{cfg.bits, cfg.bits, true});
+
+  auto ch = TcpChannel::connect(cfg.host, cfg.port, cfg.tcp);
+
+  ClientStats stats;
+  {
+    const auto t0 = Clock::now();
+    ClientHello hello;
+    hello.scheme = static_cast<std::uint8_t>(cfg.scheme);
+    hello.ot = static_cast<std::uint8_t>(cfg.ot);
+    hello.bit_width = static_cast<std::uint32_t>(cfg.bits);
+    hello.rounds = cfg.rounds_hint;
+    hello.circuit_hash = circuit_fingerprint(circ);
+    stats.rounds = client_handshake(*ch, hello);
+    stats.handshake_seconds = seconds_since(t0);
+  }
+
+  crypto::SystemRandom rng;
+  std::unique_ptr<ot::BaseOtReceiver> base_ot;
+  std::unique_ptr<ot::IknpReceiver> iknp;
+  ot::OtReceiver* ot = nullptr;
+  if (cfg.ot == OtChoice::kIknp) {
+    iknp = std::make_unique<ot::IknpReceiver>(*ch, rng);
+    const auto t0 = Clock::now();
+    iknp->setup_step1();
+    iknp->setup_step3();
+    stats.ot_seconds += seconds_since(t0);
+    ot = iknp.get();
+  } else {
+    base_ot = std::make_unique<ot::BaseOtReceiver>(*ch, rng);
+    ot = base_ot.get();
+  }
+
+  gc::StreamingEvaluator evaluator(circ, cfg.scheme);
+  stats.working_set_bytes = evaluator.working_set_bytes();
+
+  DemoInputStream x_inputs(cfg.demo_seed, kEvaluatorStream, cfg.bits);
+  std::vector<bool> decoded;
+  std::vector<std::uint8_t> table_buf;
+  for (std::uint32_t r = 0; r < stats.rounds; ++r) {
+    // Round material, same wire order GarblerParty/PrecomputedGarblerParty
+    // send it: tables, garbler labels, fixed labels, initial state
+    // (round 0 only), output decode map.
+    auto t0 = Clock::now();
+    const std::size_t n_tables = ch->recv_u64();
+    table_buf.resize(n_tables * gc::bytes_per_and(cfg.scheme));
+    ch->recv_bytes(table_buf.data(), table_buf.size());
+    const gc::RoundTables tables =
+        gc::tables_from_bytes(table_buf.data(), n_tables, cfg.scheme);
+    const std::vector<crypto::Block> garbler_labels = ch->recv_blocks();
+    const std::vector<crypto::Block> fixed_labels = ch->recv_blocks();
+    if (r == 0) evaluator.set_initial_state_labels(ch->recv_blocks());
+    const std::vector<bool> output_map = ch->recv_bits();
+    stats.transfer_seconds += seconds_since(t0);
+
+    t0 = Clock::now();
+    ot->recv_phase1(x_inputs.next_bits());
+    const std::vector<crypto::Block> my_labels = ot->recv_phase2();
+    stats.ot_seconds += seconds_since(t0);
+
+    t0 = Clock::now();
+    const auto out_labels =
+        evaluator.eval_round(tables, garbler_labels, my_labels, fixed_labels);
+    decoded = gc::decode_with_map(out_labels, output_map);
+    stats.eval_seconds += seconds_since(t0);
+  }
+
+  stats.output_value = circuit::from_bits(decoded);
+  if (cfg.check) {
+    stats.checked = true;
+    stats.verified = stats.output_value == demo_mac_reference(cfg.demo_seed,
+                                                              cfg.bits,
+                                                              stats.rounds);
+  }
+  stats.bytes_sent = ch->bytes_sent();
+  stats.bytes_received = ch->bytes_received();
+  stats.total_seconds = seconds_since(t_total);
+
+  if (cfg.verbose)
+    std::fprintf(stderr,
+                 "[maxel_client] %u rounds, %llu B in / %llu B out, "
+                 "working set %zu B, transfer %.3fs, ot %.3fs, eval %.3fs%s\n",
+                 stats.rounds,
+                 static_cast<unsigned long long>(stats.bytes_received),
+                 static_cast<unsigned long long>(stats.bytes_sent),
+                 stats.working_set_bytes, stats.transfer_seconds,
+                 stats.ot_seconds, stats.eval_seconds,
+                 stats.checked ? (stats.verified ? ", VERIFIED" : ", MISMATCH")
+                               : "");
+  return stats;
+}
+
+}  // namespace maxel::net

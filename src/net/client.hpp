@@ -1,0 +1,56 @@
+// Evaluator-side network client: the remote, memory-constrained party
+// of Fig. 1.
+//
+// Connects to a maxel server, handshakes (version / scheme / bit width /
+// circuit fingerprint), then runs the session: per round it receives the
+// garbled tables and label material, obtains its input labels through OT
+// (base or IKNP), and evaluates with gc::StreamingEvaluator as the
+// tables arrive — the client's label working set is the circuit's live
+// width, never the whole wire count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gc/scheme.hpp"
+#include "net/handshake.hpp"
+#include "net/tcp_channel.hpp"
+
+namespace maxel::net {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7117;
+  std::size_t bits = 16;
+  gc::Scheme scheme = gc::Scheme::kHalfGates;
+  OtChoice ot = OtChoice::kIknp;
+  std::uint32_t rounds_hint = 0;  // requested; the server's reply wins
+  std::uint64_t demo_seed = 7;    // must match the server's (demo_inputs.hpp)
+  bool check = true;  // verify the decoded MAC against the plaintext reference
+  bool verbose = true;
+  TcpOptions tcp;
+};
+
+struct ClientStats {
+  std::uint32_t rounds = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t output_value = 0;  // decoded final-round accumulator
+  bool checked = false;
+  bool verified = false;
+  std::size_t working_set_bytes = 0;  // streaming evaluator peak label memory
+  double handshake_seconds = 0;
+  double transfer_seconds = 0;  // table + label receive
+  double ot_seconds = 0;        // OT setup + per-round label OT
+  double eval_seconds = 0;      // streaming evaluation + decode
+  double total_seconds = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Runs one full session against the server. Throws net::NetError (or a
+// subclass) on transport/handshake failure; a completed-but-wrong
+// result is reported via stats.verified, not an exception.
+ClientStats run_client(const ClientConfig& cfg);
+
+}  // namespace maxel::net

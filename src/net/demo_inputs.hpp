@@ -1,0 +1,57 @@
+// Deterministic demo input streams for the server/client binaries and
+// their tests.
+//
+// In a real deployment each party's inputs are private. For the demo
+// service (and the end-to-end tests and CI), both parties instead draw
+// their per-round operands from PRG streams keyed by a *public* seed,
+// so the client can regenerate both streams, fold the plaintext MAC
+// reference over them, and verify the decoded protocol output
+// bit-for-bit — the same trick maxelctl simulate uses. Never feed real
+// secrets through these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
+
+namespace maxel::net {
+
+// Domain-separation tags: the two parties draw from distinct streams of
+// the same seed.
+inline constexpr std::uint64_t kGarblerStream = 0xA5;
+inline constexpr std::uint64_t kEvaluatorStream = 0xE7;
+
+class DemoInputStream {
+ public:
+  DemoInputStream(std::uint64_t seed, std::uint64_t party_tag,
+                  std::size_t bits)
+      : prg_(crypto::Block{seed, party_tag}),
+        bits_(bits),
+        mask_(bits >= 64 ? ~0ull : ((1ull << bits) - 1)) {}
+
+  std::uint64_t next_value() { return prg_.next_u64() & mask_; }
+  std::vector<bool> next_bits() {
+    return circuit::to_bits(next_value(), bits_);
+  }
+
+ private:
+  crypto::Prg prg_;
+  std::size_t bits_;
+  std::uint64_t mask_;
+};
+
+// Plaintext reference for `rounds` demo-MAC rounds under `seed`.
+inline std::uint64_t demo_mac_reference(std::uint64_t seed, std::size_t bits,
+                                        std::size_t rounds) {
+  const circuit::MacOptions mac{bits, bits, true};
+  DemoInputStream a(seed, kGarblerStream, bits);
+  DemoInputStream x(seed, kEvaluatorStream, bits);
+  std::uint64_t acc = 0;
+  for (std::size_t r = 0; r < rounds; ++r)
+    acc = circuit::mac_reference(acc, a.next_value(), x.next_value(), mac);
+  return acc;
+}
+
+}  // namespace maxel::net

@@ -1,0 +1,87 @@
+// Typed error surface of the network subsystem.
+//
+// Every failure mode a remote peer can induce — refused/unreachable
+// host, silence past the deadline, mid-frame hangup, malformed framing,
+// protocol-level rejection — maps to a distinct exception type, so
+// callers (the server's accept loop, the client's retry logic, tests)
+// can react per cause instead of string-matching what() text.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace maxel::net {
+
+// Root of the hierarchy; catching this covers any transport failure.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// connect() failed after the configured bounded-backoff retries.
+class ConnectError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+// No data within the recv deadline (the peer is alive-but-silent case;
+// distinguishes a stuck protocol from a dead one).
+class TimeoutError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+// Orderly EOF at a frame boundary: the peer closed the connection.
+class PeerClosedError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+// The byte stream violates the frame layout: EOF inside a frame,
+// zero/oversize length, or a short header.
+class FramingError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
+// Session-protocol rejection codes (see handshake.hpp for the fields).
+enum class RejectCode : std::uint32_t {
+  kOk = 0,
+  kBadMagic = 1,
+  kVersionMismatch = 2,
+  kSchemeMismatch = 3,
+  kBitWidthMismatch = 4,
+  kCircuitMismatch = 5,
+  kBadOtMode = 6,
+};
+
+[[nodiscard]] constexpr const char* reject_name(RejectCode c) {
+  switch (c) {
+    case RejectCode::kOk: return "ok";
+    case RejectCode::kBadMagic: return "bad-magic";
+    case RejectCode::kVersionMismatch: return "version-mismatch";
+    case RejectCode::kSchemeMismatch: return "scheme-mismatch";
+    case RejectCode::kBitWidthMismatch: return "bit-width-mismatch";
+    case RejectCode::kCircuitMismatch: return "circuit-mismatch";
+    case RejectCode::kBadOtMode: return "bad-ot-mode";
+  }
+  return "?";
+}
+
+// Handshake failed: the peer rejected us (code from the wire) or sent a
+// hello we must reject (code we are about to send).
+class HandshakeError : public NetError {
+ public:
+  HandshakeError(RejectCode code, const std::string& msg)
+      : NetError("handshake rejected [" + std::string(reject_name(code)) +
+                 "]: " + msg),
+        code_(code) {}
+
+  [[nodiscard]] RejectCode code() const { return code_; }
+
+ private:
+  RejectCode code_;
+};
+
+}  // namespace maxel::net

@@ -1,0 +1,148 @@
+#include "net/handshake.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace maxel::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  const std::size_t off = buf.size();
+  buf.resize(off + 4);
+  std::memcpy(buf.data() + off, &v, 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  const std::size_t off = buf.size();
+  buf.resize(off + 8);
+  std::memcpy(buf.data() + off, &v, 8);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> circuit_fingerprint(const circuit::Circuit& c) {
+  std::vector<std::uint8_t> enc;
+  enc.reserve(64 + 13 * c.gates.size());
+  put_u64(enc, 0x4d584e4554463031ull);  // domain tag "MXNETF01"
+  put_u32(enc, c.num_wires);
+  const auto put_wires = [&](const std::vector<circuit::Wire>& ws) {
+    put_u64(enc, ws.size());
+    for (const circuit::Wire w : ws) put_u32(enc, w);
+  };
+  put_wires(c.garbler_inputs);
+  put_wires(c.evaluator_inputs);
+  put_wires(c.outputs);
+  put_u64(enc, c.gates.size());
+  for (const auto& g : c.gates) {
+    enc.push_back(static_cast<std::uint8_t>(g.type));
+    put_u32(enc, g.a);
+    put_u32(enc, g.b);
+    put_u32(enc, g.out);
+  }
+  put_u64(enc, c.dffs.size());
+  for (const auto& d : c.dffs) {
+    put_u32(enc, d.q);
+    put_u32(enc, d.d);
+    enc.push_back(d.init ? 1 : 0);
+  }
+  return crypto::Sha256::hash(enc.data(), enc.size());
+}
+
+void send_hello(proto::Channel& ch, const ClientHello& h) {
+  std::uint8_t buf[kHelloWireSize];
+  std::size_t off = 0;
+  std::memcpy(buf + off, &h.magic, 8); off += 8;
+  std::memcpy(buf + off, &h.version, 4); off += 4;
+  buf[off++] = h.scheme;
+  buf[off++] = h.ot;
+  buf[off++] = 0;  // reserved
+  buf[off++] = 0;
+  std::memcpy(buf + off, &h.bit_width, 4); off += 4;
+  std::memcpy(buf + off, &h.rounds, 4); off += 4;
+  std::memcpy(buf + off, h.circuit_hash.data(), 32); off += 32;
+  ch.send_bytes(buf, off);
+  ch.flush();
+}
+
+ClientHello recv_hello(proto::Channel& ch) {
+  std::uint8_t buf[kHelloWireSize];
+  ch.recv_bytes(buf, kHelloWireSize);
+  ClientHello h;
+  std::size_t off = 0;
+  std::memcpy(&h.magic, buf + off, 8); off += 8;
+  std::memcpy(&h.version, buf + off, 4); off += 4;
+  h.scheme = buf[off++];
+  h.ot = buf[off++];
+  off += 2;  // reserved
+  std::memcpy(&h.bit_width, buf + off, 4); off += 4;
+  std::memcpy(&h.rounds, buf + off, 4); off += 4;
+  std::memcpy(h.circuit_hash.data(), buf + off, 32);
+  return h;
+}
+
+void send_accept(proto::Channel& ch, const ServerAccept& a) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, static_cast<std::uint32_t>(a.status));
+  put_u32(buf, a.rounds);
+  put_u32(buf, static_cast<std::uint32_t>(a.message.size()));
+  buf.insert(buf.end(), a.message.begin(), a.message.end());
+  ch.send_bytes(buf.data(), buf.size());
+  ch.flush();
+}
+
+ServerAccept recv_accept(proto::Channel& ch) {
+  std::uint8_t head[12];
+  ch.recv_bytes(head, 12);
+  ServerAccept a;
+  std::uint32_t status = 0, len = 0;
+  std::memcpy(&status, head, 4);
+  std::memcpy(&a.rounds, head + 4, 4);
+  std::memcpy(&len, head + 8, 4);
+  if (len > 4096) throw FramingError("oversized accept message");
+  a.status = static_cast<RejectCode>(status);
+  a.message.resize(len);
+  if (len > 0)
+    ch.recv_bytes(reinterpret_cast<std::uint8_t*>(a.message.data()), len);
+  return a;
+}
+
+std::uint32_t client_handshake(proto::Channel& ch, const ClientHello& hello) {
+  send_hello(ch, hello);
+  const ServerAccept a = recv_accept(ch);
+  if (a.status != RejectCode::kOk)
+    throw HandshakeError(a.status,
+                         a.message.empty() ? "server rejected" : a.message);
+  return a.rounds;
+}
+
+ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex) {
+  const ClientHello h = recv_hello(ch);
+  const auto reject = [&](RejectCode code, const std::string& msg) {
+    send_accept(ch, ServerAccept{code, 0, msg});
+    throw HandshakeError(code, msg);
+  };
+  if (h.magic != kHelloMagic) reject(RejectCode::kBadMagic, "bad magic");
+  if (h.version != kProtocolVersion)
+    reject(RejectCode::kVersionMismatch,
+           "server speaks version " + std::to_string(kProtocolVersion) +
+               ", client sent " + std::to_string(h.version));
+  if (h.scheme != static_cast<std::uint8_t>(ex.scheme))
+    reject(RejectCode::kSchemeMismatch,
+           std::string("server garbles ") + gc::scheme_name(ex.scheme));
+  if (h.ot > static_cast<std::uint8_t>(OtChoice::kIknp))
+    reject(RejectCode::kBadOtMode, "unknown OT mode");
+  if (h.bit_width != ex.bit_width)
+    reject(RejectCode::kBitWidthMismatch,
+           "server serves bit width " + std::to_string(ex.bit_width) +
+               ", client asked " + std::to_string(h.bit_width));
+  if (h.circuit_hash != ex.circuit_hash)
+    reject(RejectCode::kCircuitMismatch,
+           "circuit fingerprint mismatch (incompatible builds?)");
+  send_accept(ch, ServerAccept{RejectCode::kOk, ex.rounds_per_session, ""});
+  return h;
+}
+
+}  // namespace maxel::net

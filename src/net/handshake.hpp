@@ -1,0 +1,79 @@
+// Versioned session handshake for the remote secure-MAC service.
+//
+// The client opens every connection with a fixed-size hello naming the
+// protocol version, garbling scheme, OT mode, operand bit width and a
+// SHA-256 fingerprint of the circuit it will evaluate. The server
+// either accepts — replying with the authoritative rounds-per-session
+// (sessions are precomputed, so the server dictates their length) — or
+// rejects with a typed code and a human-readable reason, then closes.
+// Either way the client gets a definite answer: mismatches surface as
+// HandshakeError, never as a hang or a garbled protocol stream.
+//
+// Version policy: the version field must match exactly. Anything that
+// changes the session byte stream (frame layout, hello fields, round
+// material order, OT messages) bumps kProtocolVersion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "gc/scheme.hpp"
+#include "net/error.hpp"
+#include "proto/channel.hpp"
+
+namespace maxel::net {
+
+inline constexpr std::uint64_t kHelloMagic = 0x54454e4c4558414dull;  // "MAXELNET"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class OtChoice : std::uint8_t { kBase = 0, kIknp = 1 };
+
+// Canonical SHA-256 fingerprint of a netlist (structure only — wire
+// counts, input/output lists, gates, DFFs; the name is excluded). Both
+// endpoints build their circuit locally and compare fingerprints, so
+// any divergence in circuit construction across builds is caught at
+// handshake time instead of as garbage outputs.
+std::array<std::uint8_t, 32> circuit_fingerprint(const circuit::Circuit& c);
+
+struct ClientHello {
+  std::uint64_t magic = kHelloMagic;
+  std::uint32_t version = kProtocolVersion;
+  std::uint8_t scheme = 0;    // gc::Scheme
+  std::uint8_t ot = 0;        // OtChoice
+  std::uint32_t bit_width = 0;
+  std::uint32_t rounds = 0;   // requested; server replies with actual
+  std::array<std::uint8_t, 32> circuit_hash{};
+};
+
+inline constexpr std::size_t kHelloWireSize = 8 + 4 + 1 + 1 + 2 + 4 + 4 + 32;
+
+struct ServerAccept {
+  RejectCode status = RejectCode::kOk;
+  std::uint32_t rounds = 0;  // authoritative rounds per session
+  std::string message;       // reject reason (empty on accept)
+};
+
+void send_hello(proto::Channel& ch, const ClientHello& h);
+ClientHello recv_hello(proto::Channel& ch);
+void send_accept(proto::Channel& ch, const ServerAccept& a);
+ServerAccept recv_accept(proto::Channel& ch);
+
+// Client side: sends the hello, reads the verdict; returns the
+// negotiated rounds-per-session or throws HandshakeError on rejection.
+std::uint32_t client_handshake(proto::Channel& ch, const ClientHello& hello);
+
+// Server side: reads a hello and validates it against this server's
+// configuration. On mismatch sends the reject record and throws
+// HandshakeError; on success sends the accept carrying
+// `rounds_per_session` and returns the validated hello.
+struct ServerExpectation {
+  gc::Scheme scheme = gc::Scheme::kHalfGates;
+  std::uint32_t bit_width = 0;
+  std::array<std::uint8_t, 32> circuit_hash{};
+  std::uint32_t rounds_per_session = 0;
+};
+ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex);
+
+}  // namespace maxel::net

@@ -1,0 +1,202 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "net/demo_inputs.hpp"
+
+namespace maxel::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+circuit::Circuit make_service_circuit(std::size_t bits) {
+  return circuit::make_mac_circuit(circuit::MacOptions{bits, bits, true});
+}
+
+}  // namespace
+
+std::string ServerStats::to_json() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"role\":\"server\",\"sessions_served\":%llu,\"rounds_served\":%llu,"
+      "\"handshakes_rejected\":%llu,\"connection_errors\":%llu,"
+      "\"bytes_sent\":%llu,\"bytes_received\":%llu,"
+      "\"sessions_precomputed\":%llu,\"handshake_seconds\":%.6f,"
+      "\"transfer_seconds\":%.6f,\"ot_seconds\":%.6f,\"total_seconds\":%.6f}",
+      static_cast<unsigned long long>(sessions_served),
+      static_cast<unsigned long long>(rounds_served),
+      static_cast<unsigned long long>(handshakes_rejected),
+      static_cast<unsigned long long>(connection_errors),
+      static_cast<unsigned long long>(bytes_sent),
+      static_cast<unsigned long long>(bytes_received),
+      static_cast<unsigned long long>(sessions_precomputed), handshake_seconds,
+      transfer_seconds, ot_seconds, total_seconds);
+  return buf;
+}
+
+Server::Server(const ServerConfig& cfg)
+    : cfg_(cfg),
+      circ_(make_service_circuit(cfg.bits)),
+      listener_(cfg.port, cfg.bind_addr),
+      pool_(cfg.precompute_cores, crypto::SystemRandom().next_block()),
+      bank_(circ_, cfg.scheme, cfg.rounds_per_session) {
+  expect_.scheme = cfg.scheme;
+  expect_.bit_width = static_cast<std::uint32_t>(cfg.bits);
+  expect_.circuit_hash = circuit_fingerprint(circ_);
+  expect_.rounds_per_session =
+      static_cast<std::uint32_t>(cfg.rounds_per_session);
+  precompute_thread_ = std::thread([this] { precompute_loop(); });
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(bank_mu_);
+  return stats_;
+}
+
+Server::~Server() {
+  request_stop();
+  if (precompute_thread_.joinable()) precompute_thread_.join();
+}
+
+void Server::precompute_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(bank_mu_);
+      if (bank_.stats().sessions_ready >= cfg_.bank_low_watermark) {
+        // Poll (rather than wait on a notify) so request_stop() stays a
+        // plain atomic store — callable from a signal handler.
+        bank_cv_.wait_for(lock, std::chrono::milliseconds(100));
+        continue;
+      }
+    }
+    // Garble outside the lock: one GC core per session, each on its own
+    // deterministic per-core RNG stream.
+    const std::size_t batch = std::max<std::size_t>(1, cfg_.bank_batch);
+    std::vector<proto::PrecomputedSession> fresh(batch);
+    pool_.parallel_for(batch, [&](std::size_t item, std::size_t core) {
+      fresh[item] = proto::garble_session(circ_, cfg_.scheme,
+                                          cfg_.rounds_per_session,
+                                          pool_.core_rng(core));
+    });
+    {
+      const std::lock_guard<std::mutex> lock(bank_mu_);
+      for (auto& s : fresh) bank_.add_session(std::move(s));
+      stats_.sessions_precomputed += batch;
+    }
+    bank_cv_.notify_all();
+  }
+}
+
+proto::PrecomputedSession Server::take_session() {
+  std::unique_lock<std::mutex> lock(bank_mu_);
+  while (bank_.stats().sessions_ready == 0) {
+    if (stop_.load(std::memory_order_relaxed))
+      throw NetError("server stopping");
+    bank_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+  return bank_.take_session();
+}
+
+void Server::handle_connection(TcpChannel& ch) {
+  const auto t_hs = Clock::now();
+  // server_handshake sends the typed reject and throws on mismatch; the
+  // caller counts it and moves on to the next client.
+  const ClientHello hello = server_handshake(ch, expect_);
+  {
+    const std::lock_guard<std::mutex> lock(bank_mu_);
+    stats_.handshake_seconds += seconds_since(t_hs);
+  }
+
+  proto::PrecomputedGarblerParty garbler(
+      take_session(), ch, rng_,
+      hello.ot == static_cast<std::uint8_t>(OtChoice::kIknp)
+          ? proto::PrecomputedOtMode::kIknp
+          : proto::PrecomputedOtMode::kBase);
+
+  double transfer_s = 0, ot_s = 0;
+  {
+    const auto t0 = Clock::now();
+    garbler.setup_step2();  // no-ops under base OT
+    garbler.setup_step4();
+    ot_s += seconds_since(t0);
+  }
+
+  DemoInputStream a_inputs(cfg_.demo_seed, kGarblerStream, cfg_.bits);
+  for (std::size_t r = 0; r < cfg_.rounds_per_session; ++r) {
+    auto t0 = Clock::now();
+    garbler.garble_and_send(a_inputs.next_bits());
+    transfer_s += seconds_since(t0);
+    t0 = Clock::now();
+    garbler.finish_ot();
+    ot_s += seconds_since(t0);
+  }
+  // The final OT ciphertexts may still sit in the write buffer; the
+  // client is waiting on them.
+  ch.flush();
+
+  std::uint64_t session_no;
+  {
+    const std::lock_guard<std::mutex> lock(bank_mu_);
+    stats_.transfer_seconds += transfer_s;
+    stats_.ot_seconds += ot_s;
+    stats_.bytes_sent += ch.bytes_sent();
+    stats_.bytes_received += ch.bytes_received();
+    stats_.rounds_served += cfg_.rounds_per_session;
+    session_no = ++stats_.sessions_served;
+  }
+
+  if (cfg_.verbose)
+    std::fprintf(stderr,
+                 "[maxel_server] session %llu: %zu rounds, %llu B out / %llu "
+                 "B in, transfer %.3fs, ot %.3fs\n",
+                 static_cast<unsigned long long>(session_no),
+                 cfg_.rounds_per_session,
+                 static_cast<unsigned long long>(ch.bytes_sent()),
+                 static_cast<unsigned long long>(ch.bytes_received()),
+                 transfer_s, ot_s);
+}
+
+void Server::serve() {
+  const auto t0 = Clock::now();
+  while (!stop_.load(std::memory_order_relaxed) &&
+         (cfg_.max_sessions == 0 ||
+          stats_.sessions_served < cfg_.max_sessions)) {
+    std::unique_ptr<TcpChannel> ch;
+    try {
+      ch = listener_.accept(200, cfg_.tcp);
+    } catch (const NetError&) {
+      break;  // listener closed under us
+    }
+    if (!ch) continue;  // poll timeout: recheck stop/max
+    try {
+      handle_connection(*ch);
+    } catch (const HandshakeError& e) {
+      {
+        const std::lock_guard<std::mutex> lock(bank_mu_);
+        ++stats_.handshakes_rejected;
+      }
+      if (cfg_.verbose)
+        std::fprintf(stderr, "[maxel_server] rejected client: %s\n", e.what());
+    } catch (const NetError& e) {
+      {
+        const std::lock_guard<std::mutex> lock(bank_mu_);
+        ++stats_.connection_errors;
+      }
+      if (cfg_.verbose)
+        std::fprintf(stderr, "[maxel_server] connection error: %s\n", e.what());
+    }
+  }
+  const std::lock_guard<std::mutex> lock(bank_mu_);
+  stats_.total_seconds += seconds_since(t0);
+}
+
+}  // namespace maxel::net

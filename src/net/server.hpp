@@ -1,0 +1,110 @@
+// Garbler-side network server: the cloud host of Fig. 1.
+//
+// Serves precomputed garbling sessions to remote evaluator clients over
+// TCP. One connection = one handshake + one session: the server pops a
+// pre-garbled session from its GarblingBank and streams each round's
+// tables/labels, running the online OT per round. A background thread
+// keeps the bank stocked, garbling fresh sessions in parallel on a
+// core::GcCorePool (the software stand-in for the accelerator streaming
+// tables up over PCIe while the host serves traffic).
+//
+// Serving is sequential (one client at a time) in this PR; the
+// accept/handshake/session split is the seam where multi-client serving
+// and async I/O attach later.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "circuit/circuits.hpp"
+#include "core/gc_core_pool.hpp"
+#include "crypto/rng.hpp"
+#include "gc/scheme.hpp"
+#include "net/handshake.hpp"
+#include "net/tcp_channel.hpp"
+#include "proto/precompute.hpp"
+
+namespace maxel::net {
+
+struct ServerConfig {
+  std::string bind_addr = "0.0.0.0";
+  std::uint16_t port = 7117;  // 0 picks an ephemeral port (Server::port())
+  std::size_t bits = 16;
+  gc::Scheme scheme = gc::Scheme::kHalfGates;
+  std::size_t rounds_per_session = 128;
+  std::size_t bank_low_watermark = 2;  // refill when ready sessions < this
+  std::size_t bank_batch = 2;          // sessions garbled per refill pass
+  std::size_t precompute_cores = 0;    // 0 = hardware concurrency
+  std::uint64_t demo_seed = 7;         // public demo-input seed (see demo_inputs.hpp)
+  std::uint64_t max_sessions = 0;      // stop after serving this many; 0 = run until stop()
+  bool verbose = true;                 // per-session log line on stderr
+  TcpOptions tcp;
+};
+
+struct ServerStats {
+  std::uint64_t sessions_served = 0;
+  std::uint64_t rounds_served = 0;
+  std::uint64_t handshakes_rejected = 0;
+  std::uint64_t connection_errors = 0;
+  std::uint64_t bytes_sent = 0;      // payload bytes, summed over sessions
+  std::uint64_t bytes_received = 0;
+  std::uint64_t sessions_precomputed = 0;
+  double handshake_seconds = 0;
+  double transfer_seconds = 0;  // garbled tables + labels push
+  double ot_seconds = 0;        // OT setup + per-round label OT
+  double total_seconds = 0;     // serve() wall time
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bound port (useful with cfg.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  // Accept/serve loop; returns when max_sessions is reached or
+  // request_stop() was called. Safe to run on its own thread.
+  void serve();
+
+  // Async-signal-safe stop request (plain atomic store; serve() and the
+  // precompute thread poll it).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // Counter snapshot. The precompute thread keeps stocking the bank (and
+  // bumping sessions_precomputed) until destruction, so this takes the
+  // bank lock rather than handing out a reference.
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const circuit::Circuit& circuit() const { return circ_; }
+
+ private:
+  void precompute_loop();
+  proto::PrecomputedSession take_session();
+  void handle_connection(TcpChannel& ch);
+
+  ServerConfig cfg_;
+  circuit::Circuit circ_;
+  ServerExpectation expect_;
+  TcpListener listener_;
+  crypto::SystemRandom rng_;  // online-phase OT randomness
+
+  core::GcCorePool pool_;
+  proto::GarblingBank bank_;
+  mutable std::mutex bank_mu_;
+  std::condition_variable bank_cv_;  // signals sessions added
+  std::thread precompute_thread_;
+  std::atomic<bool> stop_{false};
+
+  ServerStats stats_;
+};
+
+}  // namespace maxel::net

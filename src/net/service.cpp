@@ -1,0 +1,188 @@
+#include "net/service.hpp"
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace maxel::net {
+
+namespace {
+
+Server* g_signal_server = nullptr;
+
+void handle_sigint(int) {
+  if (g_signal_server != nullptr) g_signal_server->request_stop();
+}
+
+bool parse_scheme(const std::string& name, gc::Scheme& out) {
+  if (name == "halfgates") out = gc::Scheme::kHalfGates;
+  else if (name == "grr3") out = gc::Scheme::kGrr3;
+  else if (name == "classic4") out = gc::Scheme::kClassic4;
+  else return false;
+  return true;
+}
+
+void dump_stats(const std::string& json, const std::string& path) {
+  std::printf("STATS %s\n", json.c_str());
+  std::fflush(stdout);
+  if (!path.empty()) {
+    std::ofstream os(path);
+    os << json << "\n";
+  }
+}
+
+// Shared flag scaffolding: returns false (usage error) on unknown flags
+// or missing values.
+struct FlagParser {
+  int argc;
+  char** argv;
+  int i = 0;
+  bool ok = true;
+
+  bool next_flag(std::string& flag) {
+    if (i >= argc) return false;
+    flag = argv[i++];
+    return true;
+  }
+  const char* value() {
+    if (i >= argc) {
+      ok = false;
+      return nullptr;
+    }
+    return argv[i++];
+  }
+  std::uint64_t value_u64() {
+    const char* v = value();
+    return v ? std::strtoull(v, nullptr, 10) : 0;
+  }
+};
+
+}  // namespace
+
+int serve_command(int argc, char** argv) {
+  ServerConfig cfg;
+  cfg.port = 7117;
+  std::string json_path;
+  FlagParser p{argc, argv};
+  std::string flag;
+  while (p.next_flag(flag)) {
+    if (flag == "--port") cfg.port = static_cast<std::uint16_t>(p.value_u64());
+    else if (flag == "--bind") { const char* v = p.value(); if (v) cfg.bind_addr = v; }
+    else if (flag == "--bits") cfg.bits = p.value_u64();
+    else if (flag == "--rounds") cfg.rounds_per_session = p.value_u64();
+    else if (flag == "--sessions") cfg.max_sessions = p.value_u64();
+    else if (flag == "--cores") cfg.precompute_cores = p.value_u64();
+    else if (flag == "--seed") cfg.demo_seed = p.value_u64();
+    else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
+    else if (flag == "--quiet") cfg.verbose = false;
+    else if (flag == "--scheme") {
+      const char* v = p.value();
+      if (!v || !parse_scheme(v, cfg.scheme)) {
+        std::fprintf(stderr, "bad --scheme (halfgates|grr3|classic4)\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "maxel_server: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (!p.ok || cfg.bits == 0 || cfg.rounds_per_session == 0) {
+    std::fprintf(stderr, "maxel_server: bad flags\n");
+    return 2;
+  }
+
+  try {
+    Server server(cfg);
+    g_signal_server = &server;
+    std::signal(SIGINT, handle_sigint);
+    std::signal(SIGTERM, handle_sigint);
+    std::printf("maxel_server listening on %s:%u (b=%zu, %zu rounds/session, "
+                "%s)\n",
+                cfg.bind_addr.c_str(), server.port(), cfg.bits,
+                cfg.rounds_per_session, gc::scheme_name(cfg.scheme));
+    std::fflush(stdout);
+    server.serve();
+    g_signal_server = nullptr;
+
+    const ServerStats& st = server.stats();
+    std::printf("served %llu sessions (%llu rounds): %llu B out, %llu B in, "
+                "handshake %.3fs, transfer %.3fs, ot %.3fs, wall %.3fs\n",
+                static_cast<unsigned long long>(st.sessions_served),
+                static_cast<unsigned long long>(st.rounds_served),
+                static_cast<unsigned long long>(st.bytes_sent),
+                static_cast<unsigned long long>(st.bytes_received),
+                st.handshake_seconds, st.transfer_seconds, st.ot_seconds,
+                st.total_seconds);
+    dump_stats(st.to_json(), json_path);
+    return 0;
+  } catch (const std::exception& e) {
+    g_signal_server = nullptr;
+    std::fprintf(stderr, "maxel_server: %s\n", e.what());
+    return 1;
+  }
+}
+
+int connect_command(int argc, char** argv) {
+  ClientConfig cfg;
+  std::string json_path;
+  FlagParser p{argc, argv};
+  std::string flag;
+  while (p.next_flag(flag)) {
+    if (flag == "--host") { const char* v = p.value(); if (v) cfg.host = v; }
+    else if (flag == "--port") cfg.port = static_cast<std::uint16_t>(p.value_u64());
+    else if (flag == "--bits") cfg.bits = p.value_u64();
+    else if (flag == "--rounds") cfg.rounds_hint = static_cast<std::uint32_t>(p.value_u64());
+    else if (flag == "--seed") cfg.demo_seed = p.value_u64();
+    else if (flag == "--no-check") cfg.check = false;
+    else if (flag == "--quiet") cfg.verbose = false;
+    else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
+    else if (flag == "--ot") {
+      const char* v = p.value();
+      if (v && std::strcmp(v, "base") == 0) cfg.ot = OtChoice::kBase;
+      else if (v && std::strcmp(v, "iknp") == 0) cfg.ot = OtChoice::kIknp;
+      else {
+        std::fprintf(stderr, "bad --ot (base|iknp)\n");
+        return 2;
+      }
+    } else if (flag == "--scheme") {
+      const char* v = p.value();
+      if (!v || !parse_scheme(v, cfg.scheme)) {
+        std::fprintf(stderr, "bad --scheme (halfgates|grr3|classic4)\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "maxel_client: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (!p.ok || cfg.bits == 0) {
+    std::fprintf(stderr, "maxel_client: bad flags\n");
+    return 2;
+  }
+
+  try {
+    const ClientStats st = run_client(cfg);
+    std::printf("evaluated %u rounds: MAC = %llu%s, %llu B in, %llu B out, "
+                "handshake %.3fs, transfer %.3fs, ot %.3fs, eval %.3fs\n",
+                st.rounds, static_cast<unsigned long long>(st.output_value),
+                st.checked ? (st.verified ? " (VERIFIED)" : " (MISMATCH)") : "",
+                static_cast<unsigned long long>(st.bytes_received),
+                static_cast<unsigned long long>(st.bytes_sent),
+                st.handshake_seconds, st.transfer_seconds, st.ot_seconds,
+                st.eval_seconds);
+    dump_stats(st.to_json(), json_path);
+    return st.checked && !st.verified ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "maxel_client: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace maxel::net

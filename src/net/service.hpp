@@ -1,0 +1,20 @@
+// Command-line entry points for the network service, shared between the
+// standalone maxel_server / maxel_client binaries and the maxelctl
+// `serve` / `connect` subcommands. argv excludes the program/subcommand
+// name. Both print a human summary on exit and dump the session stats
+// as JSON (stdout line `STATS {...}`, plus --json FILE).
+#pragma once
+
+namespace maxel::net {
+
+// maxel_server [--port P] [--bind A] [--bits N] [--rounds M]
+//              [--scheme halfgates|grr3|classic4] [--sessions K]
+//              [--cores C] [--seed S] [--json FILE] [--quiet]
+int serve_command(int argc, char** argv);
+
+// maxel_client [--host H] [--port P] [--bits N] [--rounds M]
+//              [--scheme ...] [--ot base|iknp] [--seed S] [--no-check]
+//              [--json FILE] [--quiet]
+int connect_command(int argc, char** argv);
+
+}  // namespace maxel::net

@@ -1,0 +1,279 @@
+#include "net/tcp_channel.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace maxel::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_cloexec_nodelay(int fd) {
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  // The protocol is request/response at frame granularity; Nagle only
+  // adds latency between a frame and the peer's reply.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// poll() for `events` with a deadline; returns false on timeout.
+bool poll_fd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+// One non-blocking connect attempt with its own timeout; returns the
+// connected fd or -1 (errno describes the failure).
+int try_connect_once(const struct addrinfo* ai, int timeout_ms) {
+  const int fd = ::socket(ai->ai_family, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  int r = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+  if (r != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    r = ::poll(&pfd, 1, timeout_ms);
+    if (r == 1) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err == 0) r = 0;
+      else { errno = err; r = -1; }
+    } else {
+      if (r == 0) errno = ETIMEDOUT;
+      r = -1;
+    }
+  }
+  if (r != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  // Back to blocking; all further waiting goes through poll().
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) & ~O_NONBLOCK);
+  set_cloexec_nodelay(fd);
+  return fd;
+}
+
+}  // namespace
+
+// --- TcpChannel -----------------------------------------------------------
+
+TcpChannel::TcpChannel(int fd, const TcpOptions& opts) : fd_(fd), opts_(opts) {
+  wbuf_.reserve(opts.flush_threshold_bytes);
+}
+
+TcpChannel::~TcpChannel() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort; the peer sees EOF either way.
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpChannel> TcpChannel::connect(const std::string& host,
+                                                std::uint16_t port,
+                                                const TcpOptions& opts) {
+  struct addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (gai != 0)
+    throw ConnectError("resolve " + host + ": " + ::gai_strerror(gai));
+
+  int backoff = std::max(1, opts.connect_backoff_ms);
+  std::string last_error = "no addresses";
+  for (int attempt = 0; attempt < std::max(1, opts.connect_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, opts.connect_backoff_max_ms);
+    }
+    for (const struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      const int fd = try_connect_once(ai, opts.connect_timeout_ms);
+      if (fd >= 0) {
+        ::freeaddrinfo(res);
+        return std::unique_ptr<TcpChannel>(new TcpChannel(fd, opts));
+      }
+      last_error = std::strerror(errno);
+    }
+  }
+  ::freeaddrinfo(res);
+  throw ConnectError("connect " + host + ":" + service + " failed after " +
+                     std::to_string(std::max(1, opts.connect_attempts)) +
+                     " attempts: " + last_error);
+}
+
+void TcpChannel::raw_send(const std::uint8_t* data, std::size_t n) {
+  wbuf_.insert(wbuf_.end(), data, data + n);
+  if (wbuf_.size() >= opts_.flush_threshold_bytes) flush();
+}
+
+void TcpChannel::flush() {
+  if (wbuf_.empty()) return;
+  if (fd_ < 0) throw PeerClosedError("flush on closed channel");
+  // Frames never exceed max_frame_bytes; an oversized buffer (possible
+  // when one raw_send exceeds the threshold) is cut into several.
+  std::size_t off = 0;
+  while (off < wbuf_.size()) {
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        std::min<std::size_t>(wbuf_.size() - off, opts_.max_frame_bytes));
+    std::uint8_t hdr[4];
+    std::memcpy(hdr, &len, 4);
+    struct Piece { const std::uint8_t* p; std::size_t n; };
+    Piece pieces[2] = {{hdr, 4}, {wbuf_.data() + off, len}};
+    for (auto& piece : pieces) {
+      while (piece.n > 0) {
+        const ssize_t w = ::send(fd_, piece.p, piece.n, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EPIPE || errno == ECONNRESET)
+            throw PeerClosedError("send: peer closed the connection");
+          throw_errno("send");
+        }
+        piece.p += w;
+        piece.n -= static_cast<std::size_t>(w);
+      }
+    }
+    off += len;
+  }
+  wbuf_.clear();
+}
+
+void TcpChannel::shutdown_send() {
+  flush();
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpChannel::read_exact(std::uint8_t* data, std::size_t n,
+                            bool at_frame_start) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (opts_.recv_timeout_ms > 0 &&
+        !poll_fd(fd_, POLLIN, opts_.recv_timeout_ms))
+      throw TimeoutError("recv: no data within " +
+                         std::to_string(opts_.recv_timeout_ms) + " ms");
+    const ssize_t r = ::recv(fd_, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET)
+        throw PeerClosedError("recv: connection reset");
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (at_frame_start && got == 0)
+        throw PeerClosedError("recv: peer closed the connection");
+      throw FramingError("truncated frame: EOF after " + std::to_string(got) +
+                         " of " + std::to_string(n) + " bytes");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+}
+
+void TcpChannel::read_next_frame() {
+  std::uint8_t hdr[4];
+  read_exact(hdr, 4, /*at_frame_start=*/true);
+  std::uint32_t len = 0;
+  std::memcpy(&len, hdr, 4);
+  if (len == 0 || len > opts_.max_frame_bytes)
+    throw FramingError("bad frame length " + std::to_string(len) +
+                       " (max " + std::to_string(opts_.max_frame_bytes) + ")");
+  // Compact the consumed prefix before growing the buffer.
+  if (rpos_ > 0) {
+    rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(rpos_));
+    rpos_ = 0;
+  }
+  const std::size_t old = rbuf_.size();
+  rbuf_.resize(old + len);
+  read_exact(rbuf_.data() + old, len, /*at_frame_start=*/false);
+}
+
+void TcpChannel::raw_recv(std::uint8_t* data, std::size_t n) {
+  // If we are about to wait on the peer, it must first see everything we
+  // queued — otherwise both sides can wait forever.
+  flush();
+  while (rbuf_.size() - rpos_ < n) read_next_frame();
+  std::memcpy(data, rbuf_.data() + rpos_, n);
+  rpos_ += n;
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  }
+}
+
+// --- TcpListener ----------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_addr) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw ConnectError(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ConnectError("bad bind address: " + bind_addr);
+  }
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw ConnectError("bind/listen " + bind_addr + ":" +
+                       std::to_string(port) + ": " + std::strerror(saved));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  ::fcntl(fd_, F_SETFD, FD_CLOEXEC);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<TcpChannel> TcpListener::accept(int timeout_ms,
+                                                const TcpOptions& opts) {
+  if (fd_ < 0) throw ConnectError("accept on closed listener");
+  if (!poll_fd(fd_, POLLIN, timeout_ms)) return nullptr;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) throw_errno("accept");
+  set_cloexec_nodelay(cfd);
+  return std::unique_ptr<TcpChannel>(new TcpChannel(cfd, opts));
+}
+
+}  // namespace maxel::net

@@ -1,0 +1,118 @@
+// POSIX TCP transport implementing proto::Channel — the real link of
+// Fig. 1's deployment (cloud host serving a remote evaluator), replacing
+// the in-process byte queues for cross-machine runs.
+//
+// Wire discipline: length-framed records. Every flush emits one frame
+//
+//   [u32 length (LE, 1..max_frame_bytes)] [length payload bytes]
+//
+// and the receiver reassembles the byte stream from frames, so the
+// Channel byte counters keep counting *payload* bytes — identical on
+// both endpoints and comparable with the in-memory channels.
+//
+// Sends are buffered: raw_send appends to a write buffer that is cut
+// into a frame when it reaches the flush threshold, when flush() is
+// called, or — crucially for the phase-structured GC protocol — before
+// any recv (if this side waits for the peer, the peer must first see
+// everything we queued; this makes the blocking two-thread pattern of
+// ThreadedChannel work unchanged over a socket, without a per-16-byte
+// write() syscall).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/error.hpp"
+#include "proto/channel.hpp"
+
+namespace maxel::net {
+
+struct TcpOptions {
+  // Per-attempt connect timeout and bounded exponential backoff between
+  // attempts (first wait connect_backoff_ms, doubling, capped at
+  // connect_backoff_max_ms; at most connect_attempts attempts total).
+  int connect_timeout_ms = 5'000;
+  int connect_attempts = 10;
+  int connect_backoff_ms = 50;
+  int connect_backoff_max_ms = 2'000;
+
+  // recv deadline; 0 blocks forever. Applies per poll while waiting for
+  // the next frame, so a slowly-streaming peer never times out.
+  int recv_timeout_ms = 30'000;
+
+  // Frames larger than this are a protocol violation (FramingError),
+  // bounding what a bad peer can make us allocate.
+  std::uint32_t max_frame_bytes = 1u << 26;  // 64 MiB
+
+  // Writer buffer size that forces an early frame cut.
+  std::size_t flush_threshold_bytes = 1u << 20;  // 1 MiB
+};
+
+class TcpChannel final : public proto::Channel {
+ public:
+  // Connects to host:port with bounded exponential-backoff retries.
+  // Throws ConnectError when every attempt failed.
+  static std::unique_ptr<TcpChannel> connect(const std::string& host,
+                                             std::uint16_t port,
+                                             const TcpOptions& opts = {});
+
+  ~TcpChannel() override;
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  // Cuts and writes the pending frame, if any.
+  void flush() override;
+
+  // Half-closes the write side (the peer sees clean EOF at a frame
+  // boundary -> PeerClosedError, not a truncated frame).
+  void shutdown_send();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ protected:
+  void raw_send(const std::uint8_t* data, std::size_t n) override;
+  void raw_recv(std::uint8_t* data, std::size_t n) override;
+
+ private:
+  friend class TcpListener;
+  TcpChannel(int fd, const TcpOptions& opts);
+
+  void read_next_frame();  // appends one frame's payload to rbuf_
+  void read_exact(std::uint8_t* data, std::size_t n, bool at_frame_start);
+
+  int fd_ = -1;
+  TcpOptions opts_;
+  std::vector<std::uint8_t> wbuf_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t rpos_ = 0;  // consumed prefix of rbuf_
+};
+
+// Listening socket; accept() yields connected TcpChannels.
+class TcpListener {
+ public:
+  // Binds and listens on bind_addr:port. port 0 picks an ephemeral port
+  // (see port()). Throws ConnectError on bind/listen failure.
+  explicit TcpListener(std::uint16_t port,
+                       const std::string& bind_addr = "0.0.0.0");
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Bound port (the ephemeral one when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Waits up to timeout_ms (-1 = forever) for a connection; returns
+  // nullptr on timeout (so accept loops can poll a stop flag).
+  std::unique_ptr<TcpChannel> accept(int timeout_ms,
+                                     const TcpOptions& opts = {});
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace maxel::net

@@ -10,35 +10,52 @@ GarblingBank::GarblingBank(const circuit::Circuit& c, gc::Scheme scheme,
                            std::size_t rounds_per_session)
     : circ_(c), scheme_(scheme), rounds_per_session_(rounds_per_session) {}
 
-void GarblingBank::precompute(std::size_t n, crypto::RandomSource& rng) {
-  for (std::size_t s = 0; s < n; ++s) {
-    gc::CircuitGarbler garbler(circ_, scheme_, rng);
-    PrecomputedSession session;
-    session.scheme = scheme_;
-    session.delta = garbler.delta();
-    session.rounds.reserve(rounds_per_session_);
-    for (std::size_t r = 0; r < rounds_per_session_; ++r) {
-      PrecomputedSession::Round round;
-      round.tables = garbler.garble_round();
-      if (r == 0) session.initial_state_labels = garbler.initial_state_labels();
-      round.garbler_labels0.reserve(circ_.garbler_inputs.size());
-      for (std::size_t i = 0; i < circ_.garbler_inputs.size(); ++i)
-        round.garbler_labels0.push_back(garbler.garbler_input_label(i, false));
-      round.evaluator_pairs.reserve(circ_.evaluator_inputs.size());
-      for (std::size_t i = 0; i < circ_.evaluator_inputs.size(); ++i)
-        round.evaluator_pairs.push_back(garbler.evaluator_input_labels(i));
-      round.fixed_labels = garbler.fixed_wire_labels();
-      round.output_map = garbler.output_map();
-
-      stats_.stored_bytes +=
-          round.tables.byte_size(scheme_) +
-          16 * (round.garbler_labels0.size() +
-                2 * round.evaluator_pairs.size() + round.fixed_labels.size());
-      session.rounds.push_back(std::move(round));
-    }
-    store_.push_back(std::move(session));
-    ++stats_.sessions_ready;
+PrecomputedSession garble_session(const circuit::Circuit& c, gc::Scheme scheme,
+                                  std::size_t rounds,
+                                  crypto::RandomSource& rng) {
+  gc::CircuitGarbler garbler(c, scheme, rng);
+  PrecomputedSession session;
+  session.scheme = scheme;
+  session.delta = garbler.delta();
+  session.rounds.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    PrecomputedSession::Round round;
+    round.tables = garbler.garble_round();
+    if (r == 0) session.initial_state_labels = garbler.initial_state_labels();
+    round.garbler_labels0.reserve(c.garbler_inputs.size());
+    for (std::size_t i = 0; i < c.garbler_inputs.size(); ++i)
+      round.garbler_labels0.push_back(garbler.garbler_input_label(i, false));
+    round.evaluator_pairs.reserve(c.evaluator_inputs.size());
+    for (std::size_t i = 0; i < c.evaluator_inputs.size(); ++i)
+      round.evaluator_pairs.push_back(garbler.evaluator_input_labels(i));
+    round.fixed_labels = garbler.fixed_wire_labels();
+    round.output_map = garbler.output_map();
+    session.rounds.push_back(std::move(round));
   }
+  return session;
+}
+
+std::uint64_t session_byte_size(const PrecomputedSession& s) {
+  std::uint64_t bytes = 16 * s.initial_state_labels.size();
+  for (const auto& r : s.rounds)
+    bytes += r.tables.byte_size(s.scheme) +
+             16 * (r.garbler_labels0.size() + 2 * r.evaluator_pairs.size() +
+                   r.fixed_labels.size());
+  return bytes;
+}
+
+void GarblingBank::precompute(std::size_t n, crypto::RandomSource& rng) {
+  for (std::size_t s = 0; s < n; ++s)
+    add_session(garble_session(circ_, scheme_, rounds_per_session_, rng));
+}
+
+void GarblingBank::add_session(PrecomputedSession s) {
+  if (s.scheme != scheme_ || s.rounds.size() != rounds_per_session_)
+    throw std::invalid_argument(
+        "GarblingBank::add_session: scheme/rounds mismatch");
+  stats_.stored_bytes += session_byte_size(s);
+  store_.push_back(std::move(s));
+  ++stats_.sessions_ready;
 }
 
 PrecomputedSession GarblingBank::take_session() {
@@ -54,15 +71,34 @@ PrecomputedSession GarblingBank::take_session() {
 PrecomputedGarblerParty::PrecomputedGarblerParty(PrecomputedSession session,
                                                  Channel& ch,
                                                  crypto::RandomSource& rng)
-    : session_(std::move(session)),
-      ch_(ch),
-      owned_ot_(std::make_unique<ot::BaseOtSender>(ch, rng)),
-      ot_(owned_ot_.get()) {}
+    : PrecomputedGarblerParty(std::move(session), ch, rng,
+                              PrecomputedOtMode::kBase) {}
+
+PrecomputedGarblerParty::PrecomputedGarblerParty(PrecomputedSession session,
+                                                 Channel& ch,
+                                                 crypto::RandomSource& rng,
+                                                 PrecomputedOtMode ot)
+    : session_(std::move(session)), ch_(ch) {
+  if (ot == PrecomputedOtMode::kIknp) {
+    iknp_ = std::make_unique<ot::IknpSender>(ch, rng);
+    ot_ = iknp_.get();
+  } else {
+    owned_ot_ = std::make_unique<ot::BaseOtSender>(ch, rng);
+    ot_ = owned_ot_.get();
+  }
+}
 
 PrecomputedGarblerParty::PrecomputedGarblerParty(PrecomputedSession session,
                                                  Channel& ch,
                                                  ot::OtSender& external_ot)
     : session_(std::move(session)), ch_(ch), ot_(&external_ot) {}
+
+void PrecomputedGarblerParty::setup_step2() {
+  if (iknp_) iknp_->setup_step2();
+}
+void PrecomputedGarblerParty::setup_step4() {
+  if (iknp_) iknp_->setup_step4();
+}
 
 void PrecomputedGarblerParty::garble_and_send(
     const std::vector<bool>& garbler_bits) {
@@ -75,10 +111,10 @@ void PrecomputedGarblerParty::garble_and_send(
 
   // Same wire format as GarblerParty::garble_and_send, so the ordinary
   // EvaluatorParty is oblivious to precomputation.
-  const std::size_t rows = gc::rows_per_and(session_.scheme);
   ch_.send_u64(r.tables.tables.size());
-  for (const auto& t : r.tables.tables)
-    for (std::size_t i = 0; i < rows; ++i) ch_.send_block(t.ct[i]);
+  std::vector<std::uint8_t> buf(r.tables.byte_size(session_.scheme));
+  gc::tables_to_bytes(r.tables, session_.scheme, buf.data());
+  ch_.send_bytes(buf.data(), buf.size());
 
   std::vector<Block> g_labels(garbler_bits.size());
   for (std::size_t i = 0; i < garbler_bits.size(); ++i)

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "ot/base_ot.hpp"
+#include "ot/iknp.hpp"
 #include "proto/channel.hpp"
 
 namespace maxel::proto {
@@ -47,6 +48,17 @@ struct BankStats {
   std::uint64_t stored_bytes = 0;  // host memory footprint of the store
 };
 
+// Garbles one complete session (the body of GarblingBank::precompute,
+// exposed so callers with their own parallelism — e.g. one GC core per
+// session on a core::GcCorePool — can produce sessions off-thread and
+// deposit them with add_session).
+PrecomputedSession garble_session(const circuit::Circuit& c, gc::Scheme scheme,
+                                  std::size_t rounds,
+                                  crypto::RandomSource& rng);
+
+// Host memory footprint of a session (tables + label material).
+std::uint64_t session_byte_size(const PrecomputedSession& s);
+
 class GarblingBank {
  public:
   GarblingBank(const circuit::Circuit& c, gc::Scheme scheme,
@@ -55,6 +67,10 @@ class GarblingBank {
   // Offline phase: garble and store `n` fresh sessions (what the
   // accelerator streams up while the host is otherwise idle).
   void precompute(std::size_t n, crypto::RandomSource& rng);
+
+  // Deposits an externally garbled session (must match this bank's
+  // circuit/scheme/rounds — checked).
+  void add_session(PrecomputedSession s);
 
   // Online phase: pops one session. Throws if the bank is empty.
   PrecomputedSession take_session();
@@ -77,16 +93,26 @@ class GarblingBank {
 // only online work: table/label transfer and OT. The counterpart is the
 // ordinary EvaluatorParty (the client cannot tell precomputed garbling
 // from on-demand garbling — same message flow).
+enum class PrecomputedOtMode { kBase, kIknp };
+
 class PrecomputedGarblerParty {
  public:
   // Default: fresh base OT online.
   PrecomputedGarblerParty(PrecomputedSession session, Channel& ch,
                           crypto::RandomSource& rng);
+  // Explicit online OT choice: base OT or IKNP extension (the latter
+  // needs the setup steps below run against the peer's receiver).
+  PrecomputedGarblerParty(PrecomputedSession session, Channel& ch,
+                          crypto::RandomSource& rng, PrecomputedOtMode ot);
   // Fully-offline variant: an external OT sender (e.g. a
   // ot::PrecomputedOtSender over a Beaver pool) serves the labels, so the
   // online phase is transfer + XOR only.
   PrecomputedGarblerParty(PrecomputedSession session, Channel& ch,
                           ot::OtSender& external_ot);
+
+  // IKNP setup steps owned by this side; no-ops under base/external OT.
+  void setup_step2();
+  void setup_step4();
 
   void garble_and_send(const std::vector<bool>& garbler_bits);
   void finish_ot();
@@ -95,6 +121,7 @@ class PrecomputedGarblerParty {
   PrecomputedSession session_;
   Channel& ch_;
   std::unique_ptr<ot::BaseOtSender> owned_ot_;
+  std::unique_ptr<ot::IknpSender> iknp_;
   ot::OtSender* ot_ = nullptr;
   std::size_t sent_rounds_ = 0;
   std::size_t ot_rounds_ = 0;

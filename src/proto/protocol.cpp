@@ -32,11 +32,12 @@ void GarblerParty::garble_and_send(const std::vector<bool>& garbler_bits) {
   const bool first_round = garbler_.rounds_garbled() == 0;
   const gc::RoundTables tables = garbler_.garble_round();
 
-  // Garbled tables (the payload MAXelerator streams over PCIe).
-  const std::size_t rows = gc::rows_per_and(opt_.scheme);
+  // Garbled tables (the payload MAXelerator streams over PCIe), as one
+  // contiguous buffer — a single syscall on socket transports.
   ch_.send_u64(tables.tables.size());
-  for (const auto& t : tables.tables)
-    for (std::size_t r = 0; r < rows; ++r) ch_.send_block(t.ct[r]);
+  std::vector<std::uint8_t> buf(tables.byte_size(opt_.scheme));
+  gc::tables_to_bytes(tables, opt_.scheme, buf.data());
+  ch_.send_bytes(buf.data(), buf.size());
 
   // Garbler-side input labels and the fixed/constant wire labels.
   std::vector<Block> g_labels(garbler_bits.size());
@@ -90,10 +91,10 @@ void EvaluatorParty::receive_and_choose(
     throw std::invalid_argument("receive_and_choose: input arity mismatch");
 
   const std::size_t n_tables = ch_.recv_u64();
-  const std::size_t rows = gc::rows_per_and(opt_.scheme);
-  tables_.tables.assign(n_tables, gc::GarbledTable{});
-  for (auto& t : tables_.tables)
-    for (std::size_t r = 0; r < rows; ++r) t.ct[r] = ch_.recv_block();
+  std::vector<std::uint8_t> buf(n_tables *
+                                gc::bytes_per_and(opt_.scheme));
+  ch_.recv_bytes(buf.data(), buf.size());
+  tables_ = gc::tables_from_bytes(buf.data(), n_tables, opt_.scheme);
 
   garbler_labels_ = ch_.recv_blocks();
   fixed_labels_ = ch_.recv_blocks();

@@ -5,7 +5,9 @@
 // simply runs its own loop.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -40,10 +42,12 @@ class ThreadedChannel final : public Channel {
   void raw_recv(std::uint8_t* data, std::size_t n) override {
     std::unique_lock<std::mutex> lock(in_->mu);
     in_->cv.wait(lock, [&] { return in_->bytes.size() >= n; });
-    for (std::size_t i = 0; i < n; ++i) {
-      data[i] = in_->bytes.front();
-      in_->bytes.pop_front();
-    }
+    // Bulk-copy out of the deque instead of a byte-at-a-time pop_front:
+    // deque iterators are random-access, so copy + range-erase move
+    // whole segments at once.
+    const auto begin = in_->bytes.begin();
+    std::copy_n(begin, static_cast<std::ptrdiff_t>(n), data);
+    in_->bytes.erase(begin, begin + static_cast<std::ptrdiff_t>(n));
   }
 
  private:

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Binary-level end-to-end test for the network service: starts a real
+# maxel_server on an ephemeral port, runs maxel_client against it for
+# >= 100 MAC rounds over TCP, then cross-checks the two JSON stats dumps
+# (client must verify its decoded MAC; the payload byte counters must
+# match exactly in both directions).
+#
+# Inputs (environment): SERVER and CLIENT point at the built binaries.
+# Run by CTest as the `net_e2e` test (see tests/CMakeLists.txt).
+set -euo pipefail
+: "${SERVER:?set SERVER to the maxel_server binary}"
+: "${CLIENT:?set CLIENT to the maxel_client binary}"
+
+dir=$(mktemp -d)
+spid=""
+trap '[ -n "$spid" ] && kill "$spid" 2>/dev/null; rm -rf "$dir"' EXIT
+
+"$SERVER" --port 0 --bits 8 --rounds 120 --sessions 1 \
+          --json "$dir/server.json" >"$dir/server.log" 2>&1 &
+spid=$!
+
+# The server prints its bound (ephemeral) port on startup.
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$dir/server.log")
+  [ -n "$port" ] && break
+  kill -0 "$spid" 2>/dev/null || { echo "server died early:"; cat "$dir/server.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "server never reported its port:"; cat "$dir/server.log"; exit 1; }
+
+"$CLIENT" --port "$port" --bits 8 --json "$dir/client.json" \
+          >"$dir/client.log" 2>&1 \
+  || { echo "client failed:"; cat "$dir/client.log"; exit 1; }
+grep -q VERIFIED "$dir/client.log" \
+  || { echo "client did not verify its MAC:"; cat "$dir/client.log"; exit 1; }
+
+wait "$spid"  # exits 0 once its one session is served
+spid=""
+
+field() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$1"; }
+s_out=$(field "$dir/server.json" bytes_sent)
+s_in=$(field "$dir/server.json" bytes_received)
+c_out=$(field "$dir/client.json" bytes_sent)
+c_in=$(field "$dir/client.json" bytes_received)
+rounds=$(field "$dir/client.json" rounds)
+
+[ "$rounds" -ge 100 ] \
+  || { echo "only $rounds rounds completed (need >= 100)"; exit 1; }
+[ "$s_out" = "$c_in" ] \
+  || { echo "byte mismatch: server sent $s_out, client received $c_in"; exit 1; }
+[ "$s_in" = "$c_out" ] \
+  || { echo "byte mismatch: client sent $c_out, server received $s_in"; exit 1; }
+
+echo "net_e2e: $rounds rounds over TCP, $c_in B down / $c_out B up, counters match"

@@ -1,0 +1,480 @@
+// Network subsystem tests: TcpChannel loopback transport, frame-layer
+// fuzzing (every malformed stream must surface as a typed net error,
+// never a hang), handshake rejection, and the full server/client
+// session over 127.0.0.1 — whose decoded MAC must match the in-process
+// ThreadedChannel protocol path bit for bit.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "circuit/circuits.hpp"
+#include "crypto/rng.hpp"
+#include "net/client.hpp"
+#include "net/demo_inputs.hpp"
+#include "net/error.hpp"
+#include "net/handshake.hpp"
+#include "net/server.hpp"
+#include "net/tcp_channel.hpp"
+#include "proto/protocol.hpp"
+#include "proto/threaded_channel.hpp"
+
+namespace maxel::net {
+namespace {
+
+using crypto::Block;
+
+// Raw (frame-oblivious) socket for injecting malformed byte streams.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  return fd;
+}
+
+void raw_write(int fd, const void* data, std::size_t n) {
+  EXPECT_EQ(::send(fd, data, n, 0), static_cast<ssize_t>(n));
+}
+
+TcpOptions fast_opts() {
+  TcpOptions o;
+  o.recv_timeout_ms = 5'000;  // tests must fail fast, never hang
+  o.connect_attempts = 3;
+  o.connect_backoff_ms = 10;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Transport: loopback round trips through the Channel API.
+
+TEST(TcpChannel, LoopbackRoundTrip) {
+  TcpListener lis(0, "127.0.0.1");
+  const TcpOptions opts = fast_opts();
+
+  std::thread peer([&] {
+    auto ch = lis.accept(5'000, opts);
+    ASSERT_NE(ch, nullptr);
+    // Echo in the protocol's own vocabulary: the recv calls auto-flush
+    // the pending replies, exactly like a protocol phase boundary.
+    const std::uint64_t v = ch->recv_u64();
+    ch->send_u64(v + 1);
+    const auto blocks = ch->recv_blocks();
+    ch->send_blocks(blocks);
+    const auto bits = ch->recv_bits();
+    ch->send_bits(bits);
+    ch->flush();
+  });
+
+  auto ch = TcpChannel::connect("127.0.0.1", lis.port(), opts);
+  ch->send_u64(41);
+  EXPECT_EQ(ch->recv_u64(), 42u);
+
+  std::vector<Block> blocks;
+  for (std::uint64_t i = 0; i < 300; ++i) blocks.push_back(Block{i, ~i});
+  ch->send_blocks(blocks);
+  const auto echoed = ch->recv_blocks();
+  ASSERT_EQ(echoed.size(), blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    EXPECT_EQ(echoed[i], blocks[i]) << "block " << i;
+
+  std::vector<bool> bits;
+  for (int i = 0; i < 99; ++i) bits.push_back((i * 7) % 3 == 0);
+  ch->send_bits(bits);
+  EXPECT_EQ(ch->recv_bits(), bits);
+
+  peer.join();
+  // A pure echo: payload counters are frame-independent and symmetric.
+  EXPECT_EQ(ch->bytes_sent(), ch->bytes_received());
+}
+
+TEST(TcpChannel, SmallFramesReassembleLargePayload) {
+  TcpListener lis(0, "127.0.0.1");
+  TcpOptions opts = fast_opts();
+  opts.flush_threshold_bytes = 64;  // force many tiny frames
+  opts.max_frame_bytes = 128;       // and exercise the frame splitter
+
+  std::vector<std::uint8_t> payload(10'000);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+
+  std::thread peer([&] {
+    auto ch = lis.accept(5'000, opts);
+    ASSERT_NE(ch, nullptr);
+    std::vector<std::uint8_t> got(payload.size());
+    ch->recv_bytes(got.data(), got.size());
+    EXPECT_EQ(got, payload);
+    ch->send_u64(1);  // release the client
+    ch->flush();
+  });
+
+  auto ch = TcpChannel::connect("127.0.0.1", lis.port(), opts);
+  ch->send_bytes(payload.data(), payload.size());
+  EXPECT_EQ(ch->recv_u64(), 1u);
+  peer.join();
+}
+
+TEST(TcpChannel, ConnectToDeadPortIsTypedError) {
+  std::uint16_t dead_port;
+  {
+    TcpListener lis(0, "127.0.0.1");
+    dead_port = lis.port();
+  }  // closed: nobody listens here now
+  TcpOptions opts;
+  opts.connect_attempts = 2;
+  opts.connect_backoff_ms = 5;
+  opts.connect_timeout_ms = 500;
+  EXPECT_THROW(TcpChannel::connect("127.0.0.1", dead_port, opts),
+               ConnectError);
+}
+
+// ---------------------------------------------------------------------------
+// Framing fuzz: every way a peer can mangle the stream maps to a typed
+// error, with the recv deadline guaranteeing no test ever hangs.
+
+TEST(TcpFraming, TruncatedFrameIsFramingError) {
+  TcpListener lis(0, "127.0.0.1");
+  const int fd = raw_connect(lis.port());
+  auto ch = lis.accept(5'000, fast_opts());
+  ASSERT_NE(ch, nullptr);
+
+  const std::uint32_t claimed = 100;
+  std::uint8_t partial[10] = {};
+  raw_write(fd, &claimed, 4);
+  raw_write(fd, partial, sizeof(partial));
+  ::close(fd);  // EOF mid-frame
+
+  std::uint8_t buf[100];
+  EXPECT_THROW(ch->recv_bytes(buf, sizeof(buf)), FramingError);
+}
+
+TEST(TcpFraming, TruncatedHeaderIsFramingError) {
+  TcpListener lis(0, "127.0.0.1");
+  const int fd = raw_connect(lis.port());
+  auto ch = lis.accept(5'000, fast_opts());
+  ASSERT_NE(ch, nullptr);
+
+  const std::uint8_t half_header[2] = {0x10, 0x00};
+  raw_write(fd, half_header, sizeof(half_header));
+  ::close(fd);
+
+  std::uint8_t b;
+  EXPECT_THROW(ch->recv_bytes(&b, 1), FramingError);
+}
+
+TEST(TcpFraming, OversizeLengthIsFramingError) {
+  TcpListener lis(0, "127.0.0.1");
+  TcpOptions opts = fast_opts();
+  opts.max_frame_bytes = 1'024;
+  const int fd = raw_connect(lis.port());
+  auto ch = lis.accept(5'000, opts);
+  ASSERT_NE(ch, nullptr);
+
+  const std::uint32_t huge = 1u << 20;  // 1 MiB claim against a 1 KiB cap
+  raw_write(fd, &huge, 4);
+
+  std::uint8_t b;
+  EXPECT_THROW(ch->recv_bytes(&b, 1), FramingError);
+  ::close(fd);
+}
+
+TEST(TcpFraming, ZeroLengthFrameIsFramingError) {
+  TcpListener lis(0, "127.0.0.1");
+  const int fd = raw_connect(lis.port());
+  auto ch = lis.accept(5'000, fast_opts());
+  ASSERT_NE(ch, nullptr);
+
+  const std::uint32_t zero = 0;
+  raw_write(fd, &zero, 4);
+
+  std::uint8_t b;
+  EXPECT_THROW(ch->recv_bytes(&b, 1), FramingError);
+  ::close(fd);
+}
+
+TEST(TcpFraming, CleanEofIsPeerClosed) {
+  TcpListener lis(0, "127.0.0.1");
+  const int fd = raw_connect(lis.port());
+  auto ch = lis.accept(5'000, fast_opts());
+  ASSERT_NE(ch, nullptr);
+
+  ::close(fd);  // orderly hangup at a frame boundary
+
+  std::uint8_t b;
+  EXPECT_THROW(ch->recv_bytes(&b, 1), PeerClosedError);
+}
+
+TEST(TcpFraming, SilentPeerIsTimeoutError) {
+  TcpListener lis(0, "127.0.0.1");
+  TcpOptions opts = fast_opts();
+  opts.recv_timeout_ms = 100;
+  const int fd = raw_connect(lis.port());
+  auto ch = lis.accept(5'000, opts);
+  ASSERT_NE(ch, nullptr);
+
+  std::uint8_t b;
+  EXPECT_THROW(ch->recv_bytes(&b, 1), TimeoutError);  // peer never writes
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Handshake: mismatches produce a typed rejection on both ends.
+
+struct HandshakePair {
+  std::unique_ptr<TcpChannel> client;
+  std::unique_ptr<TcpChannel> server;
+};
+
+HandshakePair make_pair_over_loopback(TcpListener& lis) {
+  HandshakePair p;
+  std::thread t([&] { p.server = lis.accept(5'000, fast_opts()); });
+  p.client = TcpChannel::connect("127.0.0.1", lis.port(), fast_opts());
+  t.join();
+  return p;
+}
+
+// Runs a doctored hello against a server expectation; returns the
+// reject code each side observed.
+std::pair<RejectCode, RejectCode> run_handshake(const ClientHello& hello,
+                                                const ServerExpectation& ex) {
+  TcpListener lis(0, "127.0.0.1");
+  HandshakePair p = make_pair_over_loopback(lis);
+
+  RejectCode server_code = RejectCode::kOk;
+  std::thread server([&] {
+    try {
+      server_handshake(*p.server, ex);
+    } catch (const HandshakeError& e) {
+      server_code = e.code();
+    }
+  });
+
+  RejectCode client_code = RejectCode::kOk;
+  try {
+    client_handshake(*p.client, hello);
+  } catch (const HandshakeError& e) {
+    client_code = e.code();
+  }
+  server.join();
+  return {client_code, server_code};
+}
+
+ServerExpectation demo_expectation(std::size_t bits) {
+  ServerExpectation ex;
+  ex.scheme = gc::Scheme::kHalfGates;
+  ex.bit_width = static_cast<std::uint32_t>(bits);
+  ex.circuit_hash = circuit_fingerprint(
+      circuit::make_mac_circuit(circuit::MacOptions{bits, bits, true}));
+  ex.rounds_per_session = 16;
+  return ex;
+}
+
+ClientHello demo_hello(const ServerExpectation& ex) {
+  ClientHello h;
+  h.scheme = static_cast<std::uint8_t>(ex.scheme);
+  h.ot = static_cast<std::uint8_t>(OtChoice::kIknp);
+  h.bit_width = ex.bit_width;
+  h.circuit_hash = ex.circuit_hash;
+  return h;
+}
+
+TEST(Handshake, MatchingHelloNegotiatesRounds) {
+  const ServerExpectation ex = demo_expectation(8);
+  TcpListener lis(0, "127.0.0.1");
+  HandshakePair p = make_pair_over_loopback(lis);
+
+  std::thread server([&] { server_handshake(*p.server, ex); });
+  // The server dictates rounds regardless of the client's request.
+  ClientHello h = demo_hello(ex);
+  h.rounds = 9'999;
+  EXPECT_EQ(client_handshake(*p.client, h), ex.rounds_per_session);
+  server.join();
+}
+
+TEST(Handshake, WrongMagicRejected) {
+  const ServerExpectation ex = demo_expectation(8);
+  ClientHello h = demo_hello(ex);
+  h.magic = 0xDEADBEEFDEADBEEFull;
+  const auto [client_code, server_code] = run_handshake(h, ex);
+  EXPECT_EQ(client_code, RejectCode::kBadMagic);
+  EXPECT_EQ(server_code, RejectCode::kBadMagic);
+}
+
+TEST(Handshake, VersionMismatchRejected) {
+  const ServerExpectation ex = demo_expectation(8);
+  ClientHello h = demo_hello(ex);
+  h.version = kProtocolVersion + 7;
+  const auto [client_code, server_code] = run_handshake(h, ex);
+  EXPECT_EQ(client_code, RejectCode::kVersionMismatch);
+  EXPECT_EQ(server_code, RejectCode::kVersionMismatch);
+}
+
+TEST(Handshake, CircuitMismatchRejected) {
+  const ServerExpectation ex = demo_expectation(8);
+  ClientHello h = demo_hello(ex);
+  h.circuit_hash[0] ^= 1;  // single-bit fingerprint divergence
+  const auto [client_code, server_code] = run_handshake(h, ex);
+  EXPECT_EQ(client_code, RejectCode::kCircuitMismatch);
+  EXPECT_EQ(server_code, RejectCode::kCircuitMismatch);
+}
+
+TEST(Handshake, FingerprintIgnoresNameButNotStructure) {
+  circuit::Circuit a =
+      circuit::make_mac_circuit(circuit::MacOptions{8, 8, true});
+  circuit::Circuit b = a;
+  b.name = "renamed";
+  EXPECT_EQ(circuit_fingerprint(a), circuit_fingerprint(b));
+  const circuit::Circuit c =
+      circuit::make_mac_circuit(circuit::MacOptions{16, 16, true});
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(c));
+}
+
+// ---------------------------------------------------------------------------
+// Full service: server + client threads over 127.0.0.1.
+
+ServerConfig quiet_server_config(std::size_t bits, std::size_t rounds) {
+  ServerConfig cfg;
+  cfg.bind_addr = "127.0.0.1";
+  cfg.port = 0;  // ephemeral
+  cfg.bits = bits;
+  cfg.rounds_per_session = rounds;
+  cfg.bank_low_watermark = 1;
+  cfg.bank_batch = 1;
+  cfg.precompute_cores = 2;
+  cfg.max_sessions = 1;
+  cfg.verbose = false;
+  return cfg;
+}
+
+ClientConfig quiet_client_config(std::uint16_t port, std::size_t bits) {
+  ClientConfig cfg;
+  cfg.port = port;
+  cfg.bits = bits;
+  cfg.verbose = false;
+  return cfg;
+}
+
+// Runs the same demo-seeded MAC session through the in-process
+// ThreadedChannel protocol path (no sockets, the pre-existing reference
+// implementation) and returns the decoded accumulator.
+std::uint64_t in_process_reference(std::size_t bits, std::size_t rounds,
+                                   std::uint64_t seed) {
+  const circuit::Circuit c =
+      circuit::make_mac_circuit(circuit::MacOptions{bits, bits, true});
+  auto [g_ch, e_ch] = proto::ThreadedChannel::create_pair();
+  proto::ProtocolOptions opt;
+  opt.ot = proto::OtMode::kIknp;
+
+  std::thread garbler([&, g = std::move(g_ch)]() mutable {
+    crypto::SystemRandom rng(Block{seed, 100});
+    proto::GarblerParty garbler(c, opt, *g, rng);
+    garbler.setup_step2();
+    garbler.setup_step4();
+    DemoInputStream a(seed, kGarblerStream, bits);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      garbler.garble_and_send(a.next_bits());
+      garbler.finish_ot();
+    }
+  });
+
+  std::uint64_t decoded = 0;
+  std::thread evaluator([&, e = std::move(e_ch)]() mutable {
+    crypto::SystemRandom rng(Block{seed, 200});
+    proto::EvaluatorParty evaluator(c, opt, *e, rng);
+    evaluator.setup_step1();
+    evaluator.setup_step3();
+    DemoInputStream x(seed, kEvaluatorStream, bits);
+    std::vector<bool> out;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      evaluator.receive_and_choose(x.next_bits());
+      out = evaluator.evaluate_round();
+    }
+    decoded = circuit::from_bits(out);
+  });
+
+  garbler.join();
+  evaluator.join();
+  return decoded;
+}
+
+TEST(NetService, EndToEndMatchesInProcessPathBitForBit) {
+  const std::size_t bits = 8, rounds = 120;
+  ServerConfig scfg = quiet_server_config(bits, rounds);
+  Server server(scfg);
+  std::thread serve([&] { server.serve(); });
+
+  ClientConfig ccfg = quiet_client_config(server.port(), bits);
+  const ClientStats cs = run_client(ccfg);
+  serve.join();
+
+  // The decoded MAC over TCP equals the in-process ThreadedChannel
+  // protocol run on identical inputs, and both equal the plaintext fold.
+  EXPECT_EQ(cs.output_value,
+            in_process_reference(bits, rounds, ccfg.demo_seed));
+  EXPECT_EQ(cs.output_value,
+            demo_mac_reference(ccfg.demo_seed, bits, rounds));
+  EXPECT_TRUE(cs.checked);
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(cs.rounds, rounds);
+
+  // Payload byte accounting agrees exactly across the wire.
+  const ServerStats& ss = server.stats();
+  EXPECT_EQ(ss.sessions_served, 1u);
+  EXPECT_EQ(ss.rounds_served, rounds);
+  EXPECT_EQ(cs.bytes_received, ss.bytes_sent);
+  EXPECT_EQ(cs.bytes_sent, ss.bytes_received);
+  EXPECT_GE(ss.sessions_precomputed, 1u);
+  EXPECT_GT(cs.working_set_bytes, 0u);
+}
+
+TEST(NetService, BaseOtSession) {
+  const std::size_t bits = 8, rounds = 20;
+  Server server(quiet_server_config(bits, rounds));
+  std::thread serve([&] { server.serve(); });
+
+  ClientConfig ccfg = quiet_client_config(server.port(), bits);
+  ccfg.ot = OtChoice::kBase;
+  const ClientStats cs = run_client(ccfg);
+  serve.join();
+
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(cs.output_value, demo_mac_reference(ccfg.demo_seed, bits, rounds));
+  EXPECT_EQ(cs.bytes_received, server.stats().bytes_sent);
+  EXPECT_EQ(cs.bytes_sent, server.stats().bytes_received);
+}
+
+TEST(NetService, MismatchedClientRejectedAndServerSurvives) {
+  const std::size_t bits = 16, rounds = 12;
+  Server server(quiet_server_config(bits, rounds));
+  std::thread serve([&] { server.serve(); });
+
+  // Wrong bit width: typed rejection, not a hang or stream corruption.
+  ClientConfig bad = quiet_client_config(server.port(), 8);
+  try {
+    run_client(bad);
+    FAIL() << "mismatched client was accepted";
+  } catch (const HandshakeError& e) {
+    EXPECT_EQ(e.code(), RejectCode::kBitWidthMismatch);
+  }
+
+  // The server shrugs it off and serves the next, well-formed client.
+  const ClientStats cs = run_client(quiet_client_config(server.port(), bits));
+  serve.join();
+
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(server.stats().handshakes_rejected, 1u);
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+}
+
+}  // namespace
+}  // namespace maxel::net

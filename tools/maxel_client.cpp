@@ -1,0 +1,10 @@
+// maxel_client — evaluator-side network client: connects to a
+// maxel_server, runs one garbled-MAC session over TCP (handshake, OT,
+// streaming evaluation), prints and dumps per-session stats. See
+// src/net/service.hpp for the flags and docs/PROTOCOL.md for the wire
+// format.
+#include "net/service.hpp"
+
+int main(int argc, char** argv) {
+  return maxel::net::connect_command(argc - 1, argv + 1);
+}

@@ -1,0 +1,9 @@
+// maxel_server — garbler-side network daemon: serves precomputed
+// garbling sessions (sequential secure MAC) to remote maxel_client
+// evaluators over TCP. See src/net/service.hpp for the flags and
+// docs/PROTOCOL.md for the wire format.
+#include "net/service.hpp"
+
+int main(int argc, char** argv) {
+  return maxel::net::serve_command(argc - 1, argv + 1);
+}

@@ -14,6 +14,10 @@
 //       host-side store).
 //   maxelctl bench-mac [--bits N] [--rounds M]
 //       Measure software garbling throughput on this machine.
+//   maxelctl serve / maxelctl connect
+//       The network service (garbler server / evaluator client); same
+//       flags as the standalone maxel_server / maxel_client binaries —
+//       see src/net/service.hpp and docs/PROTOCOL.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +32,7 @@
 #include "crypto/prg.hpp"
 #include "crypto/rng.hpp"
 #include "gc/garble.hpp"
+#include "net/service.hpp"
 #include "proto/precompute.hpp"
 #include "proto/session_io.hpp"
 
@@ -50,7 +55,8 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: maxelctl <circuit|stats|simulate|bank|bench-mac> "
+               "usage: maxelctl "
+               "<circuit|stats|simulate|bank|bench-mac|serve|connect> "
                "[options]\n  see the header of tools/maxelctl.cpp\n");
   return 2;
 }
@@ -253,6 +259,13 @@ int cmd_bench_mac(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The network subcommands own their flag parsing (shared with the
+  // standalone maxel_server / maxel_client binaries).
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+    return maxel::net::serve_command(argc - 2, argv + 2);
+  if (argc >= 2 && std::strcmp(argv[1], "connect") == 0)
+    return maxel::net::connect_command(argc - 2, argv + 2);
+
   Args a;
   if (!parse(argc, argv, a)) return usage();
   try {
