@@ -1,0 +1,170 @@
+// fig_broker_scaling — does the concurrent broker actually scale?
+//
+// The single-connection net::Server serves one evaluator at a time; the
+// svc::Broker puts a worker pool and a disk-backed session spool behind
+// the same wire protocol. This bench sweeps concurrent loopback clients
+// 1 -> 8 (worker pool sized to match), each client running several full
+// garbled-MAC sessions back to back, and reports aggregate MAC
+// throughput plus the speedup over the single-client baseline — the
+// number that justifies the serving tier. Spools are pre-filled so the
+// measurement isolates serving (handshake + table/label streaming +
+// OT), not garbling.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/circuits.hpp"
+#include "core/gc_core_pool.hpp"
+#include "crypto/rng.hpp"
+#include "net/client.hpp"
+#include "proto/precompute.hpp"
+#include "svc/broker.hpp"
+#include "svc/session_spool.hpp"
+
+namespace {
+
+using namespace maxel;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr std::size_t kBits = 16;
+constexpr std::size_t kRounds = 12;       // MAC rounds per session
+constexpr std::size_t kSessionsEach = 3;  // sessions per client
+
+struct Point {
+  std::size_t clients = 0;
+  double seconds = 0;
+  double macs_per_sec = 0;
+  double sessions_per_sec = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  bool all_verified = true;
+};
+
+Point run_point(std::size_t clients, const fs::path& spool_dir) {
+  const std::size_t total_sessions = clients * kSessionsEach;
+  fs::remove_all(spool_dir);
+
+  // Pre-fill the spool so serving, not garbling, is what gets timed.
+  {
+    svc::SessionSpool spool(
+        svc::SpoolConfig{spool_dir.string(), /*ram_cache=*/0, true});
+    const circuit::Circuit c =
+        circuit::make_mac_circuit(circuit::MacOptions{kBits, kBits, true});
+    core::GcCorePool pool(0, crypto::SystemRandom().next_block());
+    std::vector<proto::PrecomputedSession> fresh(total_sessions);
+    pool.parallel_for(total_sessions, [&](std::size_t i, std::size_t core) {
+      fresh[i] = proto::garble_session(c, gc::Scheme::kHalfGates, kRounds,
+                                       pool.core_rng(core));
+    });
+    for (auto& s : fresh) spool.put(std::move(s));
+  }
+
+  svc::BrokerConfig cfg;
+  cfg.bind_addr = "127.0.0.1";
+  cfg.port = 0;
+  cfg.bits = kBits;
+  cfg.rounds_per_session = kRounds;
+  cfg.workers = clients;
+  cfg.admission_queue = clients * 2;
+  cfg.spool_dir = spool_dir.string();
+  cfg.spool_low_watermark = 0;  // pre-filled: the producer stays idle
+  cfg.spool_high_watermark = 0;
+  cfg.ram_cache_sessions = 0;  // every session comes off disk
+  cfg.max_sessions = total_sessions;
+  cfg.accept_poll_ms = 50;
+  cfg.verbose = false;
+  svc::Broker broker(cfg);
+  std::thread run([&] { broker.run(); });
+
+  Point pt;
+  pt.clients = clients;
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  std::vector<char> ok(clients, 1);
+  for (std::size_t i = 0; i < clients; ++i)
+    threads.emplace_back([&, i] {
+      net::ClientConfig ccfg;
+      ccfg.port = broker.port();
+      ccfg.bits = kBits;
+      ccfg.verbose = false;
+      ccfg.tcp.recv_timeout_ms = 30'000;
+      ccfg.tcp.connect_attempts = 5;
+      ccfg.tcp.connect_backoff_ms = 20;
+      for (std::size_t s = 0; s < kSessionsEach; ++s) {
+        const net::ClientStats cs = net::run_client(ccfg);
+        if (!cs.verified) ok[i] = 0;
+      }
+    });
+  for (auto& t : threads) t.join();
+  pt.seconds = seconds_since(t0);
+  run.join();
+
+  for (const char o : ok) pt.all_verified = pt.all_verified && o;
+  pt.macs_per_sec =
+      static_cast<double>(total_sessions * kRounds) / pt.seconds;
+  pt.sessions_per_sec = static_cast<double>(total_sessions) / pt.seconds;
+  const svc::BrokerStats st = broker.stats();
+  pt.cache_hits = st.spool.cache_hits;
+  pt.cache_misses = st.spool.cache_misses;
+  pt.all_verified =
+      pt.all_verified && st.server.sessions_served == total_sessions;
+  fs::remove_all(spool_dir);
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::header("Broker scaling: concurrent loopback clients vs throughput");
+  std::printf("b=%zu, %zu MAC rounds/session, %zu sessions/client, "
+              "workers = clients, spool pre-filled (no RAM cache)\n",
+              kBits, kRounds, kSessionsEach);
+  std::printf("host hardware threads: %u — client and worker threads share "
+              "them, so wall-clock speedup is bounded by ~hw/2\n\n",
+              hw);
+  std::printf("%8s %10s %12s %14s %10s %9s\n", "clients", "wall s",
+              "sessions/s", "agg MAC/s", "speedup", "verified");
+  bench::rule(68);
+
+  const fs::path spool_dir =
+      fs::temp_directory_path() / "maxel_bench_broker_spool";
+  bench::JsonReporter rep("broker_scaling");
+  double baseline = 0;
+  for (const std::size_t clients : {1u, 2u, 4u, 8u}) {
+    const Point pt = run_point(clients, spool_dir);
+    if (clients == 1) baseline = pt.macs_per_sec;
+    const double speedup = baseline > 0 ? pt.macs_per_sec / baseline : 0;
+    std::printf("%8zu %10.3f %12.1f %14.0f %9.2fx %9s\n", pt.clients,
+                pt.seconds, pt.sessions_per_sec, pt.macs_per_sec, speedup,
+                pt.all_verified ? "yes" : "NO");
+    rep.row()
+        .num("clients", static_cast<std::uint64_t>(pt.clients))
+        .num("workers", static_cast<std::uint64_t>(pt.clients))
+        .num("sessions", static_cast<std::uint64_t>(clients * kSessionsEach))
+        .num("rounds_per_session", static_cast<std::uint64_t>(kRounds))
+        .num("bits", static_cast<std::uint64_t>(kBits))
+        .num("wall_seconds", pt.seconds)
+        .num("sessions_per_sec", pt.sessions_per_sec)
+        .num("mac_per_sec", pt.macs_per_sec)
+        .num("speedup_vs_1", speedup)
+        .num("hw_threads", static_cast<std::uint64_t>(hw))
+        .num("spool_cache_hits", pt.cache_hits)
+        .num("spool_cache_misses", pt.cache_misses)
+        .boolean("all_verified", pt.all_verified);
+  }
+
+  std::printf("\nspeedup = aggregate MAC/s relative to the 1-client run; "
+              "every session is claimed off the disk spool.\n");
+  std::printf("wrote %s\n", rep.write().c_str());
+  return 0;
+}

@@ -33,8 +33,10 @@ Bus Builder::evaluator_inputs(std::size_t n) {
 
 Bus Builder::constant_bus(std::uint64_t value, std::size_t width) {
   Bus b(width);
+  // Buses can be wider than the 64-bit seed value (e.g. Karatsuba
+  // accumulators); bits past 63 are zero, and shifting by >= 64 is UB.
   for (std::size_t i = 0; i < width; ++i)
-    b[i] = ((value >> i) & 1u) != 0 ? kConstOne : kConstZero;
+    b[i] = i < 64 && ((value >> i) & 1u) != 0 ? kConstOne : kConstZero;
   return b;
 }
 

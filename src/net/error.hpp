@@ -46,6 +46,10 @@ class FramingError : public NetError {
 };
 
 // Session-protocol rejection codes (see handshake.hpp for the fields).
+// kServerBusy / kShuttingDown are load-state rejects sent by the broker
+// before it reads the hello: the admission queue is full, or the broker
+// is draining. Both are retryable from the client's point of view,
+// unlike the configuration mismatches above them.
 enum class RejectCode : std::uint32_t {
   kOk = 0,
   kBadMagic = 1,
@@ -54,6 +58,8 @@ enum class RejectCode : std::uint32_t {
   kBitWidthMismatch = 4,
   kCircuitMismatch = 5,
   kBadOtMode = 6,
+  kServerBusy = 7,
+  kShuttingDown = 8,
 };
 
 [[nodiscard]] constexpr const char* reject_name(RejectCode c) {
@@ -65,8 +71,16 @@ enum class RejectCode : std::uint32_t {
     case RejectCode::kBitWidthMismatch: return "bit-width-mismatch";
     case RejectCode::kCircuitMismatch: return "circuit-mismatch";
     case RejectCode::kBadOtMode: return "bad-ot-mode";
+    case RejectCode::kServerBusy: return "server-busy";
+    case RejectCode::kShuttingDown: return "shutting-down";
   }
   return "?";
+}
+
+// True for rejects that describe transient server load rather than a
+// configuration mismatch; a client may retry these after a backoff.
+[[nodiscard]] constexpr bool reject_is_retryable(RejectCode c) {
+  return c == RejectCode::kServerBusy || c == RejectCode::kShuttingDown;
 }
 
 // Handshake failed: the peer rejected us (code from the wire) or sent a

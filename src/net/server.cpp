@@ -23,6 +23,20 @@ circuit::Circuit make_service_circuit(std::size_t bits) {
 
 }  // namespace
 
+void ServerStats::merge(const ServerStats& other) {
+  sessions_served += other.sessions_served;
+  rounds_served += other.rounds_served;
+  handshakes_rejected += other.handshakes_rejected;
+  connection_errors += other.connection_errors;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  sessions_precomputed += other.sessions_precomputed;
+  handshake_seconds += other.handshake_seconds;
+  transfer_seconds += other.transfer_seconds;
+  ot_seconds += other.ot_seconds;
+  total_seconds += other.total_seconds;
+}
+
 std::string ServerStats::to_json() const {
   char buf[640];
   std::snprintf(
@@ -106,18 +120,13 @@ proto::PrecomputedSession Server::take_session() {
   return bank_.take_session();
 }
 
-void Server::handle_connection(TcpChannel& ch) {
-  const auto t_hs = Clock::now();
-  // server_handshake sends the typed reject and throws on mismatch; the
-  // caller counts it and moves on to the next client.
-  const ClientHello hello = server_handshake(ch, expect_);
-  {
-    const std::lock_guard<std::mutex> lock(bank_mu_);
-    stats_.handshake_seconds += seconds_since(t_hs);
-  }
-
+void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
+                               proto::PrecomputedSession session,
+                               std::size_t rounds, std::size_t bits,
+                               std::uint64_t demo_seed,
+                               crypto::RandomSource& rng, ServerStats& stats) {
   proto::PrecomputedGarblerParty garbler(
-      take_session(), ch, rng_,
+      std::move(session), ch, rng,
       hello.ot == static_cast<std::uint8_t>(OtChoice::kIknp)
           ? proto::PrecomputedOtMode::kIknp
           : proto::PrecomputedOtMode::kBase);
@@ -130,8 +139,8 @@ void Server::handle_connection(TcpChannel& ch) {
     ot_s += seconds_since(t0);
   }
 
-  DemoInputStream a_inputs(cfg_.demo_seed, kGarblerStream, cfg_.bits);
-  for (std::size_t r = 0; r < cfg_.rounds_per_session; ++r) {
+  DemoInputStream a_inputs(demo_seed, kGarblerStream, bits);
+  for (std::size_t r = 0; r < rounds; ++r) {
     auto t0 = Clock::now();
     garbler.garble_and_send(a_inputs.next_bits());
     transfer_s += seconds_since(t0);
@@ -143,15 +152,33 @@ void Server::handle_connection(TcpChannel& ch) {
   // client is waiting on them.
   ch.flush();
 
+  stats.transfer_seconds += transfer_s;
+  stats.ot_seconds += ot_s;
+  stats.bytes_sent += ch.bytes_sent();
+  stats.bytes_received += ch.bytes_received();
+  stats.rounds_served += rounds;
+  ++stats.sessions_served;
+}
+
+void Server::handle_connection(TcpChannel& ch) {
+  const auto t_hs = Clock::now();
+  // server_handshake sends the typed reject and throws on mismatch; the
+  // caller counts it and moves on to the next client.
+  const ClientHello hello = server_handshake(ch, expect_);
+  {
+    const std::lock_guard<std::mutex> lock(bank_mu_);
+    stats_.handshake_seconds += seconds_since(t_hs);
+  }
+
+  ServerStats session_stats;
+  serve_precomputed_session(ch, hello, take_session(), cfg_.rounds_per_session,
+                            cfg_.bits, cfg_.demo_seed, rng_, session_stats);
+
   std::uint64_t session_no;
   {
     const std::lock_guard<std::mutex> lock(bank_mu_);
-    stats_.transfer_seconds += transfer_s;
-    stats_.ot_seconds += ot_s;
-    stats_.bytes_sent += ch.bytes_sent();
-    stats_.bytes_received += ch.bytes_received();
-    stats_.rounds_served += cfg_.rounds_per_session;
-    session_no = ++stats_.sessions_served;
+    stats_.merge(session_stats);
+    session_no = stats_.sessions_served;
   }
 
   if (cfg_.verbose)
@@ -162,7 +189,7 @@ void Server::handle_connection(TcpChannel& ch) {
                  cfg_.rounds_per_session,
                  static_cast<unsigned long long>(ch.bytes_sent()),
                  static_cast<unsigned long long>(ch.bytes_received()),
-                 transfer_s, ot_s);
+                 session_stats.transfer_seconds, session_stats.ot_seconds);
 }
 
 void Server::serve() {
@@ -172,7 +199,7 @@ void Server::serve() {
           stats_.sessions_served < cfg_.max_sessions)) {
     std::unique_ptr<TcpChannel> ch;
     try {
-      ch = listener_.accept(200, cfg_.tcp);
+      ch = listener_.accept(cfg_.accept_poll_ms, cfg_.tcp);
     } catch (const NetError&) {
       break;  // listener closed under us
     }

@@ -42,6 +42,7 @@ struct ServerConfig {
   std::size_t precompute_cores = 0;    // 0 = hardware concurrency
   std::uint64_t demo_seed = 7;         // public demo-input seed (see demo_inputs.hpp)
   std::uint64_t max_sessions = 0;      // stop after serving this many; 0 = run until stop()
+  int accept_poll_ms = 200;            // stop-flag poll period of the accept loop
   bool verbose = true;                 // per-session log line on stderr
   TcpOptions tcp;
 };
@@ -59,8 +60,26 @@ struct ServerStats {
   double ot_seconds = 0;        // OT setup + per-round label OT
   double total_seconds = 0;     // serve() wall time
 
+  // Accumulates another stats block into this one (all counters and
+  // timers are additive) — how the broker folds per-worker stats into
+  // one service-wide snapshot.
+  void merge(const ServerStats& other);
+
   [[nodiscard]] std::string to_json() const;
 };
+
+// Serves one pre-garbled session to a handshaken client: IKNP setup (if
+// the hello asked for it), then per round table/label push + label OT.
+// This is the single-connection core shared by net::Server and
+// svc::Broker; the caller owns handshake, session sourcing, and error
+// accounting. Timings and byte/round counters are accumulated into
+// `stats` (bytes are read off the channel's counters, so pass a
+// fresh-per-connection channel).
+void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
+                               proto::PrecomputedSession session,
+                               std::size_t rounds, std::size_t bits,
+                               std::uint64_t demo_seed,
+                               crypto::RandomSource& rng, ServerStats& stats);
 
 class Server {
  public:

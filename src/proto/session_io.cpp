@@ -1,15 +1,34 @@
 #include "proto/session_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+#include <sstream>
 
 namespace maxel::proto {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'X', 'S', 'E', 'S', 'S', '1', '\0'};
+
+// Buffers grow by at most this many elements per step while reading, so
+// a hostile count prefix can only make us allocate in proportion to the
+// bytes the stream actually delivers.
+constexpr std::size_t kGrowChunk = 4096;
+
+[[noreturn]] void bad(const std::string& what) {
+  throw SessionFormatError("load_session: " + what);
+}
+
+// Validates a count prefix against its cap before anything is reserved.
+std::uint64_t checked_count(std::uint64_t n, std::uint64_t cap,
+                            const char* what) {
+  if (n > cap)
+    bad(std::string("implausible ") + what + " count " + std::to_string(n) +
+        " (cap " + std::to_string(cap) + ")");
+  return n;
+}
 
 void put_u64(std::ostream& os, std::uint64_t v) {
   char buf[8];
@@ -20,7 +39,7 @@ void put_u64(std::ostream& os, std::uint64_t v) {
 std::uint64_t get_u64(std::istream& is) {
   char buf[8];
   is.read(buf, 8);
-  if (!is) throw std::runtime_error("load_session: truncated stream");
+  if (!is) bad("truncated stream");
   std::uint64_t v;
   std::memcpy(&v, buf, 8);
   return v;
@@ -35,7 +54,7 @@ void put_block(std::ostream& os, const crypto::Block& b) {
 crypto::Block get_block(std::istream& is) {
   std::uint8_t raw[16];
   is.read(reinterpret_cast<char*>(raw), 16);
-  if (!is) throw std::runtime_error("load_session: truncated stream");
+  if (!is) bad("truncated stream");
   return crypto::Block::from_bytes(raw);
 }
 
@@ -45,10 +64,11 @@ void put_blocks(std::ostream& os, const std::vector<crypto::Block>& v) {
 }
 
 std::vector<crypto::Block> get_blocks(std::istream& is) {
-  const std::uint64_t n = get_u64(is);
-  if (n > (1u << 28)) throw std::runtime_error("load_session: bad count");
-  std::vector<crypto::Block> v(n);
-  for (auto& b : v) b = get_block(is);
+  const std::uint64_t n =
+      checked_count(get_u64(is), kMaxSessionCount, "block");
+  std::vector<crypto::Block> v;
+  v.reserve(std::min<std::uint64_t>(n, kGrowChunk));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_block(is));
   return v;
 }
 
@@ -61,14 +81,22 @@ void put_bits(std::ostream& os, const std::vector<bool>& bits) {
 }
 
 std::vector<bool> get_bits(std::istream& is) {
-  const std::uint64_t n = get_u64(is);
-  if (n > (1u << 28)) throw std::runtime_error("load_session: bad count");
-  std::vector<char> packed((n + 7) / 8);
-  is.read(packed.data(), static_cast<std::streamsize>(packed.size()));
-  if (!is) throw std::runtime_error("load_session: truncated stream");
-  std::vector<bool> bits(n);
-  for (std::size_t i = 0; i < n; ++i)
-    bits[i] = (packed[i / 8] >> (i % 8)) & 1;
+  const std::uint64_t n = checked_count(get_u64(is), kMaxSessionCount, "bit");
+  std::vector<bool> bits;
+  bits.reserve(std::min<std::uint64_t>(n, kGrowChunk));
+  char packed[kGrowChunk];
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::size_t bytes = static_cast<std::size_t>(
+        std::min<std::uint64_t>((n - done + 7) / 8, sizeof(packed)));
+    is.read(packed, static_cast<std::streamsize>(bytes));
+    if (!is) bad("truncated stream");
+    const std::uint64_t chunk_bits = std::min<std::uint64_t>(
+        n - done, static_cast<std::uint64_t>(bytes) * 8);
+    for (std::uint64_t i = 0; i < chunk_bits; ++i)
+      bits.push_back((packed[i / 8] >> (i % 8)) & 1);
+    done += chunk_bits;
+  }
   return bits;
 }
 
@@ -102,35 +130,39 @@ PrecomputedSession load_session(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("load_session: bad magic");
+    bad("bad magic");
   PrecomputedSession s;
   char scheme = 0;
   is.read(&scheme, 1);
-  if (scheme < 0 || scheme > 2)
-    throw std::runtime_error("load_session: bad scheme");
+  if (!is || scheme < 0 || scheme > 2) bad("bad scheme");
   s.scheme = static_cast<gc::Scheme>(scheme);
   s.delta = get_block(is);
-  const std::uint64_t n_rounds = get_u64(is);
-  if (n_rounds > (1u << 24)) throw std::runtime_error("load_session: bad count");
+  const std::uint64_t n_rounds =
+      checked_count(get_u64(is), kMaxSessionRounds, "round");
   const std::size_t rows = gc::rows_per_and(s.scheme);
-  s.rounds.resize(n_rounds);
-  for (auto& r : s.rounds) {
-    const std::uint64_t n_tables = get_u64(is);
-    if (n_tables > (1u << 28))
-      throw std::runtime_error("load_session: bad count");
-    r.tables.tables.resize(n_tables);
-    for (auto& t : r.tables.tables)
-      for (std::size_t i = 0; i < rows; ++i) t.ct[i] = get_block(is);
+  s.rounds.reserve(std::min<std::uint64_t>(n_rounds, kGrowChunk));
+  for (std::uint64_t rd = 0; rd < n_rounds; ++rd) {
+    PrecomputedSession::Round r;
+    const std::uint64_t n_tables =
+        checked_count(get_u64(is), kMaxSessionCount, "table");
+    r.tables.tables.reserve(std::min<std::uint64_t>(n_tables, kGrowChunk));
+    for (std::uint64_t t = 0; t < n_tables; ++t) {
+      gc::GarbledTable tab;
+      for (std::size_t i = 0; i < rows; ++i) tab.ct[i] = get_block(is);
+      r.tables.tables.push_back(tab);
+    }
     r.garbler_labels0 = get_blocks(is);
-    const std::uint64_t n_pairs = get_u64(is);
-    if (n_pairs > (1u << 28)) throw std::runtime_error("load_session: bad count");
-    r.evaluator_pairs.resize(n_pairs);
-    for (auto& [l0, l1] : r.evaluator_pairs) {
-      l0 = get_block(is);
-      l1 = get_block(is);
+    const std::uint64_t n_pairs =
+        checked_count(get_u64(is), kMaxSessionCount, "pair");
+    r.evaluator_pairs.reserve(std::min<std::uint64_t>(n_pairs, kGrowChunk));
+    for (std::uint64_t p = 0; p < n_pairs; ++p) {
+      const crypto::Block l0 = get_block(is);
+      const crypto::Block l1 = get_block(is);
+      r.evaluator_pairs.emplace_back(l0, l1);
     }
     r.fixed_labels = get_blocks(is);
     r.output_map = get_bits(is);
+    s.rounds.push_back(std::move(r));
   }
   s.initial_state_labels = get_blocks(is);
   return s;
@@ -145,6 +177,19 @@ void save_session_file(const PrecomputedSession& s, const std::string& path) {
 PrecomputedSession load_session_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_session_file: cannot open " + path);
+  return load_session(is);
+}
+
+std::vector<std::uint8_t> serialize_session(const PrecomputedSession& s) {
+  std::ostringstream os(std::ios::binary);
+  save_session(s, os);
+  const std::string bytes = os.str();
+  return {bytes.begin(), bytes.end()};
+}
+
+PrecomputedSession parse_session(const std::uint8_t* data, std::size_t n) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), n), std::ios::binary);
   return load_session(is);
 }
 

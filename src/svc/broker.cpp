@@ -1,0 +1,268 @@
+#include "svc/broker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "crypto/rng.hpp"
+
+namespace maxel::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::string BrokerStats::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"role\":\"broker\",\"admission_rejects\":%llu,"
+      "\"drain_rejects\":%llu,\"queue_depth\":%zu,"
+      "\"spool\":{\"ready\":%zu,\"spooled\":%llu,\"claimed\":%llu,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,\"purged_on_open\":%llu,"
+      "\"bytes_on_disk\":%llu},\"server\":",
+      static_cast<unsigned long long>(admission_rejects),
+      static_cast<unsigned long long>(drain_rejects), queue_depth,
+      spool.sessions_ready,
+      static_cast<unsigned long long>(spool.sessions_spooled),
+      static_cast<unsigned long long>(spool.sessions_claimed),
+      static_cast<unsigned long long>(spool.cache_hits),
+      static_cast<unsigned long long>(spool.cache_misses),
+      static_cast<unsigned long long>(spool.purged_on_open),
+      static_cast<unsigned long long>(spool.bytes_on_disk));
+  return std::string(buf) + server.to_json() + "}";
+}
+
+Broker::Broker(const BrokerConfig& cfg)
+    : cfg_(cfg),
+      circ_(circuit::make_mac_circuit(
+          circuit::MacOptions{cfg.bits, cfg.bits, true})),
+      listener_(cfg.port, cfg.bind_addr),
+      spool_(SpoolConfig{cfg.spool_dir, cfg.ram_cache_sessions, true}),
+      pool_(cfg.precompute_cores, crypto::SystemRandom().next_block()),
+      worker_stats_(std::max<std::size_t>(1, cfg.workers)) {
+  expect_.scheme = cfg_.scheme;
+  expect_.bit_width = static_cast<std::uint32_t>(cfg_.bits);
+  expect_.circuit_hash = net::circuit_fingerprint(circ_);
+  expect_.rounds_per_session =
+      static_cast<std::uint32_t>(cfg_.rounds_per_session);
+  cfg_.workers = worker_stats_.size();
+  if (cfg_.spool_high_watermark < cfg_.spool_low_watermark)
+    cfg_.spool_high_watermark = cfg_.spool_low_watermark;
+}
+
+Broker::~Broker() { request_stop(); }
+
+void Broker::reject_connection(net::TcpChannel& ch, net::RejectCode code) {
+  // Sent before reading the hello: the client's recv_accept sees the
+  // typed verdict regardless of what it queued. Best effort — a peer
+  // that already hung up only costs us the exception.
+  try {
+    net::send_accept(ch, net::ServerAccept{
+                             code, 0,
+                             code == net::RejectCode::kServerBusy
+                                 ? "admission queue full, retry later"
+                                 : "broker is draining"});
+  } catch (const net::NetError&) {
+  }
+}
+
+proto::PrecomputedSession Broker::take_session_blocking() {
+  for (;;) {
+    if (auto s = spool_.take()) {
+      metrics_.gauge("spool_ready").set(
+          static_cast<std::int64_t>(spool_.ready()));
+      spool_cv_.notify_all();  // the producer may want to refill now
+      return std::move(*s);
+    }
+    if (producer_stop_.load(std::memory_order_relaxed))
+      throw net::NetError("broker stopping: spool drained");
+    metrics_.counter("spool_empty_waits").inc();
+    std::unique_lock<std::mutex> lock(spool_mu_);
+    spool_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+void Broker::producer_loop() {
+  while (!producer_stop_.load(std::memory_order_relaxed)) {
+    const std::size_t ready = spool_.ready();
+    if (ready >= cfg_.spool_low_watermark) {
+      std::unique_lock<std::mutex> lock(spool_mu_);
+      spool_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    const std::size_t batch = cfg_.spool_high_watermark - ready;
+    std::vector<proto::PrecomputedSession> fresh(batch);
+    pool_.parallel_for(batch, [&](std::size_t item, std::size_t core) {
+      fresh[item] = proto::garble_session(circ_, cfg_.scheme,
+                                          cfg_.rounds_per_session,
+                                          pool_.core_rng(core));
+    });
+    for (auto& s : fresh) spool_.put(std::move(s));
+    precomputed_.fetch_add(batch, std::memory_order_relaxed);
+    metrics_.gauge("spool_ready").set(
+        static_cast<std::int64_t>(spool_.ready()));
+    spool_cv_.notify_all();
+  }
+}
+
+void Broker::serve_connection(net::TcpChannel& ch, std::size_t worker) {
+  net::ServerStats local;
+  const auto t_hs = Clock::now();
+  try {
+    const net::ClientHello hello = net::server_handshake(ch, expect_);
+    local.handshake_seconds = seconds_since(t_hs);
+    metrics_.histogram("handshake_seconds").observe(local.handshake_seconds);
+
+    const auto t_sess = Clock::now();
+    net::serve_precomputed_session(ch, hello, take_session_blocking(),
+                                   cfg_.rounds_per_session, cfg_.bits,
+                                   cfg_.demo_seed, *worker_rngs_[worker],
+                                   local);
+    metrics_.histogram("transfer_seconds").observe(local.transfer_seconds);
+    metrics_.histogram("ot_seconds").observe(local.ot_seconds);
+    metrics_.histogram("session_seconds").observe(seconds_since(t_sess));
+    metrics_.counter("sessions_served").inc();
+    metrics_.counter("rounds_served").inc(local.rounds_served);
+
+    const std::uint64_t total =
+        sessions_served_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cfg_.verbose)
+      std::fprintf(stderr,
+                   "[broker] worker %zu served session %llu: %zu rounds, "
+                   "%llu B out, transfer %.3fs, ot %.3fs\n",
+                   worker, static_cast<unsigned long long>(total),
+                   cfg_.rounds_per_session,
+                   static_cast<unsigned long long>(ch.bytes_sent()),
+                   local.transfer_seconds, local.ot_seconds);
+    if (cfg_.max_sessions != 0 && total >= cfg_.max_sessions) request_stop();
+  } catch (const net::HandshakeError& e) {
+    ++local.handshakes_rejected;
+    metrics_.counter("handshakes_rejected").inc();
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[broker] rejected client: %s\n", e.what());
+  } catch (const std::exception& e) {
+    ++local.connection_errors;
+    metrics_.counter("connection_errors").inc();
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[broker] connection error: %s\n", e.what());
+  }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  worker_stats_[worker].merge(local);
+}
+
+void Broker::worker_loop(std::size_t worker) {
+  for (;;) {
+    std::unique_ptr<net::TcpChannel> ch;
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || queue_closed_; });
+      if (queue_.empty()) return;  // closed and drained: worker exits
+      ch = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_.gauge("queue_depth").set(
+          static_cast<std::int64_t>(queue_.size()));
+      // A connection popped after stop was requested never became
+      // in-flight; it gets the typed drain reject instead of a session.
+      draining = queue_closed_ || stop_.load(std::memory_order_relaxed);
+    }
+    if (draining) {
+      reject_connection(*ch, net::RejectCode::kShuttingDown);
+      metrics_.counter("drain_rejects").inc();
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++drain_rejects_;
+      continue;
+    }
+    serve_connection(*ch, worker);
+  }
+}
+
+void Broker::run() {
+  const auto t0 = Clock::now();
+  producer_stop_.store(false, std::memory_order_relaxed);
+
+  std::thread producer([this] { producer_loop(); });
+  std::vector<std::thread> workers;
+  worker_rngs_.clear();
+  for (std::size_t w = 0; w < cfg_.workers; ++w)
+    worker_rngs_.push_back(std::make_unique<crypto::SystemRandom>());
+  for (std::size_t w = 0; w < cfg_.workers; ++w)
+    workers.emplace_back([this, w] { worker_loop(w); });
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::unique_ptr<net::TcpChannel> ch;
+    try {
+      ch = listener_.accept(cfg_.accept_poll_ms, cfg_.tcp);
+    } catch (const net::NetError&) {
+      break;  // listener closed under us
+    }
+    if (!ch) continue;  // poll timeout: recheck the stop flag
+    bool rejected = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      if (queue_.size() >= cfg_.admission_queue) {
+        rejected = true;
+      } else {
+        queue_.push_back(std::move(ch));
+        metrics_.gauge("queue_depth").set(
+            static_cast<std::int64_t>(queue_.size()));
+      }
+    }
+    if (rejected) {
+      reject_connection(*ch, net::RejectCode::kServerBusy);
+      metrics_.counter("admission_rejects").inc();
+      const std::lock_guard<std::mutex> lock(stats_mu_);
+      ++admission_rejects_;
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+
+  // Graceful drain: no new connections, in-flight sessions complete,
+  // queued leftovers get the typed shutdown reject from the workers.
+  request_stop();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers) w.join();
+
+  // The producer outlives the workers so an in-flight session that
+  // still needed a spool refill during drain could get one.
+  producer_stop_.store(true, std::memory_order_relaxed);
+  spool_cv_.notify_all();
+  producer.join();
+
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  accept_wall_seconds_ += seconds_since(t0);
+}
+
+BrokerStats Broker::stats() const {
+  BrokerStats st;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& ws : worker_stats_) st.server.merge(ws);
+    st.admission_rejects = admission_rejects_;
+    st.drain_rejects = drain_rejects_;
+    st.server.total_seconds = accept_wall_seconds_;
+  }
+  st.server.sessions_precomputed =
+      precomputed_.load(std::memory_order_relaxed);
+  st.spool = spool_.stats();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    st.queue_depth = queue_.size();
+  }
+  return st;
+}
+
+}  // namespace maxel::svc

@@ -1,0 +1,145 @@
+// Concurrent session broker — the multi-tenant serving tier over the
+// single-connection net::Server machinery.
+//
+// Threads (all owned by run()):
+//   accept loop (caller's thread): polls the listener with a short
+//     timeout so request_stop() is observed promptly, and either
+//     enqueues the connection or — when the bounded admission queue is
+//     full — sends the typed kServerBusy reject and closes, so an
+//     overloaded broker degrades into fast, explicit rejections instead
+//     of unbounded queueing or silent drops.
+//   N workers: pop a connection, handshake, claim a session from the
+//     disk-backed SessionSpool, stream it (the same
+//     serve_precomputed_session core the sequential server uses), fold
+//     timings into per-worker ServerStats (merged on demand) and the
+//     shared MetricsRegistry.
+//   producer: keeps the spool between its low/high watermarks, garbling
+//     batches on a core::GcCorePool — the software stand-in for
+//     MAXelerator streaming fresh sessions up over PCIe.
+//
+// Stop discipline: request_stop() (async-signal-safe atomic store) ->
+// the accept loop stops accepting, workers finish their in-flight
+// sessions, queued-but-unstarted connections get the typed
+// kShuttingDown reject, and run() joins everything before returning.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/circuits.hpp"
+#include "core/gc_core_pool.hpp"
+#include "crypto/rng.hpp"
+#include "net/handshake.hpp"
+#include "net/server.hpp"
+#include "net/tcp_channel.hpp"
+#include "svc/metrics.hpp"
+#include "svc/session_spool.hpp"
+
+namespace maxel::svc {
+
+struct BrokerConfig {
+  std::string bind_addr = "0.0.0.0";
+  std::uint16_t port = 7117;  // 0 picks an ephemeral port (Broker::port())
+  std::size_t bits = 16;
+  gc::Scheme scheme = gc::Scheme::kHalfGates;
+  std::size_t rounds_per_session = 128;
+  std::uint64_t demo_seed = 7;
+
+  std::size_t workers = 4;            // serving threads
+  std::size_t admission_queue = 8;    // accepted-but-unserved cap
+  int accept_poll_ms = 100;           // stop-flag poll period
+
+  std::string spool_dir;              // required
+  std::size_t spool_low_watermark = 2;   // refill when ready < this
+  std::size_t spool_high_watermark = 8;  // refill up to this
+  std::size_t ram_cache_sessions = 4;
+  std::size_t precompute_cores = 0;   // 0 = hardware concurrency
+
+  std::uint64_t max_sessions = 0;  // stop after serving this many; 0 = forever
+  bool verbose = true;
+  net::TcpOptions tcp;
+};
+
+struct BrokerStats {
+  net::ServerStats server;  // merged over workers (+ accept-loop wall time)
+  SpoolStats spool;
+  std::uint64_t admission_rejects = 0;  // kServerBusy sent
+  std::uint64_t drain_rejects = 0;      // kShuttingDown sent
+  std::size_t queue_depth = 0;          // at snapshot time
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Broker {
+ public:
+  explicit Broker(const BrokerConfig& cfg);
+  ~Broker();
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  // Accept/dispatch loop; spawns workers + producer, returns after a
+  // graceful drain once request_stop() was called or max_sessions is
+  // reached. Safe to run on its own thread.
+  void run();
+
+  // Async-signal-safe stop request.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] BrokerStats stats() const;
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const circuit::Circuit& circuit() const { return circ_; }
+
+ private:
+  void worker_loop(std::size_t worker);
+  void producer_loop();
+  void serve_connection(net::TcpChannel& ch, std::size_t worker);
+  proto::PrecomputedSession take_session_blocking();
+  // Sends a load-state reject without reading the hello, then closes.
+  void reject_connection(net::TcpChannel& ch, net::RejectCode code);
+
+  BrokerConfig cfg_;
+  circuit::Circuit circ_;
+  net::ServerExpectation expect_;
+  net::TcpListener listener_;
+  SessionSpool spool_;
+  core::GcCorePool pool_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> producer_stop_{false};  // set after workers drain
+  std::atomic<std::uint64_t> sessions_served_total_{0};
+  std::atomic<std::uint64_t> precomputed_{0};
+
+  // One OT randomness source per worker (index-stable across the run).
+  std::vector<std::unique_ptr<crypto::SystemRandom>> worker_rngs_;
+
+  // Bounded admission queue; workers block on queue_cv_.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<net::TcpChannel>> queue_;
+  bool queue_closed_ = false;
+
+  // Spool refill signaling (producer wakes workers waiting on an empty
+  // spool; workers wake the producer after draining it).
+  std::mutex spool_mu_;
+  std::condition_variable spool_cv_;
+
+  // Per-worker stats, merged under stats_mu_ into a snapshot.
+  mutable std::mutex stats_mu_;
+  std::vector<net::ServerStats> worker_stats_;
+  std::uint64_t admission_rejects_ = 0;
+  std::uint64_t drain_rejects_ = 0;
+  double accept_wall_seconds_ = 0;
+
+  MetricsRegistry metrics_;
+};
+
+}  // namespace maxel::svc

@@ -1,0 +1,121 @@
+#include "svc/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace maxel::svc {
+
+namespace {
+
+std::size_t bucket_index(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 1.0) return 0;
+  const std::size_t i = static_cast<std::size_t>(std::log2(us));
+  return std::min(i, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::observe(double seconds) {
+  if (seconds < 0 || !std::isfinite(seconds)) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(seconds * 1e6),
+                    std::memory_order_relaxed);
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::bucket_bound(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-6;  // 2^(i+1) us
+}
+
+double Histogram::Snapshot::quantile_seconds(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i)) * 1e-6;
+    const double hi = i + 1 >= kBuckets ? lo * 2 : bucket_bound(i);
+    if (static_cast<double>(seen + buckets[i]) >= target) {
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    seen += buckets[i];
+  }
+  return bucket_bound(kBuckets - 2);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_seconds = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) * 1e-6;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+template <typename T>
+T& MetricsRegistry::lookup(std::vector<Named<T>>& list,
+                           const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : list)
+    if (n.name == name) return *n.metric;
+  list.push_back(Named<T>{name, std::make_unique<T>()});
+  return *list.back().metric;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return lookup(counters_, name);
+}
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return lookup(gauges_, name);
+}
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return lookup(histograms_, name);
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const auto& c : counters_) {
+    comma();
+    os << "\"" << c.name << "\":" << c.metric->value();
+  }
+  for (const auto& g : gauges_) {
+    comma();
+    os << "\"" << g.name << "\":" << g.metric->value();
+  }
+  os.precision(6);
+  os << std::fixed;
+  for (const auto& h : histograms_) {
+    const auto s = h.metric->snapshot();
+    comma();
+    os << "\"" << h.name << "\":{\"count\":" << s.count
+       << ",\"sum_seconds\":" << s.sum_seconds
+       << ",\"mean_seconds\":" << s.mean_seconds()
+       << ",\"p50_seconds\":" << s.quantile_seconds(0.50)
+       << ",\"p95_seconds\":" << s.quantile_seconds(0.95)
+       << ",\"p99_seconds\":" << s.quantile_seconds(0.99) << ",\"buckets\":[";
+    // Trailing zero buckets are elided; what remains is positional.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      if (s.buckets[i] != 0) last = i + 1;
+    for (std::size_t i = 0; i < last; ++i)
+      os << s.buckets[i] << (i + 1 < last ? "," : "");
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace maxel::svc

@@ -1,0 +1,26 @@
+// Command-line entry points for the service tier (broker + spool +
+// metrics), wired into maxelctl next to the sequential net commands.
+// argv excludes the program/subcommand name.
+#pragma once
+
+namespace maxel::svc {
+
+// maxelctl serve --spool DIR [--workers N] [--queue Q] [--low L]
+//   [--high H] [--cache C] [--port P] [--bind A] [--bits N] [--rounds M]
+//   [--scheme halfgates|grr3|classic4] [--cores K] [--seed S]
+//   [--sessions K] [--metrics FILE] [--json FILE] [--quiet]
+// Runs the concurrent Broker. maxelctl routes `serve` here whenever
+// --spool or --workers is present; otherwise the sequential
+// net::serve_command handles it.
+int broker_command(int argc, char** argv);
+
+// maxelctl spool --dir DIR [--fill K --bits N --rounds M [--scheme S]]
+// Opens (reconciling claimed/ leftovers), optionally garbles K sessions
+// into the spool, then prints its stats as JSON.
+int spool_command(int argc, char** argv);
+
+// maxelctl stats --metrics FILE
+// Pretty-prints a metrics JSON dump written by `serve --metrics`.
+int stats_command(int argc, char** argv);
+
+}  // namespace maxel::svc

@@ -1,0 +1,266 @@
+#include "svc/session_spool.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "crypto/sha256.hpp"
+#include "proto/session_io.hpp"
+
+namespace maxel::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kIndexName = "spool.idx";
+constexpr const char* kIndexMagic = "MXSPOOL1";
+
+std::string sha_hex(const std::uint8_t* data, std::size_t n) {
+  return crypto::Sha256::hex(crypto::Sha256::hash(data, n));
+}
+
+// sess-<12-digit seq>.mxs; the zero-padded sequence keeps lexicographic
+// order equal to creation order, so "oldest first" is a plain sort.
+std::string session_file_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "sess-%012llu.mxs",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// Parses the sequence number back out of a file name; npos on mismatch.
+std::uint64_t parse_seq(const std::string& name) {
+  if (name.size() != 21 || name.rfind("sess-", 0) != 0 ||
+      name.substr(17) != ".mxs")
+    return ~0ull;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 5; i < 17; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return ~0ull;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+void remove_all_children(const fs::path& dir, std::uint64_t* count = nullptr) {
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    fs::remove_all(e.path(), ec);
+    if (count) ++*count;
+  }
+}
+
+}  // namespace
+
+SessionSpool::SessionSpool(const SpoolConfig& cfg) : cfg_(cfg) {
+  if (cfg_.dir.empty())
+    throw std::invalid_argument("SessionSpool: empty spool directory");
+  open_or_rebuild();
+}
+
+void SessionSpool::open_or_rebuild() {
+  const fs::path root(cfg_.dir);
+  fs::create_directories(root / "ready");
+  fs::create_directories(root / "claimed");
+  fs::create_directories(root / "tmp");
+
+  // A claimed session may have been partially streamed before a crash;
+  // its labels are burned either way. Destroy, never re-serve.
+  remove_all_children(root / "claimed", &stats_.purged_on_open);
+  remove_all_children(root / "tmp");
+
+  // Try the checksummed index first.
+  bool index_ok = false;
+  {
+    std::ifstream is(root / kIndexName);
+    if (is) {
+      std::ostringstream body;
+      std::string line, sum_line;
+      bool magic_ok = false;
+      while (std::getline(is, line)) {
+        if (!magic_ok) {
+          magic_ok = line == kIndexMagic;
+          if (!magic_ok) break;
+          body << line << "\n";
+          continue;
+        }
+        if (line.rfind("SUM ", 0) == 0) {
+          sum_line = line.substr(4);
+          break;
+        }
+        body << line << "\n";
+      }
+      const std::string content = body.str();
+      if (magic_ok && !sum_line.empty() &&
+          sum_line == sha_hex(reinterpret_cast<const std::uint8_t*>(
+                                  content.data()),
+                              content.size())) {
+        index_ok = true;
+        std::istringstream lines(content);
+        std::string l;
+        std::getline(lines, l);  // magic
+        while (std::getline(lines, l)) {
+          std::istringstream f(l);
+          Entry e;
+          if (!(f >> e.name >> e.bytes >> e.sha256_hex)) {
+            index_ok = false;
+            break;
+          }
+          index_.push_back(std::move(e));
+        }
+        if (!index_ok) index_.clear();
+      }
+    }
+  }
+
+  // Reconcile against ready/ — the directory is ground truth for which
+  // sessions exist; the index contributes the checksums. Entries whose
+  // file vanished are dropped; files the index missed are (re)hashed.
+  std::deque<Entry> reconciled;
+  std::vector<std::string> on_disk;
+  for (const auto& e : fs::directory_iterator(root / "ready"))
+    if (e.is_regular_file() && parse_seq(e.path().filename().string()) != ~0ull)
+      on_disk.push_back(e.path().filename().string());
+  std::sort(on_disk.begin(), on_disk.end());
+  for (const auto& name : on_disk) {
+    const auto it = std::find_if(index_.begin(), index_.end(),
+                                 [&](const Entry& e) { return e.name == name; });
+    if (index_ok && it != index_.end()) {
+      reconciled.push_back(*it);
+    } else {
+      std::ifstream f(root / "ready" / name, std::ios::binary);
+      std::ostringstream bytes;
+      bytes << f.rdbuf();
+      const std::string b = bytes.str();
+      reconciled.push_back(Entry{
+          name, b.size(),
+          sha_hex(reinterpret_cast<const std::uint8_t*>(b.data()), b.size())});
+    }
+    next_seq_ = std::max(next_seq_, parse_seq(name) + 1);
+  }
+  index_ = std::move(reconciled);
+  stats_.sessions_ready = index_.size();
+  stats_.bytes_on_disk = 0;
+  for (const auto& e : index_) stats_.bytes_on_disk += e.bytes;
+  write_index_locked();
+}
+
+void SessionSpool::write_index_locked() {
+  const fs::path root(cfg_.dir);
+  std::ostringstream body;
+  body << kIndexMagic << "\n";
+  for (const auto& e : index_)
+    body << e.name << " " << e.bytes << " " << e.sha256_hex << "\n";
+  const std::string content = body.str();
+  const fs::path tmp = root / "tmp" / "spool.idx.tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os << content << "SUM "
+       << sha_hex(reinterpret_cast<const std::uint8_t*>(content.data()),
+                  content.size())
+       << "\n";
+    if (!os) throw std::runtime_error("SessionSpool: cannot write index");
+  }
+  fs::rename(tmp, root / kIndexName);
+}
+
+void SessionSpool::put(proto::PrecomputedSession s) {
+  const std::vector<std::uint8_t> bytes = proto::serialize_session(s);
+  const std::string digest = sha_hex(bytes.data(), bytes.size());
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = session_file_name(next_seq_++);
+  const fs::path root(cfg_.dir);
+  const fs::path tmp = root / "tmp" / name;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) throw std::runtime_error("SessionSpool: cannot write " + name);
+  }
+  // The rename is the commit point: ready/ only ever holds complete files.
+  fs::rename(tmp, root / "ready" / name);
+  index_.push_back(Entry{name, bytes.size(), digest});
+  ++stats_.sessions_spooled;
+  ++stats_.sessions_ready;
+  stats_.bytes_on_disk += bytes.size();
+  write_index_locked();
+
+  if (cache_.size() < cfg_.ram_cache_sessions)
+    cache_.push_back(Cached{name, std::move(s)});
+}
+
+bool SessionSpool::claim_locked(const Entry& e) {
+  const fs::path root(cfg_.dir);
+  std::error_code ec;
+  fs::rename(root / "ready" / e.name, root / "claimed" / e.name, ec);
+  return !ec;
+}
+
+std::optional<proto::PrecomputedSession> SessionSpool::take() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const fs::path root(cfg_.dir);
+  while (!index_.empty()) {
+    Entry e = index_.front();
+    index_.pop_front();
+    if (!claim_locked(e)) {
+      // Somebody else (another process sharing the directory) won the
+      // rename, or the file vanished; either way it is not ours.
+      stats_.sessions_ready = index_.size();
+      continue;
+    }
+    --stats_.sessions_ready;
+    stats_.bytes_on_disk -= std::min(stats_.bytes_on_disk, e.bytes);
+    ++stats_.sessions_claimed;
+    write_index_locked();
+
+    // RAM-cache hit: the bytes never leave memory; the claim above
+    // already burned the on-disk copy.
+    const auto cached = std::find_if(
+        cache_.begin(), cache_.end(),
+        [&](const Cached& c) { return c.name == e.name; });
+    if (cached != cache_.end()) {
+      proto::PrecomputedSession s = std::move(cached->session);
+      cache_.erase(cached);
+      ++stats_.cache_hits;
+      std::error_code ec;
+      fs::remove(root / "claimed" / e.name, ec);
+      return s;
+    }
+
+    ++stats_.cache_misses;
+    std::ifstream is(root / "claimed" / e.name, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string bytes = buf.str();
+    if (cfg_.verify_checksums &&
+        sha_hex(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                bytes.size()) != e.sha256_hex)
+      throw std::runtime_error("SessionSpool: checksum mismatch on " + e.name +
+                               " (bit rot or tampering)");
+    proto::PrecomputedSession s = proto::parse_session(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    std::error_code ec;
+    fs::remove(root / "claimed" / e.name, ec);
+    return s;
+  }
+  return std::nullopt;
+}
+
+std::size_t SessionSpool::ready() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+SpoolStats SessionSpool::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace maxel::svc

@@ -1,0 +1,109 @@
+// Disk-backed spool of pre-garbled sessions — the durable half of
+// Fig. 1's host-side store. The accelerator (here: a GcCorePool
+// producer) keeps depositing sessions; broker workers claim and serve
+// them. Unlike the in-memory GarblingBank, the spool survives a host
+// kill/restart, and its claim discipline guarantees single-use even
+// across a crash.
+//
+// On-disk layout under the spool directory (see docs/PROTOCOL.md):
+//
+//   ready/sess-<seq>.mxs    session_io-format files, available to serve
+//   claimed/sess-<seq>.mxs  claimed by a worker; purged on open()
+//   tmp/                    staging for atomic writes
+//   spool.idx               checksummed index of ready/ (text, see below)
+//
+// Single-use invariants:
+//   * put() writes tmp/<name>, fsync-free but complete, then renames
+//     into ready/ — a crash mid-write leaves only tmp/ garbage, never a
+//     half session in ready/.
+//   * take() claims by renaming ready/<f> -> claimed/<f> BEFORE the
+//     bytes are handed out. rename(2) is atomic, so two workers (or two
+//     broker processes sharing a directory) can never both serve the
+//     same session: exactly one rename wins.
+//   * Opening a spool purges claimed/ — a claimed session may have been
+//     partially streamed to a client before the crash, so its labels
+//     are burned; destroying it is the only safe choice.
+//
+// The index maps each ready file to its SHA-256 so take() detects
+// bit-rot/tampering before a worker streams garbage tables; the index
+// itself carries a trailing checksum line and is rebuilt by scanning
+// ready/ when missing or corrupt.
+//
+// A small RAM cache fronts the disk: put() keeps the freshest sessions
+// in memory (bounded), and take() serves from it when its backing file
+// is still claimable — the disk write stays on the producer thread and
+// the hot path skips the read-back + parse entirely.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "proto/precompute.hpp"
+
+namespace maxel::svc {
+
+struct SpoolConfig {
+  std::string dir;
+  std::size_t ram_cache_sessions = 4;  // put()-side in-memory front
+  bool verify_checksums = true;        // SHA-256 check on disk reads
+};
+
+struct SpoolStats {
+  std::size_t sessions_ready = 0;    // files in ready/ right now
+  std::uint64_t sessions_spooled = 0;   // put() total since open
+  std::uint64_t sessions_claimed = 0;   // take() total since open
+  std::uint64_t cache_hits = 0;         // take() served from RAM
+  std::uint64_t cache_misses = 0;       // take() read back from disk
+  std::uint64_t purged_on_open = 0;     // claimed/ leftovers destroyed
+  std::uint64_t bytes_on_disk = 0;      // sum of ready/ file sizes
+};
+
+class SessionSpool {
+ public:
+  // Opens (creating directories as needed) and reconciles: purges
+  // claimed/ and tmp/, loads or rebuilds the index against ready/.
+  explicit SessionSpool(const SpoolConfig& cfg);
+
+  SessionSpool(const SessionSpool&) = delete;
+  SessionSpool& operator=(const SessionSpool&) = delete;
+
+  // Serializes, checksums, stages to tmp/ and renames into ready/;
+  // updates the index and (space permitting) the RAM cache.
+  void put(proto::PrecomputedSession s);
+
+  // Claims and returns the oldest ready session, or nullopt when the
+  // spool is empty. The on-disk file is renamed into claimed/ before
+  // the session is returned and unlinked once the load succeeded.
+  std::optional<proto::PrecomputedSession> take();
+
+  [[nodiscard]] std::size_t ready() const;
+  [[nodiscard]] SpoolStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return cfg_.dir; }
+
+ private:
+  struct Entry {
+    std::string name;       // file name within ready/
+    std::uint64_t bytes = 0;
+    std::string sha256_hex;
+  };
+
+  void open_or_rebuild();
+  void write_index_locked();
+  bool claim_locked(const Entry& e);  // ready/ -> claimed/, true if won
+
+  SpoolConfig cfg_;
+  mutable std::mutex mu_;
+  std::deque<Entry> index_;  // oldest first
+  struct Cached {
+    std::string name;
+    proto::PrecomputedSession session;
+  };
+  std::deque<Cached> cache_;
+  std::uint64_t next_seq_ = 0;
+  SpoolStats stats_;
+};
+
+}  // namespace maxel::svc

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <thread>
@@ -474,6 +475,30 @@ TEST(NetService, MismatchedClientRejectedAndServerSurvives) {
   EXPECT_TRUE(cs.verified);
   EXPECT_EQ(server.stats().handshakes_rejected, 1u);
   EXPECT_EQ(server.stats().sessions_served, 1u);
+}
+
+// Shutdown-latency regression: the accept loop polls with
+// cfg.accept_poll_ms rather than blocking in accept(2), so
+// request_stop() on an idle server must take effect within roughly one
+// poll period — not hang until the next client happens to connect.
+TEST(NetService, IdleServeStopsWithinAcceptPollPeriod) {
+  ServerConfig cfg = quiet_server_config(8, 4);
+  cfg.max_sessions = 0;     // run until stopped
+  cfg.accept_poll_ms = 50;  // tight poll so the bound below is meaningful
+  Server server(cfg);
+  std::thread serve([&] { server.serve(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.request_stop();
+  serve.join();
+  const double stop_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // One poll period plus generous CI slack; a blocking accept would sit
+  // here forever with no connection to wake it.
+  EXPECT_LT(stop_seconds, 2.0);
+  EXPECT_EQ(server.stats().sessions_served, 0u);
 }
 
 }  // namespace

@@ -13,6 +13,17 @@
 
 #include <chrono>
 
+// Sanitizer instrumentation skews the CPU-time ratios the timing
+// assertions below compare; keep the protocol runs (memory/UB coverage)
+// but skip the wall-clock comparisons under asan/tsan.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MAXEL_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MAXEL_UNDER_SANITIZER 1
+#endif
+#endif
+
 namespace maxel::ot {
 namespace {
 
@@ -323,8 +334,13 @@ TEST(PrecomputedOt, OnlineTrafficIsMinimal) {
   const auto base_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - t1)
                            .count();
+#ifndef MAXEL_UNDER_SANITIZER
   EXPECT_GT(base_us, 5 * online_us)
       << "base=" << base_us << "us online=" << online_us << "us";
+#else
+  (void)base_us;
+  (void)online_us;
+#endif
 }
 
 TEST(TrustedOt, ShortcutDeliversChosen) {

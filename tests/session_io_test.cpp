@@ -2,7 +2,10 @@
 // end-to-end run, and malformed-stream rejection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "circuit/circuits.hpp"
 #include "crypto/prg.hpp"
@@ -88,6 +91,27 @@ TEST(SessionIo, FileRoundTrip) {
   EXPECT_EQ(t.rounds.size(), 1u);
 }
 
+TEST(SessionIo, SerializeParseMatchesStreamCodec) {
+  const circuit::Circuit c = circuit::make_mac_circuit(MacOptions{8, 8, true});
+  const PrecomputedSession s = make_session(c, 3, 9);
+
+  std::stringstream buf;
+  save_session(s, buf);
+  const std::string via_stream = buf.str();
+  const std::vector<std::uint8_t> via_bytes = serialize_session(s);
+  ASSERT_EQ(via_bytes.size(), via_stream.size());
+  EXPECT_TRUE(std::equal(via_bytes.begin(), via_bytes.end(),
+                         via_stream.begin(),
+                         [](std::uint8_t a, char b) {
+                           return a == static_cast<std::uint8_t>(b);
+                         }));
+
+  const PrecomputedSession t = parse_session(via_bytes.data(),
+                                             via_bytes.size());
+  EXPECT_EQ(t.delta, s.delta);
+  EXPECT_EQ(t.rounds.size(), s.rounds.size());
+}
+
 TEST(SessionIo, RejectsCorruptStreams) {
   EXPECT_THROW((void)load_session_file("/nonexistent/nope.bin"),
                std::runtime_error);
@@ -101,6 +125,110 @@ TEST(SessionIo, RejectsCorruptStreams) {
   const std::string full = buf.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW((void)load_session(truncated), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input hardening: the spool reads session files off disk, so a
+// loader facing mutated bytes must fail with a typed error — never
+// crash, hang, or attempt a count-prefix-sized allocation.
+
+// Parses arbitrary bytes; anything but success or std::runtime_error
+// (SessionFormatError derives from it) escapes and fails the test —
+// notably std::bad_alloc from an OOM-sized reserve.
+void parse_must_not_crash(const std::vector<std::uint8_t>& bytes,
+                          const char* what) {
+  try {
+    (void)parse_session(bytes.data(), bytes.size());
+  } catch (const std::runtime_error&) {
+    // Typed rejection: the acceptable failure mode.
+  }
+  SUCCEED() << what;
+}
+
+TEST(SessionIoFuzz, EveryTruncationFailsTyped) {
+  const circuit::Circuit c = circuit::make_millionaires_circuit(4);
+  const std::vector<std::uint8_t> full =
+      serialize_session(make_session(c, 1, 11));
+  ASSERT_GT(full.size(), 64u);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::uint8_t> cut(full.begin(),
+                                  full.begin() + static_cast<long>(len));
+    EXPECT_THROW((void)parse_session(cut.data(), cut.size()),
+                 std::runtime_error)
+        << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(SessionIoFuzz, SingleByteMutationsNeverCrash) {
+  const circuit::Circuit c = circuit::make_millionaires_circuit(4);
+  const std::vector<std::uint8_t> full =
+      serialize_session(make_session(c, 2, 12));
+  // Every offset, three mutation patterns: bit flip, zero, all-ones.
+  // Counts, magic, scheme, table rows and the packed bit tail all get
+  // hit; the loader must return a session or throw runtime_error.
+  for (std::size_t off = 0; off < full.size(); ++off) {
+    for (const std::uint8_t m :
+         {static_cast<std::uint8_t>(full[off] ^ 0x80),
+          static_cast<std::uint8_t>(0x00), static_cast<std::uint8_t>(0xFF)}) {
+      std::vector<std::uint8_t> mut = full;
+      mut[off] = m;
+      parse_must_not_crash(mut, "mutated byte");
+    }
+  }
+}
+
+TEST(SessionIoFuzz, RandomMultiByteMutationsNeverCrash) {
+  const circuit::Circuit c = circuit::make_mac_circuit(MacOptions{8, 8, true});
+  const std::vector<std::uint8_t> full =
+      serialize_session(make_session(c, 2, 13));
+  crypto::Prg prg(Block{0xF0, 0x0D});
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<std::uint8_t> mut = full;
+    const int edits = 1 + static_cast<int>(prg.next_u64() % 8);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t off = prg.next_u64() % mut.size();
+      mut[off] ^= static_cast<std::uint8_t>(prg.next_u64() | 1);
+    }
+    // Also sometimes truncate after mutating.
+    if (trial % 3 == 0) mut.resize(prg.next_u64() % (mut.size() + 1));
+    parse_must_not_crash(mut, "random mutation");
+  }
+}
+
+TEST(SessionIoFuzz, HostileCountPrefixesRejectedBeforeAllocation) {
+  // Hand-built header: magic, scheme, delta, then a lying round count.
+  const auto header_with_round_count = [](std::uint64_t n_rounds) {
+    std::vector<std::uint8_t> b;
+    const char magic[8] = {'M', 'X', 'S', 'E', 'S', 'S', '1', '\0'};
+    b.insert(b.end(), magic, magic + 8);
+    b.push_back(0);                    // scheme = half-gates
+    b.insert(b.end(), 16, 0x42);       // delta
+    for (int i = 0; i < 8; ++i)
+      b.push_back(static_cast<std::uint8_t>(n_rounds >> (8 * i)));
+    return b;
+  };
+
+  // Counts beyond the cap are rejected by value, before any allocation.
+  for (const std::uint64_t lie : {~std::uint64_t{0}, ~std::uint64_t{0} / 2,
+                                  std::uint64_t{kMaxSessionRounds + 1}}) {
+    const auto b = header_with_round_count(lie);
+    EXPECT_THROW((void)parse_session(b.data(), b.size()), SessionFormatError)
+        << "round count " << lie;
+  }
+
+  // A count at the cap passes validation but the stream ends
+  // immediately: incremental growth means this fails fast on EOF
+  // instead of reserving cap-many rounds up front.
+  const auto at_cap = header_with_round_count(kMaxSessionRounds);
+  EXPECT_THROW((void)parse_session(at_cap.data(), at_cap.size()),
+               SessionFormatError);
+
+  // Same discipline one level down: plausible round count, hostile
+  // table count inside the round.
+  auto nested = header_with_round_count(1);
+  for (int i = 0; i < 8; ++i) nested.push_back(0xFF);  // table count ~0
+  EXPECT_THROW((void)parse_session(nested.data(), nested.size()),
+               SessionFormatError);
 }
 
 }  // namespace

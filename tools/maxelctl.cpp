@@ -17,7 +17,14 @@
 //   maxelctl serve / maxelctl connect
 //       The network service (garbler server / evaluator client); same
 //       flags as the standalone maxel_server / maxel_client binaries —
-//       see src/net/service.hpp and docs/PROTOCOL.md.
+//       see src/net/service.hpp and docs/PROTOCOL.md. With --spool DIR
+//       (or --workers N), `serve` runs the concurrent session broker
+//       instead of the sequential server — see src/svc/service.hpp and
+//       docs/OPERATIONS.md.
+//   maxelctl spool --dir DIR [--fill K --bits N --rounds M]
+//       Inspect or pre-fill a disk session spool.
+//   maxelctl stats --metrics FILE
+//       Pretty-print a broker metrics dump (`serve --metrics FILE`).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +42,7 @@
 #include "net/service.hpp"
 #include "proto/precompute.hpp"
 #include "proto/session_io.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -56,7 +64,7 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage: maxelctl "
-               "<circuit|stats|simulate|bank|bench-mac|serve|connect> "
+               "<circuit|stats|simulate|bank|bench-mac|serve|connect|spool> "
                "[options]\n  see the header of tools/maxelctl.cpp\n");
   return 2;
 }
@@ -258,13 +266,33 @@ int cmd_bench_mac(const Args& a) {
 
 }  // namespace
 
+namespace {
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  // The network subcommands own their flag parsing (shared with the
-  // standalone maxel_server / maxel_client binaries).
-  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+  // The network/service subcommands own their flag parsing (shared with
+  // the standalone maxel_server / maxel_client binaries). `serve` routes
+  // to the concurrent broker when spool/worker flags appear.
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    if (has_flag(argc - 2, argv + 2, "--spool") ||
+        has_flag(argc - 2, argv + 2, "--workers"))
+      return maxel::svc::broker_command(argc - 2, argv + 2);
     return maxel::net::serve_command(argc - 2, argv + 2);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "connect") == 0)
     return maxel::net::connect_command(argc - 2, argv + 2);
+  if (argc >= 2 && std::strcmp(argv[1], "spool") == 0)
+    return maxel::svc::spool_command(argc - 2, argv + 2);
+  if (argc >= 2 && std::strcmp(argv[1], "stats") == 0 &&
+      has_flag(argc - 2, argv + 2, "--metrics"))
+    return maxel::svc::stats_command(argc - 2, argv + 2);
 
   Args a;
   if (!parse(argc, argv, a)) return usage();
