@@ -12,6 +12,7 @@
 // client/server deployment of Fig. 1.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -172,14 +173,16 @@ TcpPair make_tcp_pair() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Transport comparison: loopback channels");
   std::printf("%-16s %14s %14s %14s %14s\n", "transport", "stream MB/s",
               "rtt us", "MAC/s (b=16)", "bytes/MAC");
   bench::rule(76);
 
   bench::JsonReporter rep("net_loopback");
-  const std::size_t bits = 16, rounds = 400;
+  const std::size_t bits = 16;
+  const std::size_t rounds =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400;
 
   {
     auto [a, b] = proto::MemoryChannel::create_pair();

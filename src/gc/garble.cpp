@@ -66,6 +66,20 @@ RoundTables CircuitGarbler::garble_round() {
   return out;
 }
 
+RoundMaterial CircuitGarbler::garble_round_material() {
+  RoundMaterial m;
+  m.tables = garble_round();
+  m.garbler_labels0.reserve(circ_.garbler_inputs.size());
+  for (std::size_t i = 0; i < circ_.garbler_inputs.size(); ++i)
+    m.garbler_labels0.push_back(garbler_input_label(i, false));
+  m.evaluator_pairs.reserve(circ_.evaluator_inputs.size());
+  for (std::size_t i = 0; i < circ_.evaluator_inputs.size(); ++i)
+    m.evaluator_pairs.push_back(evaluator_input_labels(i));
+  m.fixed_labels = fixed_wire_labels();
+  m.output_map = output_map();
+  return m;
+}
+
 Block CircuitGarbler::garbler_input_label(std::size_t i, bool v) const {
   const Block l0 = labels0_[circ_.garbler_inputs.at(i)];
   return v ? l0 ^ delta_ : l0;

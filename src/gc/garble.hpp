@@ -46,6 +46,19 @@ void tables_to_bytes(const RoundTables& t, Scheme s, std::uint8_t* out);
 RoundTables tables_from_bytes(const std::uint8_t* data, std::size_t n_tables,
                               Scheme s);
 
+// Everything one garbled round hands the serving host: tables plus the
+// label material needed to select garbler inputs (0-labels + delta),
+// run the evaluator-input OT (pairs), seed the constant wires, and
+// decode outputs. proto::PrecomputedSession stores rounds of exactly
+// this; gc::StreamingGarbler emits them in chunks as they are garbled.
+struct RoundMaterial {
+  RoundTables tables;
+  std::vector<Block> garbler_labels0;  // choose with input bits (+delta)
+  std::vector<std::pair<Block, Block>> evaluator_pairs;  // OT (m0, m1)
+  std::vector<Block> fixed_labels;     // active const labels
+  std::vector<bool> output_map;        // point-and-permute decode colors
+};
+
 class CircuitGarbler {
  public:
   CircuitGarbler(const circuit::Circuit& c, Scheme scheme,
@@ -54,6 +67,11 @@ class CircuitGarbler {
   // Garbles the next round and returns its tables. All per-round label
   // queries below refer to the most recently garbled round.
   RoundTables garble_round();
+
+  // Garbles the next round and gathers its complete material in one
+  // step — the shared body of proto::garble_session and the streaming
+  // garbler, so both producers emit byte-identical rounds.
+  RoundMaterial garble_round_material();
 
   [[nodiscard]] std::uint64_t rounds_garbled() const { return round_; }
 

@@ -1,0 +1,103 @@
+#include "gc/streaming_garbler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace maxel::gc {
+
+ChunkQueue::ChunkQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool ChunkQueue::push(SessionChunk&& c) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_push_.wait(lock, [this] { return q_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  queued_tables_ += c.table_count();
+  q_.push_back(std::move(c));
+  peak_depth_ = std::max(peak_depth_, q_.size());
+  peak_resident_tables_ =
+      std::max(peak_resident_tables_, queued_tables_ + in_service_tables_);
+  lock.unlock();
+  cv_pop_.notify_one();
+  return true;
+}
+
+bool ChunkQueue::pop(SessionChunk& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_pop_.wait(lock, [this] { return !q_.empty() || closed_; });
+  if (q_.empty()) {
+    in_service_tables_ = 0;
+    return false;  // closed and drained
+  }
+  out = std::move(q_.front());
+  q_.pop_front();
+  const std::uint64_t n = out.table_count();
+  queued_tables_ -= n;
+  in_service_tables_ = n;  // the popped chunk stays resident until next pop
+  lock.unlock();
+  cv_push_.notify_one();
+  return true;
+}
+
+void ChunkQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_push_.notify_all();
+  cv_pop_.notify_all();
+}
+
+std::size_t ChunkQueue::peak_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_depth_;
+}
+
+std::uint64_t ChunkQueue::peak_resident_tables() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_resident_tables_;
+}
+
+StreamingGarbler::StreamingGarbler(const circuit::Circuit& c, Scheme scheme,
+                                   std::size_t total_rounds,
+                                   const Options& opt,
+                                   const crypto::Block& seed)
+    : circ_(c),
+      scheme_(scheme),
+      total_rounds_(total_rounds),
+      opt_(opt),
+      rng_(seed),
+      garbler_(c, scheme, rng_),  // constructed here so delta() is immediate
+      queue_(opt.queue_chunks) {
+  if (opt_.chunk_rounds == 0) opt_.chunk_rounds = 1;
+  thread_ = std::thread([this] { produce(); });
+}
+
+StreamingGarbler::~StreamingGarbler() {
+  queue_.close();  // unblocks a producer stalled on a full queue
+  if (thread_.joinable()) thread_.join();
+}
+
+bool StreamingGarbler::next_chunk(SessionChunk& out) {
+  return queue_.pop(out);
+}
+
+void StreamingGarbler::produce() {
+  std::size_t done = 0;
+  while (done < total_rounds_) {
+    SessionChunk chunk;
+    chunk.first_round = done;
+    const std::size_t n = std::min(opt_.chunk_rounds, total_rounds_ - done);
+    chunk.rounds.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      chunk.rounds.push_back(garbler_.garble_round_material());
+      if (done + r == 0)
+        chunk.initial_state_labels = garbler_.initial_state_labels();
+    }
+    done += n;
+    if (!queue_.push(std::move(chunk))) return;  // consumer abandoned us
+  }
+  queue_.close();  // end of session: pop() drains, then reports false
+}
+
+}  // namespace maxel::gc

@@ -1,0 +1,133 @@
+// Garble-while-transfer pipeline (the paper's Sec. 4 dataflow): the
+// hardware emits one garbled table per core per clock and the link
+// drains them as they appear — the garbler never waits for the whole
+// circuit and neither does the transfer. This module is the software
+// form of that overlap: a producer thread garbles rounds into
+// fixed-size chunks and pushes them through a bounded blocking queue;
+// the consumer (the serving connection) pops chunks and puts them on
+// the wire while the next chunk is still being garbled.
+//
+// Memory discipline: where the precomputed path keeps O(rounds) tables
+// resident (a whole PrecomputedSession in the bank or spool), the
+// streaming path keeps O(chunk_rounds * queue_chunks) — the queue's
+// backpressure stalls the garbling thread when the link is the
+// bottleneck, so a slow client cannot balloon server RAM.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "crypto/rng.hpp"
+#include "gc/garble.hpp"
+#include "gc/scheme.hpp"
+
+namespace maxel::gc {
+
+// A contiguous run of garbled rounds, ready to serve. Chunk 0 also
+// carries the round-0 DFF state labels (public init values).
+struct SessionChunk {
+  std::uint64_t first_round = 0;
+  std::vector<RoundMaterial> rounds;
+  std::vector<Block> initial_state_labels;  // non-empty on chunk 0 only
+
+  [[nodiscard]] std::uint64_t table_count() const {
+    std::uint64_t n = 0;
+    for (const auto& r : rounds) n += r.tables.tables.size();
+    return n;
+  }
+};
+
+// Bounded blocking chunk queue with close semantics and high-water
+// accounting. push() blocks while full (backpressure onto the garbling
+// thread); pop() blocks while empty (the consumer waits for tables).
+// close() wakes everyone: pending push() calls return false (producer
+// stops garbling) and pop() drains what is queued, then returns false.
+//
+// Residency accounting counts the tables in queued chunks plus the
+// chunk most recently popped (it stays resident in the consumer until
+// the next pop or close) — the number the bench reports as "peak
+// resident tables" and compares against the precomputed path's
+// whole-session footprint.
+class ChunkQueue {
+ public:
+  explicit ChunkQueue(std::size_t capacity);
+
+  // False iff the queue was closed (the chunk is dropped).
+  bool push(SessionChunk&& c);
+  // False iff the queue is closed and drained.
+  bool pop(SessionChunk& out);
+  void close();
+
+  [[nodiscard]] std::size_t peak_depth() const;
+  [[nodiscard]] std::uint64_t peak_resident_tables() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<SessionChunk> q_;
+  bool closed_ = false;
+  std::uint64_t queued_tables_ = 0;
+  std::uint64_t in_service_tables_ = 0;  // last popped, not yet replaced
+  std::size_t peak_depth_ = 0;
+  std::uint64_t peak_resident_tables_ = 0;
+};
+
+// Owns the garbling thread of one streaming session: garbles
+// `total_rounds` rounds of `c` into chunks of `chunk_rounds` and pushes
+// them through a ChunkQueue of `queue_chunks` capacity. delta() is
+// available immediately (the CircuitGarbler is constructed before the
+// thread starts); next_chunk() yields chunks in round order and returns
+// false once the session is fully delivered. Destruction closes the
+// queue and joins, so abandoning a session mid-stream (client hangup)
+// cannot leak the producer.
+class StreamingGarbler {
+ public:
+  struct Options {
+    std::size_t chunk_rounds = 16;  // rounds per chunk
+    std::size_t queue_chunks = 4;   // backpressure bound, in chunks
+  };
+
+  StreamingGarbler(const circuit::Circuit& c, Scheme scheme,
+                   std::size_t total_rounds, const Options& opt,
+                   const crypto::Block& seed);
+  ~StreamingGarbler();
+  StreamingGarbler(const StreamingGarbler&) = delete;
+  StreamingGarbler& operator=(const StreamingGarbler&) = delete;
+
+  [[nodiscard]] const Block& delta() const { return garbler_.delta(); }
+  [[nodiscard]] Scheme scheme() const { return scheme_; }
+  [[nodiscard]] std::size_t total_rounds() const { return total_rounds_; }
+
+  // Blocks for the next in-order chunk; false after the final chunk.
+  bool next_chunk(SessionChunk& out);
+
+  // Queue high-water marks (see ChunkQueue). Stable after the last
+  // next_chunk() returned false; advisory while streaming.
+  [[nodiscard]] std::size_t peak_queue_depth() const {
+    return queue_.peak_depth();
+  }
+  [[nodiscard]] std::uint64_t peak_resident_tables() const {
+    return queue_.peak_resident_tables();
+  }
+
+ private:
+  void produce();
+
+  const circuit::Circuit& circ_;
+  Scheme scheme_;
+  std::size_t total_rounds_;
+  Options opt_;
+  crypto::SystemRandom rng_;
+  CircuitGarbler garbler_;
+  ChunkQueue queue_;
+  std::thread thread_;
+};
+
+}  // namespace maxel::gc

@@ -12,6 +12,7 @@
 #include "net/demo_inputs.hpp"
 #include "ot/base_ot.hpp"
 #include "ot/iknp.hpp"
+#include "proto/chunk_io.hpp"
 
 namespace maxel::net {
 
@@ -26,20 +27,22 @@ double seconds_since(Clock::time_point t0) {
 }  // namespace
 
 std::string ClientStats::to_json() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"client\",\"rounds\":%u,\"bytes_sent\":%llu,"
       "\"bytes_received\":%llu,\"output_value\":%llu,\"checked\":%s,"
-      "\"verified\":%s,\"working_set_bytes\":%zu,"
+      "\"verified\":%s,\"working_set_bytes\":%zu,\"chunks_received\":%llu,"
       "\"handshake_seconds\":%.6f,\"transfer_seconds\":%.6f,"
-      "\"ot_seconds\":%.6f,\"eval_seconds\":%.6f,\"total_seconds\":%.6f}",
+      "\"ot_seconds\":%.6f,\"eval_seconds\":%.6f,"
+      "\"first_table_seconds\":%.6f,\"total_seconds\":%.6f}",
       rounds, static_cast<unsigned long long>(bytes_sent),
       static_cast<unsigned long long>(bytes_received),
       static_cast<unsigned long long>(output_value),
       checked ? "true" : "false", verified ? "true" : "false",
-      working_set_bytes, handshake_seconds, transfer_seconds, ot_seconds,
-      eval_seconds, total_seconds);
+      working_set_bytes, static_cast<unsigned long long>(chunks_received),
+      handshake_seconds, transfer_seconds, ot_seconds, eval_seconds,
+      first_table_seconds, total_seconds);
   return buf;
 }
 
@@ -56,6 +59,7 @@ ClientStats run_client(const ClientConfig& cfg) {
     ClientHello hello;
     hello.scheme = static_cast<std::uint8_t>(cfg.scheme);
     hello.ot = static_cast<std::uint8_t>(cfg.ot);
+    hello.mode = static_cast<std::uint8_t>(cfg.mode);
     hello.bit_width = static_cast<std::uint32_t>(cfg.bits);
     hello.rounds = cfg.rounds_hint;
     hello.circuit_hash = circuit_fingerprint(circ);
@@ -84,33 +88,67 @@ ClientStats run_client(const ClientConfig& cfg) {
 
   DemoInputStream x_inputs(cfg.demo_seed, kEvaluatorStream, cfg.bits);
   std::vector<bool> decoded;
-  std::vector<std::uint8_t> table_buf;
-  for (std::uint32_t r = 0; r < stats.rounds; ++r) {
-    // Round material, same wire order GarblerParty/PrecomputedGarblerParty
-    // send it: tables, garbler labels, fixed labels, initial state
-    // (round 0 only), output decode map.
-    auto t0 = Clock::now();
-    const std::size_t n_tables = ch->recv_u64();
-    table_buf.resize(n_tables * gc::bytes_per_and(cfg.scheme));
-    ch->recv_bytes(table_buf.data(), table_buf.size());
-    const gc::RoundTables tables =
-        gc::tables_from_bytes(table_buf.data(), n_tables, cfg.scheme);
-    const std::vector<crypto::Block> garbler_labels = ch->recv_blocks();
-    const std::vector<crypto::Block> fixed_labels = ch->recv_blocks();
-    if (r == 0) evaluator.set_initial_state_labels(ch->recv_blocks());
-    const std::vector<bool> output_map = ch->recv_bits();
-    stats.transfer_seconds += seconds_since(t0);
+  if (cfg.mode == SessionMode::kStream) {
+    // Stream mode: rounds arrive in chunk frames (proto::chunk_io); OT
+    // still runs once per round after each chunk lands.
+    std::uint32_t done = 0;
+    while (done < stats.rounds) {
+      auto t0 = Clock::now();
+      proto::WireChunk wc = proto::recv_chunk(*ch);
+      stats.transfer_seconds += seconds_since(t0);
+      if (done == 0) stats.first_table_seconds = seconds_since(t_total);
+      if (wc.scheme != cfg.scheme)
+        throw NetError("stream chunk: scheme mismatch");
+      if (wc.first_round != done || wc.rounds.empty() ||
+          done + wc.rounds.size() > stats.rounds)
+        throw NetError("stream chunk: rounds out of order or overrun");
+      if (done == 0)
+        evaluator.set_initial_state_labels(wc.initial_state_labels);
+      for (const auto& wr : wc.rounds) {
+        t0 = Clock::now();
+        ot->recv_phase1(x_inputs.next_bits());
+        const std::vector<crypto::Block> my_labels = ot->recv_phase2();
+        stats.ot_seconds += seconds_since(t0);
 
-    t0 = Clock::now();
-    ot->recv_phase1(x_inputs.next_bits());
-    const std::vector<crypto::Block> my_labels = ot->recv_phase2();
-    stats.ot_seconds += seconds_since(t0);
+        t0 = Clock::now();
+        const auto out_labels = evaluator.eval_round(
+            wr.tables, wr.garbler_labels, my_labels, wr.fixed_labels);
+        decoded = gc::decode_with_map(out_labels, wr.output_map);
+        stats.eval_seconds += seconds_since(t0);
+        ++done;
+      }
+      ++stats.chunks_received;
+    }
+  } else {
+    std::vector<std::uint8_t> table_buf;
+    for (std::uint32_t r = 0; r < stats.rounds; ++r) {
+      // Round material, same wire order GarblerParty/PrecomputedGarblerParty
+      // send it: tables, garbler labels, fixed labels, initial state
+      // (round 0 only), output decode map.
+      auto t0 = Clock::now();
+      const std::size_t n_tables = ch->recv_u64();
+      table_buf.resize(n_tables * gc::bytes_per_and(cfg.scheme));
+      ch->recv_bytes(table_buf.data(), table_buf.size());
+      const gc::RoundTables tables =
+          gc::tables_from_bytes(table_buf.data(), n_tables, cfg.scheme);
+      const std::vector<crypto::Block> garbler_labels = ch->recv_blocks();
+      const std::vector<crypto::Block> fixed_labels = ch->recv_blocks();
+      if (r == 0) evaluator.set_initial_state_labels(ch->recv_blocks());
+      const std::vector<bool> output_map = ch->recv_bits();
+      stats.transfer_seconds += seconds_since(t0);
+      if (r == 0) stats.first_table_seconds = seconds_since(t_total);
 
-    t0 = Clock::now();
-    const auto out_labels =
-        evaluator.eval_round(tables, garbler_labels, my_labels, fixed_labels);
-    decoded = gc::decode_with_map(out_labels, output_map);
-    stats.eval_seconds += seconds_since(t0);
+      t0 = Clock::now();
+      ot->recv_phase1(x_inputs.next_bits());
+      const std::vector<crypto::Block> my_labels = ot->recv_phase2();
+      stats.ot_seconds += seconds_since(t0);
+
+      t0 = Clock::now();
+      const auto out_labels = evaluator.eval_round(tables, garbler_labels,
+                                                   my_labels, fixed_labels);
+      decoded = gc::decode_with_map(out_labels, output_map);
+      stats.eval_seconds += seconds_since(t0);
+    }
   }
 
   stats.output_value = circuit::from_bits(decoded);
@@ -126,8 +164,9 @@ ClientStats run_client(const ClientConfig& cfg) {
 
   if (cfg.verbose)
     std::fprintf(stderr,
-                 "[maxel_client] %u rounds, %llu B in / %llu B out, "
+                 "[maxel_client] %s%u rounds, %llu B in / %llu B out, "
                  "working set %zu B, transfer %.3fs, ot %.3fs, eval %.3fs%s\n",
+                 cfg.mode == SessionMode::kStream ? "stream, " : "",
                  stats.rounds,
                  static_cast<unsigned long long>(stats.bytes_received),
                  static_cast<unsigned long long>(stats.bytes_sent),

@@ -24,6 +24,7 @@ struct ClientConfig {
   std::size_t bits = 16;
   gc::Scheme scheme = gc::Scheme::kHalfGates;
   OtChoice ot = OtChoice::kIknp;
+  SessionMode mode = SessionMode::kPrecomputed;  // kStream: chunked delivery
   std::uint32_t rounds_hint = 0;  // requested; the server's reply wins
   std::uint64_t demo_seed = 7;    // must match the server's (demo_inputs.hpp)
   bool check = true;  // verify the decoded MAC against the plaintext reference
@@ -39,10 +40,12 @@ struct ClientStats {
   bool checked = false;
   bool verified = false;
   std::size_t working_set_bytes = 0;  // streaming evaluator peak label memory
+  std::uint64_t chunks_received = 0;  // stream mode: wire chunks consumed
   double handshake_seconds = 0;
   double transfer_seconds = 0;  // table + label receive
   double ot_seconds = 0;        // OT setup + per-round label OT
   double eval_seconds = 0;      // streaming evaluation + decode
+  double first_table_seconds = 0;  // connect -> first round material in hand
   double total_seconds = 0;
 
   [[nodiscard]] std::string to_json() const;

@@ -60,6 +60,7 @@ enum class RejectCode : std::uint32_t {
   kBadOtMode = 6,
   kServerBusy = 7,
   kShuttingDown = 8,
+  kBadMode = 9,  // unknown/unsupported session mode byte in the hello
 };
 
 [[nodiscard]] constexpr const char* reject_name(RejectCode c) {
@@ -73,6 +74,7 @@ enum class RejectCode : std::uint32_t {
     case RejectCode::kBadOtMode: return "bad-ot-mode";
     case RejectCode::kServerBusy: return "server-busy";
     case RejectCode::kShuttingDown: return "shutting-down";
+    case RejectCode::kBadMode: return "bad-mode";
   }
   return "?";
 }

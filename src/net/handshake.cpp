@@ -58,8 +58,8 @@ void send_hello(proto::Channel& ch, const ClientHello& h) {
   std::memcpy(buf + off, &h.version, 4); off += 4;
   buf[off++] = h.scheme;
   buf[off++] = h.ot;
-  buf[off++] = 0;  // reserved
-  buf[off++] = 0;
+  buf[off++] = h.mode;  // v1 reserved byte; always 0 (precomputed) pre-v2
+  buf[off++] = 0;       // reserved
   std::memcpy(buf + off, &h.bit_width, 4); off += 4;
   std::memcpy(buf + off, &h.rounds, 4); off += 4;
   std::memcpy(buf + off, h.circuit_hash.data(), 32); off += 32;
@@ -76,7 +76,8 @@ ClientHello recv_hello(proto::Channel& ch) {
   std::memcpy(&h.version, buf + off, 4); off += 4;
   h.scheme = buf[off++];
   h.ot = buf[off++];
-  off += 2;  // reserved
+  h.mode = buf[off++];
+  off += 1;  // reserved
   std::memcpy(&h.bit_width, buf + off, 4); off += 4;
   std::memcpy(&h.rounds, buf + off, 4); off += 4;
   std::memcpy(h.circuit_hash.data(), buf + off, 32);
@@ -134,6 +135,11 @@ ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex) {
            std::string("server garbles ") + gc::scheme_name(ex.scheme));
   if (h.ot > static_cast<std::uint8_t>(OtChoice::kIknp))
     reject(RejectCode::kBadOtMode, "unknown OT mode");
+  if (h.mode > static_cast<std::uint8_t>(SessionMode::kStream))
+    reject(RejectCode::kBadMode, "unknown session mode");
+  if (h.mode == static_cast<std::uint8_t>(SessionMode::kStream) &&
+      !ex.allow_stream)
+    reject(RejectCode::kBadMode, "server does not serve stream mode");
   if (h.bit_width != ex.bit_width)
     reject(RejectCode::kBitWidthMismatch,
            "server serves bit width " + std::to_string(ex.bit_width) +

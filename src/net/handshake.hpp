@@ -26,9 +26,20 @@
 namespace maxel::net {
 
 inline constexpr std::uint64_t kHelloMagic = 0x54454e4c4558414dull;  // "MAXELNET"
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: the hello's first reserved byte became the session-mode flag and
+// stream mode added the chunk frames (see chunk_io.hpp) — a new session
+// byte stream, so per the policy below the version bumps.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class OtChoice : std::uint8_t { kBase = 0, kIknp = 1 };
+
+// How the session body is delivered after the accept. kPrecomputed is
+// the original per-round flow served from a stored session; kStream is
+// the garble-while-transfer pipeline: the server garbles on the fly and
+// ships fixed-size chunks of rounds (proto::chunk_io frames), with OT
+// still run per round. The decoded outputs are bit-identical across
+// modes for the same inputs — only delivery and server memory differ.
+enum class SessionMode : std::uint8_t { kPrecomputed = 0, kStream = 1 };
 
 // Canonical SHA-256 fingerprint of a netlist (structure only — wire
 // counts, input/output lists, gates, DFFs; the name is excluded). Both
@@ -42,6 +53,7 @@ struct ClientHello {
   std::uint32_t version = kProtocolVersion;
   std::uint8_t scheme = 0;    // gc::Scheme
   std::uint8_t ot = 0;        // OtChoice
+  std::uint8_t mode = 0;      // SessionMode (was reserved before v2)
   std::uint32_t bit_width = 0;
   std::uint32_t rounds = 0;   // requested; server replies with actual
   std::array<std::uint8_t, 32> circuit_hash{};
@@ -73,6 +85,7 @@ struct ServerExpectation {
   std::uint32_t bit_width = 0;
   std::array<std::uint8_t, 32> circuit_hash{};
   std::uint32_t rounds_per_session = 0;
+  bool allow_stream = true;  // accept hellos asking for SessionMode::kStream
 };
 ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex);
 

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "gc/streaming_garbler.hpp"
 #include "net/demo_inputs.hpp"
+#include "ot/base_ot.hpp"
+#include "ot/iknp.hpp"
+#include "proto/chunk_io.hpp"
 
 namespace maxel::net {
 
@@ -31,29 +36,38 @@ void ServerStats::merge(const ServerStats& other) {
   bytes_sent += other.bytes_sent;
   bytes_received += other.bytes_received;
   sessions_precomputed += other.sessions_precomputed;
+  stream_sessions_served += other.stream_sessions_served;
+  peak_resident_tables = std::max(peak_resident_tables,
+                                  other.peak_resident_tables);
   handshake_seconds += other.handshake_seconds;
   transfer_seconds += other.transfer_seconds;
   ot_seconds += other.ot_seconds;
+  first_table_seconds += other.first_table_seconds;
   total_seconds += other.total_seconds;
 }
 
 std::string ServerStats::to_json() const {
-  char buf[640];
+  char buf[896];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"server\",\"sessions_served\":%llu,\"rounds_served\":%llu,"
       "\"handshakes_rejected\":%llu,\"connection_errors\":%llu,"
       "\"bytes_sent\":%llu,\"bytes_received\":%llu,"
-      "\"sessions_precomputed\":%llu,\"handshake_seconds\":%.6f,"
-      "\"transfer_seconds\":%.6f,\"ot_seconds\":%.6f,\"total_seconds\":%.6f}",
+      "\"sessions_precomputed\":%llu,\"stream_sessions_served\":%llu,"
+      "\"peak_resident_tables\":%llu,\"handshake_seconds\":%.6f,"
+      "\"transfer_seconds\":%.6f,\"ot_seconds\":%.6f,"
+      "\"first_table_seconds\":%.6f,\"total_seconds\":%.6f}",
       static_cast<unsigned long long>(sessions_served),
       static_cast<unsigned long long>(rounds_served),
       static_cast<unsigned long long>(handshakes_rejected),
       static_cast<unsigned long long>(connection_errors),
       static_cast<unsigned long long>(bytes_sent),
       static_cast<unsigned long long>(bytes_received),
-      static_cast<unsigned long long>(sessions_precomputed), handshake_seconds,
-      transfer_seconds, ot_seconds, total_seconds);
+      static_cast<unsigned long long>(sessions_precomputed),
+      static_cast<unsigned long long>(stream_sessions_served),
+      static_cast<unsigned long long>(peak_resident_tables),
+      handshake_seconds, transfer_seconds, ot_seconds, first_table_seconds,
+      total_seconds);
   return buf;
 }
 
@@ -68,6 +82,7 @@ Server::Server(const ServerConfig& cfg)
   expect_.circuit_hash = circuit_fingerprint(circ_);
   expect_.rounds_per_session =
       static_cast<std::uint32_t>(cfg.rounds_per_session);
+  expect_.allow_stream = cfg.allow_stream;
   precompute_thread_ = std::thread([this] { precompute_loop(); });
 }
 
@@ -125,6 +140,13 @@ void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
                                std::size_t rounds, std::size_t bits,
                                std::uint64_t demo_seed,
                                crypto::RandomSource& rng, ServerStats& stats) {
+  const std::uint64_t resident_tables =
+      session.rounds.empty()
+          ? 0
+          : session.rounds.size() * session.rounds.front().tables.tables.size();
+  stats.peak_resident_tables =
+      std::max(stats.peak_resident_tables, resident_tables);
+  const auto t_start = Clock::now();
   proto::PrecomputedGarblerParty garbler(
       std::move(session), ch, rng,
       hello.ot == static_cast<std::uint8_t>(OtChoice::kIknp)
@@ -144,6 +166,7 @@ void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
     auto t0 = Clock::now();
     garbler.garble_and_send(a_inputs.next_bits());
     transfer_s += seconds_since(t0);
+    if (r == 0) stats.first_table_seconds += seconds_since(t_start);
     t0 = Clock::now();
     garbler.finish_ot();
     ot_s += seconds_since(t0);
@@ -160,6 +183,92 @@ void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
   ++stats.sessions_served;
 }
 
+void serve_streaming_session(TcpChannel& ch, const ClientHello& hello,
+                             const circuit::Circuit& circ, gc::Scheme scheme,
+                             std::size_t rounds, std::size_t bits,
+                             const StreamOptions& stream,
+                             std::uint64_t demo_seed,
+                             crypto::RandomSource& rng, ServerStats& stats) {
+  const auto t_start = Clock::now();
+
+  // Start the producer first so garbling overlaps the OT setup round
+  // trips below; the bounded queue keeps resident state O(chunks).
+  gc::StreamingGarbler::Options gopt;
+  gopt.chunk_rounds = stream.chunk_rounds;
+  gopt.queue_chunks = stream.queue_chunks;
+  gc::StreamingGarbler garbler(circ, scheme, rounds, gopt, rng.next_block());
+
+  std::unique_ptr<ot::BaseOtSender> base_ot;
+  std::unique_ptr<ot::IknpSender> iknp_ot;
+  ot::OtSender* ot = nullptr;
+  double transfer_s = 0, ot_s = 0;
+  if (hello.ot == static_cast<std::uint8_t>(OtChoice::kIknp)) {
+    const auto t0 = Clock::now();
+    iknp_ot = std::make_unique<ot::IknpSender>(ch, rng);
+    iknp_ot->setup_step2();
+    iknp_ot->setup_step4();
+    ot_s += seconds_since(t0);
+    ot = iknp_ot.get();
+  } else {
+    base_ot = std::make_unique<ot::BaseOtSender>(ch, rng);
+    ot = base_ot.get();
+  }
+
+  DemoInputStream a_inputs(demo_seed, kGarblerStream, bits);
+  const crypto::Block delta = garbler.delta();
+  bool first_chunk = true;
+  std::size_t served = 0;
+  gc::SessionChunk chunk;
+  while (garbler.next_chunk(chunk)) {
+    // Lift the chunk to its wire view: pick the active garbler-input
+    // label per bit; evaluator pairs stay server-side for the OT.
+    proto::WireChunk wc;
+    wc.scheme = scheme;
+    wc.first_round = chunk.first_round;
+    wc.initial_state_labels = std::move(chunk.initial_state_labels);
+    wc.rounds.reserve(chunk.rounds.size());
+    for (auto& rm : chunk.rounds) {
+      proto::WireChunk::Round wr;
+      wr.tables = std::move(rm.tables);
+      const std::vector<bool> a_bits = a_inputs.next_bits();
+      wr.garbler_labels.resize(a_bits.size());
+      for (std::size_t i = 0; i < a_bits.size(); ++i)
+        wr.garbler_labels[i] =
+            a_bits[i] ? rm.garbler_labels0[i] ^ delta : rm.garbler_labels0[i];
+      wr.fixed_labels = std::move(rm.fixed_labels);
+      wr.output_map = std::move(rm.output_map);
+      wc.rounds.push_back(std::move(wr));
+    }
+    auto t0 = Clock::now();
+    proto::send_chunk(ch, wc);
+    transfer_s += seconds_since(t0);
+    if (first_chunk) {
+      stats.first_table_seconds += seconds_since(t_start);
+      first_chunk = false;
+    }
+    // Per-round label OT, same phase cadence as the precomputed path
+    // (send_phase2 recvs, which auto-flushes the chunk + phase-1 data).
+    t0 = Clock::now();
+    for (const auto& rm : chunk.rounds) {
+      ot->send_phase1(rm.evaluator_pairs.size());
+      ot->send_phase2(rm.evaluator_pairs);
+    }
+    ot_s += seconds_since(t0);
+    served += chunk.rounds.size();
+  }
+  ch.flush();
+
+  stats.transfer_seconds += transfer_s;
+  stats.ot_seconds += ot_s;
+  stats.bytes_sent += ch.bytes_sent();
+  stats.bytes_received += ch.bytes_received();
+  stats.rounds_served += served;
+  stats.peak_resident_tables =
+      std::max(stats.peak_resident_tables, garbler.peak_resident_tables());
+  ++stats.sessions_served;
+  ++stats.stream_sessions_served;
+}
+
 void Server::handle_connection(TcpChannel& ch) {
   const auto t_hs = Clock::now();
   // server_handshake sends the typed reject and throws on mismatch; the
@@ -171,8 +280,19 @@ void Server::handle_connection(TcpChannel& ch) {
   }
 
   ServerStats session_stats;
-  serve_precomputed_session(ch, hello, take_session(), cfg_.rounds_per_session,
-                            cfg_.bits, cfg_.demo_seed, rng_, session_stats);
+  if (hello.mode == static_cast<std::uint8_t>(SessionMode::kStream)) {
+    // Stream sessions garble on the fly and never touch the bank.
+    StreamOptions stream;
+    stream.chunk_rounds = cfg_.stream_chunk_rounds;
+    stream.queue_chunks = cfg_.stream_queue_chunks;
+    serve_streaming_session(ch, hello, circ_, cfg_.scheme,
+                            cfg_.rounds_per_session, cfg_.bits, stream,
+                            cfg_.demo_seed, rng_, session_stats);
+  } else {
+    serve_precomputed_session(ch, hello, take_session(),
+                              cfg_.rounds_per_session, cfg_.bits,
+                              cfg_.demo_seed, rng_, session_stats);
+  }
 
   std::uint64_t session_no;
   {
@@ -183,9 +303,12 @@ void Server::handle_connection(TcpChannel& ch) {
 
   if (cfg_.verbose)
     std::fprintf(stderr,
-                 "[maxel_server] session %llu: %zu rounds, %llu B out / %llu "
-                 "B in, transfer %.3fs, ot %.3fs\n",
+                 "[maxel_server] session %llu (%s): %zu rounds, %llu B out / "
+                 "%llu B in, transfer %.3fs, ot %.3fs\n",
                  static_cast<unsigned long long>(session_no),
+                 hello.mode == static_cast<std::uint8_t>(SessionMode::kStream)
+                     ? "stream"
+                     : "precomputed",
                  cfg_.rounds_per_session,
                  static_cast<unsigned long long>(ch.bytes_sent()),
                  static_cast<unsigned long long>(ch.bytes_received()),

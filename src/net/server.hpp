@@ -44,6 +44,12 @@ struct ServerConfig {
   std::uint64_t max_sessions = 0;      // stop after serving this many; 0 = run until stop()
   int accept_poll_ms = 200;            // stop-flag poll period of the accept loop
   bool verbose = true;                 // per-session log line on stderr
+  // Stream-mode (garble-while-transfer) tuning: rounds per chunk and
+  // the backpressure queue bound, in chunks. Per-session garbling RAM
+  // is O(chunk_rounds * queue_chunks) tables instead of O(rounds).
+  std::size_t stream_chunk_rounds = 16;
+  std::size_t stream_queue_chunks = 4;
+  bool allow_stream = true;            // reject kStream hellos when false
   TcpOptions tcp;
 };
 
@@ -55,14 +61,20 @@ struct ServerStats {
   std::uint64_t bytes_sent = 0;      // payload bytes, summed over sessions
   std::uint64_t bytes_received = 0;
   std::uint64_t sessions_precomputed = 0;
+  std::uint64_t stream_sessions_served = 0;  // subset of sessions_served
+  // Most tables resident server-side for any single session: the whole
+  // session for precomputed mode, the bounded chunk queue for stream
+  // mode. Merged with max, not sum — it is a high-water mark.
+  std::uint64_t peak_resident_tables = 0;
   double handshake_seconds = 0;
   double transfer_seconds = 0;  // garbled tables + labels push
   double ot_seconds = 0;        // OT setup + per-round label OT
+  double first_table_seconds = 0;  // session start -> first tables on the wire
   double total_seconds = 0;     // serve() wall time
 
-  // Accumulates another stats block into this one (all counters and
-  // timers are additive) — how the broker folds per-worker stats into
-  // one service-wide snapshot.
+  // Accumulates another stats block into this one (counters and timers
+  // are additive, high-water marks take the max) — how the broker folds
+  // per-worker stats into one service-wide snapshot.
   void merge(const ServerStats& other);
 
   [[nodiscard]] std::string to_json() const;
@@ -80,6 +92,26 @@ void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
                                std::size_t rounds, std::size_t bits,
                                std::uint64_t demo_seed,
                                crypto::RandomSource& rng, ServerStats& stats);
+
+// Stream-mode tuning knobs shared by net::Server and svc::Broker.
+struct StreamOptions {
+  std::size_t chunk_rounds = 16;  // rounds per wire chunk
+  std::size_t queue_chunks = 4;   // backpressure bound on garbled chunks
+};
+
+// Serves one garble-while-transfer session to a handshaken client that
+// asked for SessionMode::kStream: a gc::StreamingGarbler produces
+// chunks of rounds on its own thread while this thread ships each chunk
+// (proto::send_chunk) and runs the per-round label OT — garbling, TCP
+// transfer and remote evaluation overlap, and resident garbled state is
+// bounded by the chunk queue instead of the whole session. Same caller
+// contract as serve_precomputed_session.
+void serve_streaming_session(TcpChannel& ch, const ClientHello& hello,
+                             const circuit::Circuit& circ, gc::Scheme scheme,
+                             std::size_t rounds, std::size_t bits,
+                             const StreamOptions& stream,
+                             std::uint64_t demo_seed,
+                             crypto::RandomSource& rng, ServerStats& stats);
 
 class Server {
  public:

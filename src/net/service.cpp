@@ -82,6 +82,9 @@ int serve_command(int argc, char** argv) {
     else if (flag == "--seed") cfg.demo_seed = p.value_u64();
     else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
     else if (flag == "--quiet") cfg.verbose = false;
+    else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
+    else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
+    else if (flag == "--no-stream") cfg.allow_stream = false;
     else if (flag == "--scheme") {
       const char* v = p.value();
       if (!v || !parse_scheme(v, cfg.scheme)) {
@@ -93,7 +96,8 @@ int serve_command(int argc, char** argv) {
       return 2;
     }
   }
-  if (!p.ok || cfg.bits == 0 || cfg.rounds_per_session == 0) {
+  if (!p.ok || cfg.bits == 0 || cfg.rounds_per_session == 0 ||
+      cfg.stream_chunk_rounds == 0 || cfg.stream_queue_chunks == 0) {
     std::fprintf(stderr, "maxel_server: bad flags\n");
     return 2;
   }
@@ -142,6 +146,7 @@ int connect_command(int argc, char** argv) {
     else if (flag == "--seed") cfg.demo_seed = p.value_u64();
     else if (flag == "--no-check") cfg.check = false;
     else if (flag == "--quiet") cfg.verbose = false;
+    else if (flag == "--stream") cfg.mode = SessionMode::kStream;
     else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
     else if (flag == "--ot") {
       const char* v = p.value();

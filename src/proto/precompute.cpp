@@ -19,18 +19,8 @@ PrecomputedSession garble_session(const circuit::Circuit& c, gc::Scheme scheme,
   session.delta = garbler.delta();
   session.rounds.reserve(rounds);
   for (std::size_t r = 0; r < rounds; ++r) {
-    PrecomputedSession::Round round;
-    round.tables = garbler.garble_round();
+    session.rounds.push_back(garbler.garble_round_material());
     if (r == 0) session.initial_state_labels = garbler.initial_state_labels();
-    round.garbler_labels0.reserve(c.garbler_inputs.size());
-    for (std::size_t i = 0; i < c.garbler_inputs.size(); ++i)
-      round.garbler_labels0.push_back(garbler.garbler_input_label(i, false));
-    round.evaluator_pairs.reserve(c.evaluator_inputs.size());
-    for (std::size_t i = 0; i < c.evaluator_inputs.size(); ++i)
-      round.evaluator_pairs.push_back(garbler.evaluator_input_labels(i));
-    round.fixed_labels = garbler.fixed_wire_labels();
-    round.output_map = garbler.output_map();
-    session.rounds.push_back(std::move(round));
   }
   return session;
 }

@@ -27,15 +27,11 @@
 namespace maxel::proto {
 
 // One pre-garbled protocol session: everything the host needs to serve
-// `rounds` sequential evaluations of the circuit.
+// `rounds` sequential evaluations of the circuit. A round is exactly
+// the gc::RoundMaterial the garbler emits — the same record the
+// streaming pipeline moves one chunk at a time instead of all at once.
 struct PrecomputedSession {
-  struct Round {
-    gc::RoundTables tables;
-    std::vector<crypto::Block> garbler_labels0;  // choose with input bits
-    std::vector<std::pair<crypto::Block, crypto::Block>> evaluator_pairs;
-    std::vector<crypto::Block> fixed_labels;     // active const labels
-    std::vector<bool> output_map;
-  };
+  using Round = gc::RoundMaterial;
   std::vector<Round> rounds;
   std::vector<crypto::Block> initial_state_labels;
   crypto::Block delta;

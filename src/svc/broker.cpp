@@ -52,6 +52,7 @@ Broker::Broker(const BrokerConfig& cfg)
   expect_.circuit_hash = net::circuit_fingerprint(circ_);
   expect_.rounds_per_session =
       static_cast<std::uint32_t>(cfg_.rounds_per_session);
+  expect_.allow_stream = cfg_.allow_stream;
   cfg_.workers = worker_stats_.size();
   if (cfg_.spool_high_watermark < cfg_.spool_low_watermark)
     cfg_.spool_high_watermark = cfg_.spool_low_watermark;
@@ -120,11 +121,33 @@ void Broker::serve_connection(net::TcpChannel& ch, std::size_t worker) {
     local.handshake_seconds = seconds_since(t_hs);
     metrics_.histogram("handshake_seconds").observe(local.handshake_seconds);
 
+    const bool stream =
+        hello.mode == static_cast<std::uint8_t>(net::SessionMode::kStream);
     const auto t_sess = Clock::now();
-    net::serve_precomputed_session(ch, hello, take_session_blocking(),
-                                   cfg_.rounds_per_session, cfg_.bits,
+    if (stream) {
+      // Garble-while-transfer: the worker garbles on the fly, so the
+      // spool (and its disk round trip) is bypassed entirely.
+      net::StreamOptions sopt;
+      sopt.chunk_rounds = cfg_.stream_chunk_rounds;
+      sopt.queue_chunks = cfg_.stream_queue_chunks;
+      net::serve_streaming_session(ch, hello, circ_, cfg_.scheme,
+                                   cfg_.rounds_per_session, cfg_.bits, sopt,
                                    cfg_.demo_seed, *worker_rngs_[worker],
                                    local);
+      metrics_.counter("stream_sessions_served").inc();
+      metrics_.histogram("first_table_seconds")
+          .observe(local.first_table_seconds);
+    } else {
+      net::serve_precomputed_session(ch, hello, take_session_blocking(),
+                                     cfg_.rounds_per_session, cfg_.bits,
+                                     cfg_.demo_seed, *worker_rngs_[worker],
+                                     local);
+    }
+    // Service-wide high-water mark of garbled tables resident for any
+    // one session (whole session precomputed, bounded queue streamed).
+    auto& peak = metrics_.gauge("peak_resident_tables");
+    if (static_cast<std::int64_t>(local.peak_resident_tables) > peak.value())
+      peak.set(static_cast<std::int64_t>(local.peak_resident_tables));
     metrics_.histogram("transfer_seconds").observe(local.transfer_seconds);
     metrics_.histogram("ot_seconds").observe(local.ot_seconds);
     metrics_.histogram("session_seconds").observe(seconds_since(t_sess));
@@ -135,10 +158,10 @@ void Broker::serve_connection(net::TcpChannel& ch, std::size_t worker) {
         sessions_served_total_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (cfg_.verbose)
       std::fprintf(stderr,
-                   "[broker] worker %zu served session %llu: %zu rounds, "
+                   "[broker] worker %zu served session %llu (%s): %zu rounds, "
                    "%llu B out, transfer %.3fs, ot %.3fs\n",
                    worker, static_cast<unsigned long long>(total),
-                   cfg_.rounds_per_session,
+                   stream ? "stream" : "precomputed", cfg_.rounds_per_session,
                    static_cast<unsigned long long>(ch.bytes_sent()),
                    local.transfer_seconds, local.ot_seconds);
     if (cfg_.max_sessions != 0 && total >= cfg_.max_sessions) request_stop();

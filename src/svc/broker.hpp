@@ -64,6 +64,11 @@ struct BrokerConfig {
 
   std::uint64_t max_sessions = 0;  // stop after serving this many; 0 = forever
   bool verbose = true;
+  // Stream-mode (garble-while-transfer) tuning; stream sessions garble
+  // on the worker thread and never touch the spool.
+  std::size_t stream_chunk_rounds = 16;
+  std::size_t stream_queue_chunks = 4;
+  bool allow_stream = true;
   net::TcpOptions tcp;
 };
 

@@ -121,6 +121,9 @@ int broker_command(int argc, char** argv) {
     else if (flag == "--metrics") { const char* v = p.value(); if (v) metrics_path = v; }
     else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
     else if (flag == "--quiet") cfg.verbose = false;
+    else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
+    else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
+    else if (flag == "--no-stream") cfg.allow_stream = false;
     else if (flag == "--scheme") {
       const char* v = p.value();
       if (!v || !parse_scheme(v, cfg.scheme)) {
@@ -134,7 +137,8 @@ int broker_command(int argc, char** argv) {
     }
   }
   if (!p.ok || cfg.bits == 0 || cfg.rounds_per_session == 0 ||
-      cfg.workers == 0 || cfg.spool_dir.empty()) {
+      cfg.workers == 0 || cfg.spool_dir.empty() ||
+      cfg.stream_chunk_rounds == 0 || cfg.stream_queue_chunks == 0) {
     std::fprintf(stderr,
                  "maxelctl serve (broker): bad flags (--spool DIR required)\n");
     return 2;

@@ -6,10 +6,21 @@
 # match exactly in both directions).
 #
 # Inputs (environment): SERVER and CLIENT point at the built binaries.
-# Run by CTest as the `net_e2e` test (see tests/CMakeLists.txt).
+# MODE selects the delivery path: "precomputed" (default) serves from
+# the garbling bank; "stream" passes --stream to the client and checks
+# the chunked garble-while-transfer pipeline instead. Run by CTest as
+# the `net_e2e` / `net_e2e_stream` tests (see tests/CMakeLists.txt).
 set -euo pipefail
 : "${SERVER:?set SERVER to the maxel_server binary}"
 : "${CLIENT:?set CLIENT to the maxel_client binary}"
+MODE="${MODE:-precomputed}"
+
+client_args=()
+case "$MODE" in
+  precomputed) ;;
+  stream) client_args+=(--stream) ;;
+  *) echo "unknown MODE '$MODE' (want precomputed|stream)"; exit 1 ;;
+esac
 
 dir=$(mktemp -d)
 spid=""
@@ -30,6 +41,7 @@ done
 [ -n "$port" ] || { echo "server never reported its port:"; cat "$dir/server.log"; exit 1; }
 
 "$CLIENT" --port "$port" --bits 8 --json "$dir/client.json" \
+          ${client_args[@]+"${client_args[@]}"} \
           >"$dir/client.log" 2>&1 \
   || { echo "client failed:"; cat "$dir/client.log"; exit 1; }
 grep -q VERIFIED "$dir/client.log" \
@@ -52,4 +64,13 @@ rounds=$(field "$dir/client.json" rounds)
 [ "$s_in" = "$c_out" ] \
   || { echo "byte mismatch: client sent $c_out, server received $s_in"; exit 1; }
 
-echo "net_e2e: $rounds rounds over TCP, $c_in B down / $c_out B up, counters match"
+if [ "$MODE" = stream ]; then
+  chunks=$(field "$dir/client.json" chunks_received)
+  streams=$(field "$dir/server.json" stream_sessions_served)
+  [ -n "$chunks" ] && [ "$chunks" -ge 1 ] \
+    || { echo "stream client reported no chunks_received"; exit 1; }
+  [ "$streams" = 1 ] \
+    || { echo "server served $streams stream sessions (want 1)"; exit 1; }
+fi
+
+echo "net_e2e[$MODE]: $rounds rounds over TCP, $c_in B down / $c_out B up, counters match"

@@ -329,6 +329,40 @@ TEST(Handshake, CircuitMismatchRejected) {
   EXPECT_EQ(server_code, RejectCode::kCircuitMismatch);
 }
 
+TEST(Handshake, UnknownModeByteRejected) {
+  const ServerExpectation ex = demo_expectation(8);
+  ClientHello h = demo_hello(ex);
+  h.mode = 2;  // neither precomputed (0) nor stream (1)
+  const auto [client_code, server_code] = run_handshake(h, ex);
+  EXPECT_EQ(client_code, RejectCode::kBadMode);
+  EXPECT_EQ(server_code, RejectCode::kBadMode);
+}
+
+TEST(Handshake, StreamModeRefusedWhenDisallowed) {
+  ServerExpectation ex = demo_expectation(8);
+  ex.allow_stream = false;
+  ClientHello h = demo_hello(ex);
+  h.mode = static_cast<std::uint8_t>(SessionMode::kStream);
+  const auto [client_code, server_code] = run_handshake(h, ex);
+  EXPECT_EQ(client_code, RejectCode::kBadMode);
+  EXPECT_EQ(server_code, RejectCode::kBadMode);
+}
+
+TEST(Handshake, StreamModeAcceptedWhenAllowed) {
+  const ServerExpectation ex = demo_expectation(8);
+  TcpListener lis(0, "127.0.0.1");
+  HandshakePair p = make_pair_over_loopback(lis);
+
+  std::thread server([&] {
+    const ClientHello seen = server_handshake(*p.server, ex);
+    EXPECT_EQ(seen.mode, static_cast<std::uint8_t>(SessionMode::kStream));
+  });
+  ClientHello h = demo_hello(ex);
+  h.mode = static_cast<std::uint8_t>(SessionMode::kStream);
+  EXPECT_EQ(client_handshake(*p.client, h), ex.rounds_per_session);
+  server.join();
+}
+
 TEST(Handshake, FingerprintIgnoresNameButNotStructure) {
   circuit::Circuit a =
       circuit::make_mac_circuit(circuit::MacOptions{8, 8, true});
@@ -475,6 +509,91 @@ TEST(NetService, MismatchedClientRejectedAndServerSurvives) {
   EXPECT_TRUE(cs.verified);
   EXPECT_EQ(server.stats().handshakes_rejected, 1u);
   EXPECT_EQ(server.stats().sessions_served, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming mode: same service, garble-while-transfer delivery.
+
+TEST(NetService, StreamSessionMatchesPrecomputedBitForBit) {
+  const std::size_t bits = 8, rounds = 120;
+  ServerConfig scfg = quiet_server_config(bits, rounds);
+  scfg.max_sessions = 2;
+  scfg.stream_chunk_rounds = 16;
+  Server server(scfg);
+  std::thread serve([&] { server.serve(); });
+
+  ClientConfig pre = quiet_client_config(server.port(), bits);
+  const ClientStats ps = run_client(pre);
+
+  ClientConfig str = quiet_client_config(server.port(), bits);
+  str.mode = SessionMode::kStream;
+  const ClientStats ss = run_client(str);
+  serve.join();
+
+  // Identical demo seed, identical decoded MAC: delivery mode must not
+  // change a single output bit.
+  EXPECT_TRUE(ps.verified);
+  EXPECT_TRUE(ss.verified);
+  EXPECT_EQ(ss.output_value, ps.output_value);
+  EXPECT_EQ(ss.output_value, demo_mac_reference(str.demo_seed, bits, rounds));
+  EXPECT_EQ(ss.rounds, rounds);
+
+  // 120 rounds at 16 per chunk: ceil -> 8 chunk frames.
+  EXPECT_EQ(ss.chunks_received, (rounds + 15) / 16);
+  EXPECT_GT(ss.first_table_seconds, 0.0);
+
+  const ServerStats& st = server.stats();
+  EXPECT_EQ(st.sessions_served, 2u);
+  EXPECT_EQ(st.stream_sessions_served, 1u);
+  EXPECT_EQ(st.rounds_served, 2 * rounds);
+  EXPECT_GT(st.peak_resident_tables, 0u);
+  // Both sessions' payload bytes, both directions, must balance.
+  EXPECT_EQ(ps.bytes_received + ss.bytes_received, st.bytes_sent);
+  EXPECT_EQ(ps.bytes_sent + ss.bytes_sent, st.bytes_received);
+}
+
+TEST(NetService, StreamSessionWithBaseOt) {
+  const std::size_t bits = 8, rounds = 20;
+  Server server(quiet_server_config(bits, rounds));
+  std::thread serve([&] { server.serve(); });
+
+  ClientConfig cfg = quiet_client_config(server.port(), bits);
+  cfg.mode = SessionMode::kStream;
+  cfg.ot = OtChoice::kBase;
+  const ClientStats cs = run_client(cfg);
+  serve.join();
+
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(cs.output_value, demo_mac_reference(cfg.demo_seed, bits, rounds));
+  EXPECT_EQ(cs.bytes_received, server.stats().bytes_sent);
+  EXPECT_EQ(cs.bytes_sent, server.stats().bytes_received);
+}
+
+TEST(NetService, StreamRefusedByNoStreamServerWhichSurvives) {
+  const std::size_t bits = 8, rounds = 12;
+  ServerConfig scfg = quiet_server_config(bits, rounds);
+  scfg.allow_stream = false;
+  Server server(scfg);
+  std::thread serve([&] { server.serve(); });
+
+  ClientConfig str = quiet_client_config(server.port(), bits);
+  str.mode = SessionMode::kStream;
+  try {
+    run_client(str);
+    FAIL() << "stream client was accepted by a --no-stream server";
+  } catch (const HandshakeError& e) {
+    EXPECT_EQ(e.code(), RejectCode::kBadMode);
+  }
+
+  // The refusal is per-connection: a precomputed client still gets
+  // served and the server exits cleanly.
+  const ClientStats cs = run_client(quiet_client_config(server.port(), bits));
+  serve.join();
+
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(server.stats().handshakes_rejected, 1u);
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+  EXPECT_EQ(server.stats().stream_sessions_served, 0u);
 }
 
 // Shutdown-latency regression: the accept loop polls with

@@ -259,6 +259,73 @@ TEST_F(BrokerTest, RestartServesLeftoverSpoolWithoutReuse) {
   }
 }
 
+// Stream-mode clients bypass the spool entirely (garble-while-transfer
+// serves them live) while precomputed clients keep drawing from it —
+// mixed traffic against one broker, every MAC bit-identical.
+TEST_F(BrokerTest, StreamSessionsBypassSpoolAndMatchPrecomputed) {
+  const std::size_t bits = 8, rounds = 6;
+  BrokerConfig cfg = quiet_config(bits, rounds);
+  cfg.workers = 2;
+  cfg.max_sessions = 2;
+  cfg.spool_low_watermark = 1;
+  cfg.spool_high_watermark = 2;
+  Broker broker(cfg);
+  std::thread run([&] { broker.run(); });
+
+  net::ClientConfig pre = quiet_client(broker.port(), bits);
+  const net::ClientStats ps = net::run_client(pre);
+
+  net::ClientConfig str = quiet_client(broker.port(), bits);
+  str.mode = net::SessionMode::kStream;
+  const net::ClientStats ss = net::run_client(str);
+  run.join();
+
+  EXPECT_TRUE(ps.verified);
+  EXPECT_TRUE(ss.verified);
+  EXPECT_EQ(ss.output_value, ps.output_value);
+  EXPECT_EQ(ss.output_value,
+            net::demo_mac_reference(cfg.demo_seed, bits, rounds));
+  EXPECT_GT(ss.chunks_received, 0u);
+
+  const BrokerStats st = broker.stats();
+  EXPECT_EQ(st.server.sessions_served, 2u);
+  EXPECT_EQ(st.server.stream_sessions_served, 1u);
+  // Only the precomputed session claimed spool inventory.
+  EXPECT_EQ(st.spool.sessions_claimed, 1u);
+
+  MetricsRegistry& m = broker.metrics();
+  EXPECT_EQ(m.counter("stream_sessions_served").value(), 1u);
+  EXPECT_EQ(m.histogram("first_table_seconds").snapshot().count, 1u);
+  EXPECT_GT(m.gauge("peak_resident_tables").value(), 0);
+}
+
+// A broker started with streaming disabled refuses the mode with the
+// typed reject and keeps serving precomputed traffic.
+TEST_F(BrokerTest, NoStreamBrokerRefusesStreamClients) {
+  const std::size_t bits = 8, rounds = 4;
+  BrokerConfig cfg = quiet_config(bits, rounds);
+  cfg.workers = 1;
+  cfg.max_sessions = 1;
+  cfg.allow_stream = false;
+  Broker broker(cfg);
+  std::thread run([&] { broker.run(); });
+
+  net::ClientConfig str = quiet_client(broker.port(), bits);
+  str.mode = net::SessionMode::kStream;
+  try {
+    (void)net::run_client(str);
+    FAIL() << "stream client accepted by a --no-stream broker";
+  } catch (const net::HandshakeError& e) {
+    EXPECT_EQ(e.code(), net::RejectCode::kBadMode);
+  }
+
+  const net::ClientStats cs =
+      net::run_client(quiet_client(broker.port(), bits));
+  run.join();
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(broker.stats().server.stream_sessions_served, 0u);
+}
+
 // Broker metrics reflect the traffic that actually flowed.
 TEST_F(BrokerTest, MetricsTrackServedSessions) {
   const std::size_t bits = 8, rounds = 4, clients = 2;

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json bench output against checked-in baselines.
+
+The benches (bench/fig_*.cpp) emit flat JSON row arrays via
+bench::JsonReporter. This script gates perf regressions in CI: for each
+bench named in CHECKS it matches measured rows to baseline rows by the
+bench's key field and applies per-metric tolerances --
+
+  * throughput metrics (mac_per_sec, ...) fail when the measured value
+    drops below baseline * (1 - throughput_tol); the default 0.45
+    absorbs shared-runner noise while a deliberate 2x slowdown
+    (ratio 0.5) still fails;
+  * byte metrics (bytes_per_mac) are machine-independent, so they get a
+    tight 5% ceiling -- protocol bloat fails even when the runner is
+    fast enough to hide it in wall time;
+  * "verified" fields must be true -- a bench that produced wrong MACs
+    never passes, whatever its speed;
+  * relational invariants (stream strictly below precomputed on
+    time-to-first-table and peak resident tables) compare rows of the
+    same run, so they hold on any machine speed.
+
+Usage:
+  bench_compare.py --baseline-dir bench/baselines [--bench-dir DIR]
+                   [--throughput-tol 0.45] [--bytes-tol 0.05] [--update]
+
+--update copies the measured files over the baselines (run after an
+intentional perf change, then commit the new baselines).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+# Per-bench comparison spec: key = row-identifying field; lower_bound =
+# metrics that must not drop; upper_bound = metrics that must not grow.
+CHECKS = {
+    "net_loopback": {
+        "key": "transport",
+        "lower_bound": ["mac_per_sec"],
+        "upper_bound": ["bytes_per_mac"],
+    },
+    "core_scaling": {
+        "key": "cores",
+        "lower_bound": ["mac_per_sec"],
+        "upper_bound": [],
+    },
+    "stream_pipeline": {
+        "key": "mode",
+        "lower_bound": ["mac_per_sec"],
+        "upper_bound": ["bytes_per_mac"],
+        # (metric, smaller_mode, larger_mode): measured-run invariant.
+        "relational": [
+            ("first_table_seconds", "stream", "precomputed"),
+            ("peak_resident_tables", "stream", "precomputed"),
+        ],
+    },
+}
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    return rows
+
+
+def index_rows(rows, key):
+    out = {}
+    for row in rows:
+        if key in row:
+            out[str(row[key])] = row
+    return out
+
+
+def check_bench(name, spec, baseline_rows, measured_rows, args, failures):
+    key = spec["key"]
+    baseline = index_rows(baseline_rows, key)
+    measured = index_rows(measured_rows, key)
+
+    for row_key, base_row in sorted(baseline.items()):
+        meas_row = measured.get(row_key)
+        if meas_row is None:
+            failures.append(
+                f"{name}[{key}={row_key}]: row missing from measured output")
+            continue
+        if meas_row.get("verified") is False:
+            failures.append(
+                f"{name}[{key}={row_key}]: verified=false (wrong results)")
+        for metric in spec["lower_bound"]:
+            if metric not in base_row or metric not in meas_row:
+                continue
+            floor = base_row[metric] * (1.0 - args.throughput_tol)
+            status = "ok" if meas_row[metric] >= floor else "FAIL"
+            print(f"  {name}[{key}={row_key}] {metric}: "
+                  f"{meas_row[metric]:.4g} vs baseline "
+                  f"{base_row[metric]:.4g} (floor {floor:.4g}) {status}")
+            if status == "FAIL":
+                failures.append(
+                    f"{name}[{key}={row_key}]: {metric} "
+                    f"{meas_row[metric]:.4g} < floor {floor:.4g} "
+                    f"(baseline {base_row[metric]:.4g})")
+        for metric in spec["upper_bound"]:
+            if metric not in base_row or metric not in meas_row:
+                continue
+            ceiling = base_row[metric] * (1.0 + args.bytes_tol)
+            status = "ok" if meas_row[metric] <= ceiling else "FAIL"
+            print(f"  {name}[{key}={row_key}] {metric}: "
+                  f"{meas_row[metric]:.4g} vs baseline "
+                  f"{base_row[metric]:.4g} (ceiling {ceiling:.4g}) {status}")
+            if status == "FAIL":
+                failures.append(
+                    f"{name}[{key}={row_key}]: {metric} "
+                    f"{meas_row[metric]:.4g} > ceiling {ceiling:.4g} "
+                    f"(baseline {base_row[metric]:.4g})")
+
+    for metric, small_key, large_key in spec.get("relational", []):
+        small = measured.get(small_key)
+        large = measured.get(large_key)
+        if small is None or large is None:
+            failures.append(
+                f"{name}: relational check needs rows "
+                f"{key}={small_key} and {key}={large_key}")
+            continue
+        ok = small[metric] < large[metric]
+        print(f"  {name} invariant {metric}: {small_key} "
+              f"{small[metric]:.4g} < {large_key} {large[metric]:.4g} "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: expected {metric}[{small_key}] < "
+                f"{metric}[{large_key}], got {small[metric]:.4g} >= "
+                f"{large[metric]:.4g}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--bench-dir", default=".",
+                    help="directory holding the fresh BENCH_*.json files")
+    ap.add_argument("--throughput-tol", type=float, default=0.45,
+                    help="allowed fractional drop in throughput metrics")
+    ap.add_argument("--bytes-tol", type=float, default=0.05,
+                    help="allowed fractional growth in byte metrics")
+    ap.add_argument("--update", action="store_true",
+                    help="copy measured files over the baselines and exit")
+    args = ap.parse_args()
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for name in sorted(CHECKS):
+            src = os.path.join(args.bench_dir, f"BENCH_{name}.json")
+            if not os.path.exists(src):
+                print(f"skip {name}: {src} not found")
+                continue
+            dst = os.path.join(args.baseline_dir, f"BENCH_{name}.json")
+            shutil.copyfile(src, dst)
+            print(f"updated {dst}")
+        return 0
+
+    failures = []
+    compared = 0
+    for name, spec in sorted(CHECKS.items()):
+        base_path = os.path.join(args.baseline_dir, f"BENCH_{name}.json")
+        meas_path = os.path.join(args.bench_dir, f"BENCH_{name}.json")
+        if not os.path.exists(base_path):
+            print(f"skip {name}: no baseline at {base_path}")
+            continue
+        if not os.path.exists(meas_path):
+            failures.append(f"{name}: measured file {meas_path} not found")
+            continue
+        print(f"{name}: {meas_path} vs {base_path}")
+        check_bench(name, spec, load_rows(base_path), load_rows(meas_path),
+                    args, failures)
+        compared += 1
+
+    if compared == 0 and not failures:
+        print("no baselines found; nothing compared")
+        return 1
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nOK: {compared} bench(es) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

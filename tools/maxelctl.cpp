@@ -17,10 +17,13 @@
 //   maxelctl serve / maxelctl connect
 //       The network service (garbler server / evaluator client); same
 //       flags as the standalone maxel_server / maxel_client binaries —
-//       see src/net/service.hpp and docs/PROTOCOL.md. With --spool DIR
-//       (or --workers N), `serve` runs the concurrent session broker
-//       instead of the sequential server — see src/svc/service.hpp and
-//       docs/OPERATIONS.md.
+//       see src/net/service.hpp and docs/PROTOCOL.md. `serve` has three
+//       modes: the sequential server (default), the concurrent session
+//       broker (--spool DIR or --workers N — see src/svc/service.hpp
+//       and docs/OPERATIONS.md), and — negotiated per connection, in
+//       either of those — garble-while-transfer streaming when the
+//       client passes --stream (tune with --chunk-rounds/--queue-chunks,
+//       disable with --no-stream).
 //   maxelctl spool --dir DIR [--fill K --bits N --rounds M]
 //       Inspect or pre-fill a disk session spool.
 //   maxelctl stats --metrics FILE
@@ -65,7 +68,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: maxelctl "
                "<circuit|stats|simulate|bank|bench-mac|serve|connect|spool> "
-               "[options]\n  see the header of tools/maxelctl.cpp\n");
+               "[options]\n"
+               "  serve modes: sequential server (default), concurrent broker "
+               "(--spool DIR / --workers N),\n"
+               "  garble-while-transfer streaming (per connection, when the "
+               "client passes --stream)\n"
+               "  see the header of tools/maxelctl.cpp\n");
   return 2;
 }
 
