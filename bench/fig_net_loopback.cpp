@@ -20,6 +20,7 @@
 #include "circuit/circuits.hpp"
 #include "crypto/prg.hpp"
 #include "crypto/rng.hpp"
+#include "net/fault.hpp"
 #include "net/tcp_channel.hpp"
 #include "proto/channel.hpp"
 #include "proto/protocol.hpp"
@@ -222,6 +223,36 @@ int main(int argc, char** argv) {
                 rtt, pr.macs_per_sec, pr.bytes_per_mac);
     rep.row()
         .str("transport", "tcp-loopback")
+        .num("stream_mb_s", mbps)
+        .num("rtt_us", rtt)
+        .num("mac_per_sec", pr.macs_per_sec)
+        .num("bytes_per_mac", pr.bytes_per_mac);
+  }
+  {
+    // FaultyChannel with an empty plan wrapped around both TCP ends:
+    // the price of always running production traffic behind the fault
+    // injection seam. bench_compare.py gates this row to within 5% of
+    // raw tcp-loopback throughput.
+    const auto wrap = [](std::unique_ptr<net::TcpChannel> ch) {
+      return std::make_unique<net::FaultyChannel>(
+          std::move(ch), std::make_shared<net::FaultInjector>(net::FaultPlan{}));
+    };
+    TcpPair s = make_tcp_pair();
+    auto sa = wrap(std::move(s.a));
+    auto sb = wrap(std::move(s.b));
+    const double mbps = stream_mb_per_sec(*sa, *sb);
+    TcpPair p = make_tcp_pair();
+    auto pa = wrap(std::move(p.a));
+    auto pb = wrap(std::move(p.b));
+    const double rtt = pingpong_us(*pa, *pb);
+    TcpPair proto_pair = make_tcp_pair();
+    auto ga = wrap(std::move(proto_pair.a));
+    auto gb = wrap(std::move(proto_pair.b));
+    const ProtocolResult pr = protocol_bench(*ga, *gb, bits, rounds);
+    std::printf("%-16s %14.0f %14.2f %14.0f %14.0f\n", "tcp-faulty-nop", mbps,
+                rtt, pr.macs_per_sec, pr.bytes_per_mac);
+    rep.row()
+        .str("transport", "tcp-faulty-nop")
         .num("stream_mb_s", mbps)
         .num("rtt_us", rtt)
         .num("mac_per_sec", pr.macs_per_sec)

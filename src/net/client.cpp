@@ -1,8 +1,10 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "circuit/circuits.hpp"
@@ -10,6 +12,7 @@
 #include "gc/garble.hpp"
 #include "gc/streaming_evaluator.hpp"
 #include "net/demo_inputs.hpp"
+#include "net/fault.hpp"
 #include "ot/base_ot.hpp"
 #include "ot/iknp.hpp"
 #include "proto/chunk_io.hpp"
@@ -26,13 +29,30 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
+std::uint64_t retry_backoff_ms(const SessionRetryPolicy& policy, int attempt) {
+  const int shift = std::min(std::max(attempt, 1) - 1, 20);
+  const double base =
+      std::min<double>(static_cast<double>(std::max(0, policy.backoff_max_ms)),
+                       static_cast<double>(std::max(1, policy.backoff_ms)) *
+                           static_cast<double>(1u << shift));
+  // Jitter in [-jitter_pct, +jitter_pct] percent from the seeded mixer,
+  // so a logged seed replays the exact same wait schedule.
+  const std::uint64_t h =
+      fault_mix64(policy.jitter_seed ^
+                  (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt)));
+  const double frac = static_cast<double>(h % 2001) / 1000.0 - 1.0;  // [-1,1]
+  const double pct = static_cast<double>(policy.jitter_pct) / 100.0;
+  return static_cast<std::uint64_t>(std::max(0.0, base * (1.0 + frac * pct)));
+}
+
 std::string ClientStats::to_json() const {
-  char buf[768];
+  char buf[896];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"client\",\"rounds\":%u,\"bytes_sent\":%llu,"
       "\"bytes_received\":%llu,\"output_value\":%llu,\"checked\":%s,"
       "\"verified\":%s,\"working_set_bytes\":%zu,\"chunks_received\":%llu,"
+      "\"attempts\":%u,\"retry_wait_ms\":%llu,"
       "\"handshake_seconds\":%.6f,\"transfer_seconds\":%.6f,"
       "\"ot_seconds\":%.6f,\"eval_seconds\":%.6f,"
       "\"first_table_seconds\":%.6f,\"total_seconds\":%.6f}",
@@ -41,17 +61,35 @@ std::string ClientStats::to_json() const {
       static_cast<unsigned long long>(output_value),
       checked ? "true" : "false", verified ? "true" : "false",
       working_set_bytes, static_cast<unsigned long long>(chunks_received),
+      attempts, static_cast<unsigned long long>(retry_wait_ms),
       handshake_seconds, transfer_seconds, ot_seconds, eval_seconds,
       first_table_seconds, total_seconds);
   return buf;
 }
 
-ClientStats run_client(const ClientConfig& cfg) {
+namespace {
+
+// One complete session attempt: fresh channel, fresh handshake, fresh
+// OT state, fresh evaluator. Throws on any failure; run_client maps
+// non-NetError escapes (parse/eval blowups from corrupted-but-framed
+// bytes) to the typed, retryable CorruptionError.
+ClientStats run_session_attempt(
+    const ClientConfig& cfg, const std::shared_ptr<FaultInjector>& injector) {
   const auto t_total = Clock::now();
   const circuit::Circuit circ =
       circuit::make_mac_circuit(circuit::MacOptions{cfg.bits, cfg.bits, true});
 
-  auto ch = TcpChannel::connect(cfg.host, cfg.port, cfg.tcp);
+  std::unique_ptr<proto::Channel> ch;
+  if (cfg.channel_factory) {
+    ch = cfg.channel_factory();
+  } else {
+    if (injector && injector->on_connect())
+      throw ConnectError("fault: injected connect refusal");
+    std::unique_ptr<proto::Channel> base =
+        TcpChannel::connect(cfg.host, cfg.port, cfg.tcp);
+    ch = injector ? std::make_unique<FaultyChannel>(std::move(base), injector)
+                  : std::move(base);
+  }
 
   ClientStats stats;
   {
@@ -175,6 +213,64 @@ ClientStats run_client(const ClientConfig& cfg) {
                  stats.checked ? (stats.verified ? ", VERIFIED" : ", MISMATCH")
                                : "");
   return stats;
+}
+
+}  // namespace
+
+ClientStats run_client(const ClientConfig& cfg) {
+  std::shared_ptr<FaultInjector> injector;
+  if (!cfg.fault_plan.empty())
+    injector = std::make_shared<FaultInjector>(FaultPlan::parse(cfg.fault_plan));
+
+  const int max_attempts = std::max(1, cfg.retry.max_attempts);
+  const auto t_run = Clock::now();
+  std::uint64_t waited_ms = 0;
+
+  // Failure handler shared by the typed and mapped catch arms: rethrow
+  // when out of attempts or non-retryable, otherwise sleep the
+  // deterministic backoff and let the loop start a fresh session.
+  const auto retry_or_rethrow = [&](const NetError& e, int attempt) {
+    if (attempt >= max_attempts || !net_error_is_retryable(e)) throw;
+    const std::uint64_t wait = retry_backoff_ms(cfg.retry, attempt);
+    if (cfg.verbose)
+      std::fprintf(stderr,
+                   "[maxel_client] attempt %d/%d failed (%s); retrying with a "
+                   "fresh session in %llu ms\n",
+                   attempt, max_attempts, e.what(),
+                   static_cast<unsigned long long>(wait));
+    waited_ms += wait;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  };
+
+  for (int attempt = 1;; ++attempt) {
+    try {
+      ClientStats stats = run_session_attempt(cfg, injector);
+      // A checked mismatch is corruption: the session completed but the
+      // bytes lied. While attempts remain, burn this session and retry;
+      // on the last attempt keep the historical contract (stats.verified
+      // reports it, no throw).
+      if (cfg.check && !stats.verified && attempt < max_attempts)
+        throw CorruptionError(
+            "decoded MAC does not match the plaintext reference");
+      stats.attempts = static_cast<std::uint32_t>(attempt);
+      stats.retry_wait_ms = waited_ms;
+      stats.total_seconds = seconds_since(t_run);
+      return stats;
+    } catch (const NetError& e) {
+      retry_or_rethrow(e, attempt);
+    } catch (const std::exception& e) {
+      // Parse/eval blowups from corrupted-but-framed bytes reach here
+      // untyped; map them to the retryable CorruptionError so callers
+      // always see a NetError subclass.
+      const CorruptionError mapped(std::string("session corrupted: ") +
+                                   e.what());
+      try {
+        retry_or_rethrow(mapped, attempt);
+      } catch (...) {
+        throw mapped;  // surface the typed mapping, not the raw error
+      }
+    }
+  }
 }
 
 }  // namespace maxel::net

@@ -10,13 +10,37 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "gc/scheme.hpp"
 #include "net/handshake.hpp"
 #include "net/tcp_channel.hpp"
+#include "proto/channel.hpp"
 
 namespace maxel::net {
+
+// Session-level recovery: on any retryable NetError (see
+// net_error_is_retryable) the client tears the whole session down —
+// channel, OT state, half-evaluated tables — and re-runs handshake +
+// OT + eval against a *fresh* garbled session. Wire labels are
+// single-use, so resuming a partially evaluated session is never safe;
+// retry is always from scratch.
+struct SessionRetryPolicy {
+  int max_attempts = 1;  // total attempts; 1 = fail on the first error
+  int backoff_ms = 100;  // wait after the 1st failure; doubles per retry
+  int backoff_max_ms = 2'000;     // cap on the doubled wait
+  std::uint32_t jitter_pct = 20;  // +-% applied to each wait
+  std::uint64_t jitter_seed = 1;  // deterministic jitter (replayable)
+};
+
+// Wait before the (attempt+1)-th try, attempt counted from 1:
+// min(backoff_ms * 2^(attempt-1), backoff_max_ms), jittered by up to
+// +-jitter_pct percent from the seeded mixer. Pure function of the
+// policy — exposed so tests can assert the exact schedule.
+[[nodiscard]] std::uint64_t retry_backoff_ms(const SessionRetryPolicy& policy,
+                                             int attempt);
 
 struct ClientConfig {
   std::string host = "127.0.0.1";
@@ -30,6 +54,17 @@ struct ClientConfig {
   bool check = true;  // verify the decoded MAC against the plaintext reference
   bool verbose = true;
   TcpOptions tcp;
+  SessionRetryPolicy retry;
+
+  // Deterministic fault schedule (fault.hpp grammar) injected between
+  // the client and the socket; empty = no injection. Spans all retry
+  // attempts of one run_client call, so each event fires once.
+  std::string fault_plan;
+
+  // Test seam: when set, each attempt gets its channel from here
+  // instead of TcpChannel::connect (fault_plan is then ignored — the
+  // factory composes its own wrappers).
+  std::function<std::unique_ptr<proto::Channel>()> channel_factory;
 };
 
 struct ClientStats {
@@ -46,14 +81,18 @@ struct ClientStats {
   double ot_seconds = 0;        // OT setup + per-round label OT
   double eval_seconds = 0;      // streaming evaluation + decode
   double first_table_seconds = 0;  // connect -> first round material in hand
-  double total_seconds = 0;
+  double total_seconds = 0;        // across all attempts, waits included
+  std::uint32_t attempts = 1;      // session attempts, including the last
+  std::uint64_t retry_wait_ms = 0;  // total backoff slept between attempts
 
   [[nodiscard]] std::string to_json() const;
 };
 
-// Runs one full session against the server. Throws net::NetError (or a
-// subclass) on transport/handshake failure; a completed-but-wrong
-// result is reported via stats.verified, not an exception.
+// Runs a session against the server, retrying per cfg.retry (each
+// attempt is a fresh connection, handshake, OT setup, and garbled
+// session). Throws net::NetError (or a subclass) once the attempts are
+// exhausted or the failure is non-retryable; a completed-but-wrong
+// final result is reported via stats.verified, not an exception.
 ClientStats run_client(const ClientConfig& cfg);
 
 }  // namespace maxel::net

@@ -45,6 +45,16 @@ class FramingError : public NetError {
   using NetError::NetError;
 };
 
+// The stream framed correctly but decoded to garbage: an impossible
+// count prefix, a parse/eval failure deep in the session, or — with
+// checking enabled — a MAC that fails the plaintext reference. The
+// session state is poisoned; the only safe reaction is to tear it down
+// and start a fresh one, so this is retryable.
+class CorruptionError : public NetError {
+ public:
+  using NetError::NetError;
+};
+
 // Session-protocol rejection codes (see handshake.hpp for the fields).
 // kServerBusy / kShuttingDown are load-state rejects sent by the broker
 // before it reads the hello: the admission queue is full, or the broker
@@ -99,5 +109,16 @@ class HandshakeError : public NetError {
  private:
   RejectCode code_;
 };
+
+// Whether a failed session attempt is worth a fresh one. Transport
+// failures (connect, timeout, hangup, framing, corruption) are treated
+// as transient — a retry gets a brand-new garbled session, so nothing
+// is lost by trying. Handshake rejections retry only for the load-state
+// codes; a config mismatch will reject identically forever.
+[[nodiscard]] inline bool net_error_is_retryable(const NetError& e) {
+  if (const auto* hs = dynamic_cast<const HandshakeError*>(&e))
+    return reject_is_retryable(hs->code());
+  return true;
+}
 
 }  // namespace maxel::net

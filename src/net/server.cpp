@@ -33,6 +33,7 @@ void ServerStats::merge(const ServerStats& other) {
   rounds_served += other.rounds_served;
   handshakes_rejected += other.handshakes_rejected;
   connection_errors += other.connection_errors;
+  idle_timeouts += other.idle_timeouts;
   bytes_sent += other.bytes_sent;
   bytes_received += other.bytes_received;
   sessions_precomputed += other.sessions_precomputed;
@@ -52,6 +53,7 @@ std::string ServerStats::to_json() const {
       buf, sizeof(buf),
       "{\"role\":\"server\",\"sessions_served\":%llu,\"rounds_served\":%llu,"
       "\"handshakes_rejected\":%llu,\"connection_errors\":%llu,"
+      "\"idle_timeouts\":%llu,"
       "\"bytes_sent\":%llu,\"bytes_received\":%llu,"
       "\"sessions_precomputed\":%llu,\"stream_sessions_served\":%llu,"
       "\"peak_resident_tables\":%llu,\"handshake_seconds\":%.6f,"
@@ -61,6 +63,7 @@ std::string ServerStats::to_json() const {
       static_cast<unsigned long long>(rounds_served),
       static_cast<unsigned long long>(handshakes_rejected),
       static_cast<unsigned long long>(connection_errors),
+      static_cast<unsigned long long>(idle_timeouts),
       static_cast<unsigned long long>(bytes_sent),
       static_cast<unsigned long long>(bytes_received),
       static_cast<unsigned long long>(sessions_precomputed),
@@ -77,6 +80,13 @@ Server::Server(const ServerConfig& cfg)
       listener_(cfg.port, cfg.bind_addr),
       pool_(cfg.precompute_cores, crypto::SystemRandom().next_block()),
       bank_(circ_, cfg.scheme, cfg.rounds_per_session) {
+  if (cfg_.idle_timeout_ms > 0) {
+    cfg_.tcp.recv_timeout_ms = cfg_.idle_timeout_ms;
+    cfg_.tcp.send_timeout_ms = cfg_.idle_timeout_ms;
+  }
+  if (!cfg_.fault_plan.empty())
+    injector_ = std::make_shared<FaultInjector>(
+        FaultPlan::parse(cfg_.fault_plan));
   expect_.scheme = cfg.scheme;
   expect_.bit_width = static_cast<std::uint32_t>(cfg.bits);
   expect_.circuit_hash = circuit_fingerprint(circ_);
@@ -135,7 +145,7 @@ proto::PrecomputedSession Server::take_session() {
   return bank_.take_session();
 }
 
-void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
+void serve_precomputed_session(proto::Channel& ch, const ClientHello& hello,
                                proto::PrecomputedSession session,
                                std::size_t rounds, std::size_t bits,
                                std::uint64_t demo_seed,
@@ -183,7 +193,7 @@ void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
   ++stats.sessions_served;
 }
 
-void serve_streaming_session(TcpChannel& ch, const ClientHello& hello,
+void serve_streaming_session(proto::Channel& ch, const ClientHello& hello,
                              const circuit::Circuit& circ, gc::Scheme scheme,
                              std::size_t rounds, std::size_t bits,
                              const StreamOptions& stream,
@@ -269,7 +279,7 @@ void serve_streaming_session(TcpChannel& ch, const ClientHello& hello,
   ++stats.stream_sessions_served;
 }
 
-void Server::handle_connection(TcpChannel& ch) {
+void Server::handle_connection(proto::Channel& ch) {
   const auto t_hs = Clock::now();
   // server_handshake sends the typed reject and throws on mismatch; the
   // caller counts it and moves on to the next client.
@@ -320,13 +330,16 @@ void Server::serve() {
   while (!stop_.load(std::memory_order_relaxed) &&
          (cfg_.max_sessions == 0 ||
           stats_.sessions_served < cfg_.max_sessions)) {
-    std::unique_ptr<TcpChannel> ch;
+    std::unique_ptr<TcpChannel> accepted;
     try {
-      ch = listener_.accept(cfg_.accept_poll_ms, cfg_.tcp);
+      accepted = listener_.accept(cfg_.accept_poll_ms, cfg_.tcp);
     } catch (const NetError&) {
       break;  // listener closed under us
     }
-    if (!ch) continue;  // poll timeout: recheck stop/max
+    if (!accepted) continue;  // poll timeout: recheck stop/max
+    std::unique_ptr<proto::Channel> ch = std::move(accepted);
+    if (injector_)
+      ch = std::make_unique<FaultyChannel>(std::move(ch), injector_);
     try {
       handle_connection(*ch);
     } catch (const HandshakeError& e) {
@@ -336,6 +349,16 @@ void Server::serve() {
       }
       if (cfg_.verbose)
         std::fprintf(stderr, "[maxel_server] rejected client: %s\n", e.what());
+    } catch (const TimeoutError& e) {
+      // A silent or non-draining client hit the idle deadline; the
+      // session is abandoned and the worker (this loop) moves on.
+      {
+        const std::lock_guard<std::mutex> lock(bank_mu_);
+        ++stats_.idle_timeouts;
+        ++stats_.connection_errors;
+      }
+      if (cfg_.verbose)
+        std::fprintf(stderr, "[maxel_server] idle timeout: %s\n", e.what());
     } catch (const NetError& e) {
       {
         const std::lock_guard<std::mutex> lock(bank_mu_);

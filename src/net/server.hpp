@@ -25,6 +25,7 @@
 #include "core/gc_core_pool.hpp"
 #include "crypto/rng.hpp"
 #include "gc/scheme.hpp"
+#include "net/fault.hpp"
 #include "net/handshake.hpp"
 #include "net/tcp_channel.hpp"
 #include "proto/precompute.hpp"
@@ -51,6 +52,15 @@ struct ServerConfig {
   std::size_t stream_queue_chunks = 4;
   bool allow_stream = true;            // reject kStream hellos when false
   TcpOptions tcp;
+  // Per-connection idle deadline: when > 0 it overrides both
+  // tcp.recv_timeout_ms and tcp.send_timeout_ms, so a client that goes
+  // silent (or stops draining) frees its worker within this bound
+  // instead of pinning it for the transport defaults.
+  int idle_timeout_ms = 0;
+  // Deterministic fault schedule (fault.hpp grammar) wrapped around
+  // every accepted connection; empty = no injection. One injector spans
+  // the server's lifetime, so each event fires once across connections.
+  std::string fault_plan;
 };
 
 struct ServerStats {
@@ -58,6 +68,7 @@ struct ServerStats {
   std::uint64_t rounds_served = 0;
   std::uint64_t handshakes_rejected = 0;
   std::uint64_t connection_errors = 0;
+  std::uint64_t idle_timeouts = 0;  // subset of connection_errors
   std::uint64_t bytes_sent = 0;      // payload bytes, summed over sessions
   std::uint64_t bytes_received = 0;
   std::uint64_t sessions_precomputed = 0;
@@ -87,7 +98,7 @@ struct ServerStats {
 // accounting. Timings and byte/round counters are accumulated into
 // `stats` (bytes are read off the channel's counters, so pass a
 // fresh-per-connection channel).
-void serve_precomputed_session(TcpChannel& ch, const ClientHello& hello,
+void serve_precomputed_session(proto::Channel& ch, const ClientHello& hello,
                                proto::PrecomputedSession session,
                                std::size_t rounds, std::size_t bits,
                                std::uint64_t demo_seed,
@@ -106,7 +117,7 @@ struct StreamOptions {
 // transfer and remote evaluation overlap, and resident garbled state is
 // bounded by the chunk queue instead of the whole session. Same caller
 // contract as serve_precomputed_session.
-void serve_streaming_session(TcpChannel& ch, const ClientHello& hello,
+void serve_streaming_session(proto::Channel& ch, const ClientHello& hello,
                              const circuit::Circuit& circ, gc::Scheme scheme,
                              std::size_t rounds, std::size_t bits,
                              const StreamOptions& stream,
@@ -140,9 +151,10 @@ class Server {
  private:
   void precompute_loop();
   proto::PrecomputedSession take_session();
-  void handle_connection(TcpChannel& ch);
+  void handle_connection(proto::Channel& ch);
 
   ServerConfig cfg_;
+  std::shared_ptr<FaultInjector> injector_;  // null when fault_plan empty
   circuit::Circuit circ_;
   ServerExpectation expect_;
   TcpListener listener_;

@@ -9,11 +9,25 @@
 #include <string>
 
 #include "net/client.hpp"
+#include "net/fault.hpp"
 #include "net/server.hpp"
 
 namespace maxel::net {
 
 namespace {
+
+// Validates a --fault-plan / MAXEL_FAULT_PLAN spec up front so a typo
+// is a usage error (exit 2), not a runtime failure mid-session.
+bool check_fault_plan(const char* who, const std::string& spec) {
+  if (spec.empty()) return true;
+  try {
+    FaultPlan::parse(spec);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", who, e.what());
+    return false;
+  }
+}
 
 Server* g_signal_server = nullptr;
 
@@ -69,6 +83,9 @@ struct FlagParser {
 int serve_command(int argc, char** argv) {
   ServerConfig cfg;
   cfg.port = 7117;
+  // The env knob lets tests/net_e2e.sh chaos-test the stock binaries
+  // without touching their command lines; an explicit flag wins.
+  if (const char* env = std::getenv("MAXEL_FAULT_PLAN")) cfg.fault_plan = env;
   std::string json_path;
   FlagParser p{argc, argv};
   std::string flag;
@@ -85,6 +102,8 @@ int serve_command(int argc, char** argv) {
     else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
     else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
     else if (flag == "--no-stream") cfg.allow_stream = false;
+    else if (flag == "--idle-timeout") cfg.idle_timeout_ms = static_cast<int>(p.value_u64());
+    else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
     else if (flag == "--scheme") {
       const char* v = p.value();
       if (!v || !parse_scheme(v, cfg.scheme)) {
@@ -101,6 +120,7 @@ int serve_command(int argc, char** argv) {
     std::fprintf(stderr, "maxel_server: bad flags\n");
     return 2;
   }
+  if (!check_fault_plan("maxel_server", cfg.fault_plan)) return 2;
 
   try {
     Server server(cfg);
@@ -135,6 +155,7 @@ int serve_command(int argc, char** argv) {
 
 int connect_command(int argc, char** argv) {
   ClientConfig cfg;
+  if (const char* env = std::getenv("MAXEL_FAULT_PLAN")) cfg.fault_plan = env;
   std::string json_path;
   FlagParser p{argc, argv};
   std::string flag;
@@ -148,6 +169,16 @@ int connect_command(int argc, char** argv) {
     else if (flag == "--quiet") cfg.verbose = false;
     else if (flag == "--stream") cfg.mode = SessionMode::kStream;
     else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
+    else if (flag == "--retries") cfg.retry.max_attempts = static_cast<int>(p.value_u64());
+    else if (flag == "--retry-backoff") cfg.retry.backoff_ms = static_cast<int>(p.value_u64());
+    else if (flag == "--retry-backoff-max") cfg.retry.backoff_max_ms = static_cast<int>(p.value_u64());
+    else if (flag == "--retry-seed") cfg.retry.jitter_seed = p.value_u64();
+    else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
+    else if (flag == "--net-timeout") {
+      const int ms = static_cast<int>(p.value_u64());
+      cfg.tcp.recv_timeout_ms = ms;
+      cfg.tcp.send_timeout_ms = ms;
+    }
     else if (flag == "--ot") {
       const char* v = p.value();
       if (v && std::strcmp(v, "base") == 0) cfg.ot = OtChoice::kBase;
@@ -167,19 +198,21 @@ int connect_command(int argc, char** argv) {
       return 2;
     }
   }
-  if (!p.ok || cfg.bits == 0) {
+  if (!p.ok || cfg.bits == 0 || cfg.retry.max_attempts < 1) {
     std::fprintf(stderr, "maxel_client: bad flags\n");
     return 2;
   }
+  if (!check_fault_plan("maxel_client", cfg.fault_plan)) return 2;
 
   try {
     const ClientStats st = run_client(cfg);
     std::printf("evaluated %u rounds: MAC = %llu%s, %llu B in, %llu B out, "
-                "handshake %.3fs, transfer %.3fs, ot %.3fs, eval %.3fs\n",
+                "attempts %u, handshake %.3fs, transfer %.3fs, ot %.3fs, "
+                "eval %.3fs\n",
                 st.rounds, static_cast<unsigned long long>(st.output_value),
                 st.checked ? (st.verified ? " (VERIFIED)" : " (MISMATCH)") : "",
                 static_cast<unsigned long long>(st.bytes_received),
-                static_cast<unsigned long long>(st.bytes_sent),
+                static_cast<unsigned long long>(st.bytes_sent), st.attempts,
                 st.handshake_seconds, st.transfer_seconds, st.ot_seconds,
                 st.eval_seconds);
     dump_stats(st.to_json(), json_path);

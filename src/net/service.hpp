@@ -10,11 +10,18 @@ namespace maxel::net {
 // maxel_server [--port P] [--bind A] [--bits N] [--rounds M]
 //              [--scheme halfgates|grr3|classic4] [--sessions K]
 //              [--cores C] [--seed S] [--json FILE] [--quiet]
+//              [--idle-timeout MS] [--fault-plan SPEC]
 int serve_command(int argc, char** argv);
 
 // maxel_client [--host H] [--port P] [--bits N] [--rounds M]
 //              [--scheme ...] [--ot base|iknp] [--seed S] [--no-check]
-//              [--json FILE] [--quiet]
+//              [--json FILE] [--quiet] [--retries N] [--retry-backoff MS]
+//              [--retry-backoff-max MS] [--retry-seed S]
+//              [--net-timeout MS] [--fault-plan SPEC]
+//
+// Both also honor MAXEL_FAULT_PLAN (env) as the default --fault-plan,
+// so the stock binaries can be chaos-tested without flag changes; see
+// net/fault.hpp for the plan grammar and docs/TESTING.md for usage.
 int connect_command(int argc, char** argv);
 
 }  // namespace maxel::net

@@ -151,9 +151,22 @@ void TcpChannel::flush() {
     Piece pieces[2] = {{hdr, 4}, {wbuf_.data() + off, len}};
     for (auto& piece : pieces) {
       while (piece.n > 0) {
-        const ssize_t w = ::send(fd_, piece.p, piece.n, MSG_NOSIGNAL);
+        // Non-blocking send + POLLOUT wait so a peer that stopped
+        // draining (full socket buffer) surfaces as TimeoutError rather
+        // than pinning this thread in ::send forever.
+        const ssize_t w =
+            ::send(fd_, piece.p, piece.n, MSG_NOSIGNAL | MSG_DONTWAIT);
         if (w < 0) {
           if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            const int deadline =
+                opts_.send_timeout_ms > 0 ? opts_.send_timeout_ms : -1;
+            if (!poll_fd(fd_, POLLOUT, deadline))
+              throw TimeoutError("send: peer not draining within " +
+                                 std::to_string(opts_.send_timeout_ms) +
+                                 " ms");
+            continue;
+          }
           if (errno == EPIPE || errno == ECONNRESET)
             throw PeerClosedError("send: peer closed the connection");
           throw_errno("send");

@@ -42,6 +42,12 @@ struct TcpOptions {
   // the next frame, so a slowly-streaming peer never times out.
   int recv_timeout_ms = 30'000;
 
+  // send deadline; 0 blocks forever. A peer that stops draining its
+  // socket eventually fills ours; flush() then waits at most this long
+  // for POLLOUT before throwing TimeoutError — without it a stalled
+  // reader pins the sender in ::send forever.
+  int send_timeout_ms = 30'000;
+
   // Frames larger than this are a protocol violation (FramingError),
   // bounding what a bad peer can make us allocate.
   std::uint32_t max_frame_bytes = 1u << 26;  // 64 MiB

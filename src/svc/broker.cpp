@@ -47,6 +47,13 @@ Broker::Broker(const BrokerConfig& cfg)
       spool_(SpoolConfig{cfg.spool_dir, cfg.ram_cache_sessions, true}),
       pool_(cfg.precompute_cores, crypto::SystemRandom().next_block()),
       worker_stats_(std::max<std::size_t>(1, cfg.workers)) {
+  if (cfg_.idle_timeout_ms > 0) {
+    cfg_.tcp.recv_timeout_ms = cfg_.idle_timeout_ms;
+    cfg_.tcp.send_timeout_ms = cfg_.idle_timeout_ms;
+  }
+  if (!cfg_.fault_plan.empty())
+    injector_ = std::make_shared<net::FaultInjector>(
+        net::FaultPlan::parse(cfg_.fault_plan));
   expect_.scheme = cfg_.scheme;
   expect_.bit_width = static_cast<std::uint32_t>(cfg_.bits);
   expect_.circuit_hash = net::circuit_fingerprint(circ_);
@@ -113,7 +120,7 @@ void Broker::producer_loop() {
   }
 }
 
-void Broker::serve_connection(net::TcpChannel& ch, std::size_t worker) {
+void Broker::serve_connection(proto::Channel& ch, std::size_t worker) {
   net::ServerStats local;
   const auto t_hs = Clock::now();
   try {
@@ -170,12 +177,34 @@ void Broker::serve_connection(net::TcpChannel& ch, std::size_t worker) {
     metrics_.counter("handshakes_rejected").inc();
     if (cfg_.verbose)
       std::fprintf(stderr, "[broker] rejected client: %s\n", e.what());
+  } catch (const net::TimeoutError& e) {
+    // The per-connection idle deadline fired: the client went silent or
+    // stopped draining. The worker abandons the session and is free for
+    // the next connection — a stalled client cannot pin it.
+    ++local.idle_timeouts;
+    ++local.connection_errors;
+    metrics_.counter("idle_timeouts").inc();
+    metrics_.counter("connection_errors").inc();
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[broker] idle timeout: %s\n", e.what());
+  } catch (const net::PeerClosedError& e) {
+    // Mid-session hangup — the signature a crashing or retrying client
+    // leaves behind; tracked separately so fleets can tell churn from
+    // protocol errors.
+    ++local.connection_errors;
+    metrics_.counter("peer_disconnects").inc();
+    metrics_.counter("connection_errors").inc();
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[broker] peer disconnected: %s\n", e.what());
   } catch (const std::exception& e) {
     ++local.connection_errors;
     metrics_.counter("connection_errors").inc();
     if (cfg_.verbose)
       std::fprintf(stderr, "[broker] connection error: %s\n", e.what());
   }
+  if (injector_)
+    metrics_.gauge("faults_injected")
+        .set(static_cast<std::int64_t>(injector_->faults_fired()));
   const std::lock_guard<std::mutex> lock(stats_mu_);
   worker_stats_[worker].merge(local);
 }
@@ -204,7 +233,10 @@ void Broker::worker_loop(std::size_t worker) {
       ++drain_rejects_;
       continue;
     }
-    serve_connection(*ch, worker);
+    std::unique_ptr<proto::Channel> link = std::move(ch);
+    if (injector_)
+      link = std::make_unique<net::FaultyChannel>(std::move(link), injector_);
+    serve_connection(*link, worker);
   }
 }
 

@@ -36,6 +36,7 @@
 #include "circuit/circuits.hpp"
 #include "core/gc_core_pool.hpp"
 #include "crypto/rng.hpp"
+#include "net/fault.hpp"
 #include "net/handshake.hpp"
 #include "net/server.hpp"
 #include "net/tcp_channel.hpp"
@@ -70,6 +71,15 @@ struct BrokerConfig {
   std::size_t stream_queue_chunks = 4;
   bool allow_stream = true;
   net::TcpOptions tcp;
+  // Per-connection idle deadline: when > 0 it overrides both
+  // tcp.recv_timeout_ms and tcp.send_timeout_ms, bounding how long a
+  // stalled client can pin a worker (counted in the idle_timeouts
+  // metric when it fires).
+  int idle_timeout_ms = 0;
+  // Deterministic fault schedule (net/fault.hpp grammar) wrapped around
+  // every served connection; empty = no injection. One injector spans
+  // the broker's lifetime, so each event fires once across connections.
+  std::string fault_plan;
 };
 
 struct BrokerStats {
@@ -106,12 +116,13 @@ class Broker {
  private:
   void worker_loop(std::size_t worker);
   void producer_loop();
-  void serve_connection(net::TcpChannel& ch, std::size_t worker);
+  void serve_connection(proto::Channel& ch, std::size_t worker);
   proto::PrecomputedSession take_session_blocking();
   // Sends a load-state reject without reading the hello, then closes.
   void reject_connection(net::TcpChannel& ch, net::RejectCode code);
 
   BrokerConfig cfg_;
+  std::shared_ptr<net::FaultInjector> injector_;  // null when plan empty
   circuit::Circuit circ_;
   net::ServerExpectation expect_;
   net::TcpListener listener_;

@@ -101,6 +101,7 @@ std::string pretty_json(const std::string& in) {
 
 int broker_command(int argc, char** argv) {
   BrokerConfig cfg;
+  if (const char* env = std::getenv("MAXEL_FAULT_PLAN")) cfg.fault_plan = env;
   std::string json_path, metrics_path;
   FlagParser p{argc, argv};
   std::string flag;
@@ -124,6 +125,8 @@ int broker_command(int argc, char** argv) {
     else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
     else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
     else if (flag == "--no-stream") cfg.allow_stream = false;
+    else if (flag == "--idle-timeout") cfg.idle_timeout_ms = static_cast<int>(p.value_u64());
+    else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
     else if (flag == "--scheme") {
       const char* v = p.value();
       if (!v || !parse_scheme(v, cfg.scheme)) {
@@ -142,6 +145,14 @@ int broker_command(int argc, char** argv) {
     std::fprintf(stderr,
                  "maxelctl serve (broker): bad flags (--spool DIR required)\n");
     return 2;
+  }
+  if (!cfg.fault_plan.empty()) {
+    try {
+      net::FaultPlan::parse(cfg.fault_plan);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "maxelctl serve (broker): %s\n", e.what());
+      return 2;
+    }
   }
 
   try {

@@ -1,0 +1,707 @@
+// Chaos tier: deterministic fault injection against the full network
+// stack.
+//
+// Three layers of coverage, all driven by seeded FaultPlans
+// (net/fault.hpp) so every failure reproduces exactly from the plan
+// string logged via SCOPED_TRACE:
+//
+//   * unit: FaultPlan parsing round-trips and rejects nonsense;
+//     FaultyChannel over MemoryChannel executes each fault kind with
+//     bit-exact predictability (the flip position is computable from
+//     the seed);
+//   * recovery: net::Client's SessionRetryPolicy survives mid-handshake
+//     closes, mid-transfer closes, connect refusals, corrupted
+//     sessions, and stalled peers — always by re-running a *fresh*
+//     session, never by resuming one (wire labels are single-use; the
+//     no-reuse test compares captured wire bytes across attempts);
+//   * matrix: >= 30 seeded scenarios across all three serving paths
+//     (precomputed net::Server, stream net::Server, svc::Broker), each
+//     of which must terminate within a watchdog in either a bit-correct
+//     verified MAC or a typed NetError — never a hang, never a silent
+//     mismatch — with the service still serving afterwards.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/demo_inputs.hpp"
+#include "net/error.hpp"
+#include "net/fault.hpp"
+#include "net/server.hpp"
+#include "net/tcp_channel.hpp"
+#include "proto/channel.hpp"
+#include "svc/broker.hpp"
+
+namespace maxel {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: parsing, round-trip, validation.
+
+TEST(FaultPlan, ParsesEveryKindAndRoundTrips) {
+  const std::string spec =
+      "seed=7;close@send:3;stall@recv:1:250;flip@recv:9;trunc@send:4;"
+      "split@send:2;refuse@connect:0;close@recv:11";
+  const net::FaultPlan plan = net::FaultPlan::parse(spec);
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.events.size(), 7u);
+  EXPECT_EQ(plan.events[0].kind, net::FaultKind::kClose);
+  EXPECT_EQ(plan.events[0].op, net::FaultOp::kSend);
+  EXPECT_EQ(plan.events[0].index, 3u);
+  EXPECT_EQ(plan.events[1].kind, net::FaultKind::kStall);
+  EXPECT_EQ(plan.events[1].param, 250u);
+  EXPECT_EQ(plan.events[5].kind, net::FaultKind::kRefuseConnect);
+  EXPECT_EQ(plan.events[5].op, net::FaultOp::kConnect);
+
+  // to_string emits the canonical grammar; reparsing is a fixed point.
+  EXPECT_EQ(plan.to_string(), spec);
+  EXPECT_EQ(net::FaultPlan::parse(plan.to_string()).to_string(), spec);
+}
+
+TEST(FaultPlan, AcceptsCommasAndSpacesAndEmptySpec) {
+  const net::FaultPlan plan =
+      net::FaultPlan::parse("seed=3, close@recv:2 ,\tstall@send:0:10");
+  EXPECT_EQ(plan.seed, 3u);
+  EXPECT_EQ(plan.events.size(), 2u);
+
+  const net::FaultPlan empty = net::FaultPlan::parse("");
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.seed, 1u);  // default seed survives an empty spec
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "boom@send:1",      // unknown kind
+      "close@sideways:1", // unknown op
+      "close@send",       // missing index
+      "close@send:x",     // non-numeric index
+      "trunc@recv:1",     // truncation is send-only
+      "split@recv:1",     // so is splitting
+      "stall@send:1",     // stall needs a duration
+      "stall@send:1:0",   // ... a nonzero one
+      "refuse@send:0",    // refuse goes with connect
+      "close@connect:0",  // and only refuse does
+      "flip@send:1:5",    // only stall takes a parameter
+      "seed=",            // empty seed
+  };
+  for (const char* spec : bad) {
+    SCOPED_TRACE(spec);
+    EXPECT_THROW(net::FaultPlan::parse(spec), std::invalid_argument);
+  }
+}
+
+TEST(FaultInjector, EventsFireOnceAndDeterministically) {
+  const net::FaultPlan plan = net::FaultPlan::parse("seed=9;flip@send:1");
+  net::FaultInjector a(plan), b(plan);
+
+  EXPECT_EQ(a.on_send().kind, net::FaultKind::kNone);  // op 0: clean
+  const auto fired = a.on_send();                      // op 1: the flip
+  EXPECT_EQ(fired.kind, net::FaultKind::kFlip);
+  EXPECT_EQ(a.on_send().kind, net::FaultKind::kNone);  // fired once only
+  EXPECT_EQ(a.faults_fired(), 1u);
+
+  // A fresh injector with the same plan replays the same seeded value.
+  (void)b.on_send();
+  EXPECT_EQ(b.on_send().rand, fired.rand);
+  EXPECT_EQ(fired.rand,
+            net::fault_mix64(9 ^ net::fault_mix64(
+                                     (static_cast<std::uint64_t>(
+                                          net::FaultOp::kSend)
+                                      << 56) ^
+                                     1)));
+}
+
+// ---------------------------------------------------------------------------
+// FaultyChannel semantics over MemoryChannel (no sockets, no threads).
+
+TEST(FaultyChannelUnit, EmptyPlanIsByteIdenticalPassThrough) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(net::FaultPlan{});
+  net::FaultyChannel fa(std::move(a), inj);
+  net::FaultyChannel fb(std::move(b), inj);
+
+  std::vector<std::uint8_t> capture;
+  fb.set_recv_capture(&capture);
+
+  fa.send_u64(41);
+  EXPECT_EQ(fb.recv_u64(), 41u);
+  std::vector<crypto::Block> blocks;
+  for (std::uint64_t i = 0; i < 50; ++i) blocks.push_back(crypto::Block{i, ~i});
+  fa.send_blocks(blocks);
+  EXPECT_EQ(fb.recv_blocks(), blocks);
+  std::vector<bool> bits = {true, false, true, true, false};
+  fa.send_bits(bits);
+  EXPECT_EQ(fb.recv_bits(), bits);
+
+  EXPECT_EQ(inj->faults_fired(), 0u);
+  EXPECT_FALSE(fa.transport_dropped());
+  // Payload accounting is preserved through the wrapper, and the capture
+  // sink saw every delivered byte.
+  EXPECT_EQ(fa.bytes_sent(), fb.bytes_received());
+  EXPECT_EQ(capture.size(), fb.bytes_received());
+}
+
+TEST(FaultyChannelUnit, FlipHitsExactlyThePredictedBit) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("seed=42;flip@send:0"));
+  net::FaultyChannel fa(std::move(a), inj);
+
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  fa.send_bytes(payload.data(), payload.size());
+
+  std::vector<std::uint8_t> got(payload.size());
+  b->recv_bytes(got.data(), got.size());
+
+  // The header documents the mixer precisely so plans are predictable.
+  const std::uint64_t bit =
+      net::fault_mix64(42 ^ net::fault_mix64(0)) % (payload.size() * 8);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    const std::uint8_t expect =
+        i == bit / 8 ? payload[i] ^ static_cast<std::uint8_t>(1u << (bit % 8))
+                     : payload[i];
+    EXPECT_EQ(got[i], expect) << "byte " << i;
+  }
+  EXPECT_EQ(inj->faults_fired(), 1u);
+}
+
+TEST(FaultyChannelUnit, SplitDeliversIdenticalBytes) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("seed=5;split@send:0"));
+  net::FaultyChannel fa(std::move(a), inj);
+
+  std::vector<std::uint8_t> payload(1'000);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i ^ (i >> 3));
+  fa.send_bytes(payload.data(), payload.size());
+
+  std::vector<std::uint8_t> got(payload.size());
+  b->recv_bytes(got.data(), got.size());
+  EXPECT_EQ(got, payload);  // a split is benign: reassembly must hide it
+  EXPECT_EQ(inj->faults_fired(), 1u);
+}
+
+TEST(FaultyChannelUnit, CloseAtSendDropsTransportForGood) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("close@send:1"));
+  net::FaultyChannel fa(std::move(a), inj);
+
+  fa.send_u64(1);  // op 0: clean
+  EXPECT_THROW(fa.send_u64(2), net::PeerClosedError);  // op 1: the close
+  EXPECT_TRUE(fa.transport_dropped());
+
+  // The link stays dead: every later op fails the same way, and flush
+  // (called from destructors) is a harmless no-op.
+  EXPECT_THROW(fa.send_u64(3), net::PeerClosedError);
+  EXPECT_THROW((void)fa.recv_u64(), net::PeerClosedError);
+  EXPECT_NO_THROW(fa.flush());
+}
+
+TEST(FaultyChannelUnit, CloseAtRecvFiresBeforeTouchingTheTransport) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("close@recv:0"));
+  net::FaultyChannel fa(std::move(a), inj);
+  // Nothing was ever sent to us; the injected close must still be the
+  // error we see (not MemoryChannel's empty-queue failure).
+  EXPECT_THROW((void)fa.recv_u64(), net::PeerClosedError);
+  EXPECT_TRUE(fa.transport_dropped());
+}
+
+TEST(FaultyChannelUnit, TruncateForwardsAStrictPrefixThenDies) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("trunc@send:0"));
+  net::FaultyChannel fa(std::move(a), inj);
+
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(200 - i);
+  EXPECT_THROW(fa.send_bytes(payload.data(), payload.size()),
+               net::PeerClosedError);
+  EXPECT_TRUE(fa.transport_dropped());
+
+  // Exactly the documented n/2 prefix made it out before the drop.
+  std::vector<std::uint8_t> got(payload.size() / 2);
+  b->recv_bytes(got.data(), got.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), payload.data(), got.size()));
+}
+
+TEST(FaultyChannelUnit, StallDelaysButDeliversIntact) {
+  auto [a, b] = proto::MemoryChannel::create_pair();
+  auto inj = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("stall@send:0:60"));
+  net::FaultyChannel fa(std::move(a), inj);
+
+  const auto t0 = Clock::now();
+  fa.send_u64(77);
+  EXPECT_GE(seconds_since(t0), 0.055);
+  EXPECT_EQ(b->recv_u64(), 77u);
+  EXPECT_FALSE(fa.transport_dropped());
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff schedule: pure, deterministic, capped.
+
+TEST(RetryBackoff, DoublesAndCapsWithoutJitter) {
+  net::SessionRetryPolicy p;
+  p.backoff_ms = 100;
+  p.backoff_max_ms = 350;
+  p.jitter_pct = 0;
+  EXPECT_EQ(net::retry_backoff_ms(p, 1), 100u);
+  EXPECT_EQ(net::retry_backoff_ms(p, 2), 200u);
+  EXPECT_EQ(net::retry_backoff_ms(p, 3), 350u);  // 400 hits the cap
+  EXPECT_EQ(net::retry_backoff_ms(p, 9), 350u);
+}
+
+TEST(RetryBackoff, JitterIsBoundedAndSeedDeterministic) {
+  net::SessionRetryPolicy p;
+  p.backoff_ms = 1'000;
+  p.backoff_max_ms = 10'000;
+  p.jitter_pct = 20;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const std::uint64_t base = 1'000ull << (attempt - 1);
+    const std::uint64_t w = net::retry_backoff_ms(p, attempt);
+    EXPECT_GE(w, base * 80 / 100) << "attempt " << attempt;
+    EXPECT_LE(w, base * 120 / 100) << "attempt " << attempt;
+    // Same seed, same attempt -> the exact same wait (replayable runs).
+    EXPECT_EQ(w, net::retry_backoff_ms(p, attempt));
+  }
+  net::SessionRetryPolicy other = p;
+  other.jitter_seed = 99;
+  bool any_differs = false;
+  for (int attempt = 1; attempt <= 4; ++attempt)
+    any_differs |=
+        net::retry_backoff_ms(other, attempt) != net::retry_backoff_ms(p, attempt);
+  EXPECT_TRUE(any_differs);  // the seed actually feeds the jitter
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: client retry against a live server, one fault at a time.
+
+constexpr std::size_t kBits = 8;
+constexpr std::size_t kRounds = 12;
+
+net::ServerConfig chaos_server_config() {
+  net::ServerConfig cfg;
+  cfg.bind_addr = "127.0.0.1";
+  cfg.port = 0;
+  cfg.bits = kBits;
+  cfg.rounds_per_session = kRounds;
+  cfg.bank_low_watermark = 1;
+  cfg.bank_batch = 1;
+  cfg.precompute_cores = 2;
+  cfg.max_sessions = 0;  // run until request_stop()
+  cfg.accept_poll_ms = 50;
+  cfg.verbose = false;
+  cfg.idle_timeout_ms = 5'000;  // generous; scenario overrides tighten it
+  return cfg;
+}
+
+net::ClientConfig chaos_client_config(std::uint16_t port,
+                                      const std::string& plan) {
+  net::ClientConfig cfg;
+  cfg.port = port;
+  cfg.bits = kBits;
+  cfg.verbose = false;
+  cfg.fault_plan = plan;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.backoff_ms = 10;
+  cfg.retry.backoff_max_ms = 50;
+  cfg.tcp.recv_timeout_ms = 2'000;
+  cfg.tcp.send_timeout_ms = 2'000;
+  cfg.tcp.connect_attempts = 3;
+  cfg.tcp.connect_backoff_ms = 20;
+  return cfg;
+}
+
+struct ChaosOutcome {
+  bool verified = false;
+  bool threw = false;
+  std::string error;
+  std::uint32_t attempts = 0;
+  std::uint64_t output = 0;
+  double elapsed = 0;
+};
+
+// Every chaos run must end inside this bound — a hang is a failure even
+// when CTest's own TIMEOUT would eventually kill the binary.
+constexpr double kWatchdogSeconds = 25.0;
+
+ChaosOutcome run_chaos_client(const net::ClientConfig& cfg) {
+  ChaosOutcome out;
+  const auto t0 = Clock::now();
+  try {
+    const net::ClientStats cs = net::run_client(cfg);
+    out.verified = cs.verified;
+    out.attempts = cs.attempts;
+    out.output = cs.output_value;
+  } catch (const net::NetError& e) {
+    out.threw = true;
+    out.error = e.what();
+  }
+  out.elapsed = seconds_since(t0);
+  return out;
+}
+
+TEST(ChaosRecovery, MidHandshakeCloseRetriesToSuccess) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  // Send op 0 is the client hello: the very first bytes of the session
+  // die on the floor, and the retry must start over from connect.
+  const ChaosOutcome out =
+      run_chaos_client(chaos_client_config(server.port(), "close@send:0"));
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.output, net::demo_mac_reference(7, kBits, kRounds));
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+}
+
+TEST(ChaosRecovery, MidTransferCloseRetriesToSuccess) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  // Recv op 8 lands mid-session, after OT setup has produced garbled
+  // material — the attempt that dies has real tables in flight.
+  const ChaosOutcome out =
+      run_chaos_client(chaos_client_config(server.port(), "close@recv:8"));
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.output, net::demo_mac_reference(7, kBits, kRounds));
+}
+
+TEST(ChaosRecovery, ConnectRefusalRetriesToSuccess) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  const ChaosOutcome out =
+      run_chaos_client(chaos_client_config(server.port(), "refuse@connect:0"));
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  // The refused attempt never reached the server at all.
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+  EXPECT_EQ(server.stats().connection_errors, 0u);
+}
+
+TEST(ChaosRecovery, ServerSideCloseIsSurvivedByBothSides) {
+  net::ServerConfig scfg = chaos_server_config();
+  scfg.fault_plan = "close@send:3";  // the server's own link dies once
+  net::Server server(scfg);
+  std::thread serve([&] { server.serve(); });
+
+  net::ClientConfig ccfg = chaos_client_config(server.port(), "");
+  const ChaosOutcome out = run_chaos_client(ccfg);
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  // The aborted connection is accounted as a connection error, not a
+  // served session; the retry is the one served session.
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+  EXPECT_GE(server.stats().connection_errors, 1u);
+}
+
+TEST(ChaosRecovery, StalledClientIsEvictedAndRecovers) {
+  net::ServerConfig scfg = chaos_server_config();
+  scfg.idle_timeout_ms = 250;  // evict a silent peer fast
+  net::Server server(scfg);
+  std::thread serve([&] { server.serve(); });
+
+  // The client goes quiet for 1.5 s mid-session — far past the server's
+  // idle deadline. The server must evict it (freeing the accept loop),
+  // and the client's retry must complete against the recovered server.
+  net::ClientConfig ccfg =
+      chaos_client_config(server.port(), "stall@send:2:1500");
+  const ChaosOutcome out = run_chaos_client(ccfg);
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_GE(out.attempts, 2u);
+  EXPECT_GE(server.stats().idle_timeouts, 1u);
+  EXPECT_GE(server.stats().connection_errors,
+            server.stats().idle_timeouts);  // idle is a subset
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+}
+
+// The heart of the retry contract: a retried session shares *nothing*
+// with the attempt it replaces. Wire labels are single-use, so the
+// garbled material of attempt 2 must be freshly generated — byte-for-
+// byte different from what attempt 1 received before its link died.
+TEST(ChaosRecovery, RetryNeverReusesGarbledMaterial) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  auto injector = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("close@recv:8"));
+  std::deque<std::vector<std::uint8_t>> captures;  // one stream per attempt
+
+  net::ClientConfig cfg = chaos_client_config(server.port(), "");
+  cfg.retry.max_attempts = 2;
+  const std::uint16_t port = server.port();
+  cfg.channel_factory = [&]() -> std::unique_ptr<proto::Channel> {
+    auto tcp = net::TcpChannel::connect("127.0.0.1", port, cfg.tcp);
+    auto faulty =
+        std::make_unique<net::FaultyChannel>(std::move(tcp), injector);
+    captures.emplace_back();
+    faulty->set_recv_capture(&captures.back());
+    return faulty;
+  };
+
+  const ChaosOutcome out = run_chaos_client(cfg);
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  ASSERT_EQ(captures.size(), 2u);
+
+  // Attempt 1 died mid-stream; attempt 2 ran to completion.
+  const std::vector<std::uint8_t>& first = captures[0];
+  const std::vector<std::uint8_t>& second = captures[1];
+  ASSERT_LT(first.size(), second.size());
+
+  // Compare what both attempts received over their common prefix. The
+  // deterministic handshake reply may coincide, but the session payload
+  // (OT setup, garbled tables, labels) is keyed by per-session
+  // randomness: if the overlapping streams were identical, the server
+  // would have replayed garbled material across sessions.
+  const std::size_t overlap = std::min(first.size(), second.size());
+  ASSERT_GT(overlap, 64u);
+  EXPECT_NE(0, std::memcmp(first.data(), second.data(), overlap))
+      << "retry attempt received byte-identical garbled material";
+}
+
+TEST(ChaosRecovery, NonRetryableHandshakeRejectFailsFastDespiteRetries) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  net::ClientConfig cfg = chaos_client_config(server.port(), "");
+  cfg.bits = kBits * 2;  // bit-width mismatch: a config error, not luck
+  const auto t0 = Clock::now();
+  try {
+    net::run_client(cfg);
+    FAIL() << "mismatched client was accepted";
+  } catch (const net::HandshakeError& e) {
+    EXPECT_EQ(e.code(), net::RejectCode::kBitWidthMismatch);
+    EXPECT_FALSE(net::net_error_is_retryable(e));
+  }
+  // No backoff was burned on a failure retry cannot fix.
+  EXPECT_LT(seconds_since(t0), 5.0);
+
+  server.request_stop();
+  serve.join();
+  EXPECT_EQ(server.stats().sessions_served, 0u);
+}
+
+TEST(ChaosRecovery, ExhaustedRetriesSurfaceTheTypedError) {
+  // Refuse every connect the policy is willing to make: the final error
+  // must be the typed ConnectError of the last attempt, not a generic
+  // failure, and attempts must stop at the policy bound.
+  net::ClientConfig cfg = chaos_client_config(1 /* nobody listens */, "");
+  cfg.retry.max_attempts = 2;
+  cfg.tcp.connect_attempts = 1;
+  cfg.tcp.connect_timeout_ms = 200;
+  cfg.tcp.connect_backoff_ms = 5;
+  EXPECT_THROW(net::run_client(cfg), net::ConnectError);
+}
+
+// ---------------------------------------------------------------------------
+// The scenario matrix: seeded plans x all three serving paths.
+
+// Ten pinned plans. Indices are raw-op counts (stable across runs), so
+// the schedule reproduces bit-for-bit from the string alone; together
+// with the three serving modes below this is 30 chaos scenarios.
+const char* const kMatrixPlans[] = {
+    "close@send:0",            // hello dies
+    "close@send:2",            // OT setup dies on our side
+    "close@recv:1",            // handshake reply dies
+    "close@recv:6",            // session material dies
+    "trunc@send:1",            // peer sees a mid-message EOF
+    "trunc@send:3",
+    "seed=4;split@send:2",     // benign short write: must verify first try
+    "refuse@connect:0",        // first connect refused outright
+    "seed=3;flip@send:2",      // corrupted payload toward the server
+    "seed=11;stall@recv:1:300" // a short stall inside the recv timeout
+};
+
+void check_outcome(const ChaosOutcome& out, std::uint64_t expected_mac) {
+  // The chaos contract: bounded time, then either a bit-correct MAC or
+  // a typed NetError. Anything else — hang, crash, silent mismatch —
+  // fails the suite.
+  EXPECT_LT(out.elapsed, kWatchdogSeconds);
+  if (out.threw) {
+    EXPECT_FALSE(out.error.empty());
+  } else {
+    EXPECT_TRUE(out.verified) << "completed without verifying";
+    EXPECT_EQ(out.output, expected_mac);
+  }
+}
+
+TEST(ChaosMatrix, PrecomputedServerSurvivesEveryPlan) {
+  const std::uint64_t expected = net::demo_mac_reference(7, kBits, kRounds);
+  int recovered = 0;
+  for (const char* plan : kMatrixPlans) {
+    SCOPED_TRACE(std::string("plan=") + plan + " mode=precomputed");
+    net::Server server(chaos_server_config());
+    std::thread serve([&] { server.serve(); });
+
+    const ChaosOutcome out =
+        run_chaos_client(chaos_client_config(server.port(), plan));
+    check_outcome(out, expected);
+    if (out.verified && out.attempts >= 2) ++recovered;
+
+    // Whatever the plan did, the server must still serve a clean client.
+    if (out.threw) {
+      const ChaosOutcome clean =
+          run_chaos_client(chaos_client_config(server.port(), ""));
+      EXPECT_TRUE(clean.verified) << clean.error;
+    }
+    server.request_stop();
+    serve.join();
+  }
+  // Most plans are transient faults: retry must actually be recovering,
+  // not every scenario dying with a typed error.
+  EXPECT_GE(recovered, 5);
+}
+
+TEST(ChaosMatrix, StreamServerSurvivesEveryPlan) {
+  const std::uint64_t expected = net::demo_mac_reference(7, kBits, kRounds);
+  int recovered = 0;
+  for (const char* plan : kMatrixPlans) {
+    SCOPED_TRACE(std::string("plan=") + plan + " mode=stream");
+    net::ServerConfig scfg = chaos_server_config();
+    scfg.stream_chunk_rounds = 4;  // several chunks even at kRounds = 12
+    net::Server server(scfg);
+    std::thread serve([&] { server.serve(); });
+
+    net::ClientConfig ccfg = chaos_client_config(server.port(), plan);
+    ccfg.mode = net::SessionMode::kStream;
+    const ChaosOutcome out = run_chaos_client(ccfg);
+    check_outcome(out, expected);
+    if (out.verified && out.attempts >= 2) ++recovered;
+
+    if (out.threw) {
+      net::ClientConfig clean_cfg = chaos_client_config(server.port(), "");
+      clean_cfg.mode = net::SessionMode::kStream;
+      const ChaosOutcome clean = run_chaos_client(clean_cfg);
+      EXPECT_TRUE(clean.verified) << clean.error;
+    }
+    server.request_stop();
+    serve.join();
+  }
+  EXPECT_GE(recovered, 5);
+}
+
+class BrokerChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spool_dir_ = fs::temp_directory_path() /
+                 ("maxel_chaos_" +
+                  std::to_string(
+                      ::testing::UnitTest::GetInstance()->random_seed()) +
+                  "_" + ::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name());
+    fs::remove_all(spool_dir_);
+  }
+  void TearDown() override { fs::remove_all(spool_dir_); }
+
+  svc::BrokerConfig chaos_broker_config() {
+    svc::BrokerConfig cfg;
+    cfg.bind_addr = "127.0.0.1";
+    cfg.port = 0;
+    cfg.bits = kBits;
+    cfg.rounds_per_session = kRounds;
+    cfg.spool_dir = spool_dir_.string();
+    cfg.spool_low_watermark = 1;
+    cfg.spool_high_watermark = 3;
+    cfg.workers = 2;
+    cfg.admission_queue = 4;
+    cfg.accept_poll_ms = 50;
+    cfg.verbose = false;
+    cfg.idle_timeout_ms = 5'000;
+    return cfg;
+  }
+
+  fs::path spool_dir_;
+};
+
+TEST_F(BrokerChaosTest, BrokerSurvivesEveryPlan) {
+  const std::uint64_t expected = net::demo_mac_reference(7, kBits, kRounds);
+  int recovered = 0;
+  for (const char* plan : kMatrixPlans) {
+    SCOPED_TRACE(std::string("plan=") + plan + " mode=broker");
+    svc::Broker broker(chaos_broker_config());
+    std::thread run([&] { broker.run(); });
+
+    const ChaosOutcome out =
+        run_chaos_client(chaos_client_config(broker.port(), plan));
+    check_outcome(out, expected);
+    if (out.verified && out.attempts >= 2) ++recovered;
+
+    if (out.threw) {
+      const ChaosOutcome clean =
+          run_chaos_client(chaos_client_config(broker.port(), ""));
+      EXPECT_TRUE(clean.verified) << clean.error;
+    }
+    broker.request_stop();
+    run.join();
+  }
+  EXPECT_GE(recovered, 5);
+}
+
+// Broker-side injection: the fault fires inside a worker, the error is
+// accounted in the metrics registry, and the worker pool keeps serving.
+TEST_F(BrokerChaosTest, BrokerSideFaultIsMeteredAndSurvived) {
+  svc::BrokerConfig cfg = chaos_broker_config();
+  cfg.fault_plan = "close@send:5";
+  svc::Broker broker(cfg);
+  std::thread run([&] { broker.run(); });
+
+  const ChaosOutcome out =
+      run_chaos_client(chaos_client_config(broker.port(), ""));
+  broker.request_stop();
+  run.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(broker.metrics().gauge("faults_injected").value(), 1);
+  EXPECT_GE(broker.metrics().counter("peer_disconnects").value() +
+                broker.metrics().counter("connection_errors").value(),
+            1u);
+  EXPECT_EQ(broker.stats().server.sessions_served, 1u);
+}
+
+}  // namespace
+}  // namespace maxel

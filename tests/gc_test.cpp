@@ -348,6 +348,83 @@ TEST(SequentialGc, TablesDifferAcrossRounds) {
   EXPECT_NE(r0.tables.front(), r1.tables.front());
 }
 
+// ---------------------------------------------------------------------------
+// Property sweeps: randomized shapes against plaintext semantics. The
+// shape stream is pinned (kSweepSeed) and every trial logs its derived
+// parameters via SCOPED_TRACE, so a failure reproduces exactly.
+
+TEST(SequentialGc, RandomizedMacShapesMatchReference) {
+  constexpr std::uint64_t kSweepSeed = 0xC0FFEE01;
+  crypto::Prg shape(Block{kSweepSeed, 1});
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t bits = 2 + shape.next_u64() % 19;    // 2..20
+    const std::size_t rounds = 1 + shape.next_u64() % 12;  // vector length
+    const bool sign = shape.next_bit();
+    const Scheme scheme =
+        kAllSchemes[shape.next_u64() % std::size(kAllSchemes)];
+    SCOPED_TRACE("sweep_seed=" + std::to_string(kSweepSeed) +
+                 " trial=" + std::to_string(trial) +
+                 " bits=" + std::to_string(bits) +
+                 " rounds=" + std::to_string(rounds) +
+                 " signed=" + std::to_string(sign) + " scheme=" +
+                 scheme_name(scheme));
+
+    const MacOptions opt{bits, bits, sign};
+    const Circuit c = circuit::make_mac_circuit(opt);
+    SystemRandom rng(Block{kSweepSeed, static_cast<std::uint64_t>(trial)});
+    CircuitGarbler garbler(c, scheme, rng);
+    CircuitEvaluator evaluator(c, scheme);
+
+    const std::uint64_t mask = (1ull << bits) - 1;
+    std::uint64_t expect = 0;
+    std::vector<Block> out_labels;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const std::uint64_t a = shape.next_u64() & mask;
+      const std::uint64_t x = shape.next_u64() & mask;
+      expect = circuit::mac_reference(expect, a, x, opt);
+
+      const RoundTables tables = garbler.garble_round();
+      if (round == 0)
+        evaluator.set_initial_state_labels(garbler.initial_state_labels());
+      std::vector<Block> g_labels(bits), e_labels(bits);
+      for (std::size_t i = 0; i < bits; ++i) {
+        g_labels[i] = garbler.garbler_input_label(i, ((a >> i) & 1u) != 0);
+        const auto [l0, l1] = garbler.evaluator_input_labels(i);
+        e_labels[i] = ((x >> i) & 1u) != 0 ? l1 : l0;
+      }
+      out_labels = evaluator.eval_round(tables, g_labels, e_labels,
+                                        garbler.fixed_wire_labels());
+    }
+    const auto decoded = decode_with_map(out_labels, garbler.output_map());
+    ASSERT_EQ(circuit::from_bits(decoded), expect);
+  }
+}
+
+TEST(WholeCircuit, RandomizedMultiplierWidthsMatchPlaintext) {
+  constexpr std::uint64_t kSweepSeed = 0xC0FFEE02;
+  crypto::Prg shape(Block{kSweepSeed, 2});
+  SystemRandom rng(Block{kSweepSeed, 3});
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t bits = 2 + shape.next_u64() % 15;  // 2..16
+    const bool sign = shape.next_bit();
+    const Scheme scheme =
+        kAllSchemes[shape.next_u64() % std::size(kAllSchemes)];
+    SCOPED_TRACE("sweep_seed=" + std::to_string(kSweepSeed) +
+                 " trial=" + std::to_string(trial) +
+                 " bits=" + std::to_string(bits) +
+                 " signed=" + std::to_string(sign) + " scheme=" +
+                 scheme_name(scheme));
+
+    const Circuit c = make_multiplier_circuit(MacOptions{bits, bits, sign});
+    std::vector<bool> g_bits(c.garbler_inputs.size());
+    std::vector<bool> e_bits(c.evaluator_inputs.size());
+    for (auto&& bit : g_bits) bit = shape.next_bit();
+    for (auto&& bit : e_bits) bit = shape.next_bit();
+    ASSERT_EQ(garble_and_evaluate(c, scheme, g_bits, e_bits, rng),
+              circuit::eval_plain(c, g_bits, e_bits));
+  }
+}
+
 TEST(Evaluator, TableUnderrunDetected) {
   const Circuit c = make_mult8();
   SystemRandom rng(Block{91, 0});

@@ -8,8 +8,11 @@
 # Inputs (environment): SERVER and CLIENT point at the built binaries.
 # MODE selects the delivery path: "precomputed" (default) serves from
 # the garbling bank; "stream" passes --stream to the client and checks
-# the chunked garble-while-transfer pipeline instead. Run by CTest as
-# the `net_e2e` / `net_e2e_stream` tests (see tests/CMakeLists.txt).
+# the chunked garble-while-transfer pipeline; "chaos" replays a matrix
+# of MAXEL_FAULT_PLAN schedules against the stock binaries — every run
+# must end, under a hard watchdog, in a VERIFIED MAC or a typed
+# maxel_client error (see docs/TESTING.md). Run by CTest as the
+# `net_e2e` / `net_e2e_stream` / `net_e2e_chaos` tests.
 set -euo pipefail
 : "${SERVER:?set SERVER to the maxel_server binary}"
 : "${CLIENT:?set CLIENT to the maxel_client binary}"
@@ -19,26 +22,93 @@ client_args=()
 case "$MODE" in
   precomputed) ;;
   stream) client_args+=(--stream) ;;
-  *) echo "unknown MODE '$MODE' (want precomputed|stream)"; exit 1 ;;
+  chaos) ;;
+  *) echo "unknown MODE '$MODE' (want precomputed|stream|chaos)"; exit 1 ;;
 esac
 
 dir=$(mktemp -d)
 spid=""
 trap '[ -n "$spid" ] && kill "$spid" 2>/dev/null; rm -rf "$dir"' EXIT
 
-"$SERVER" --port 0 --bits 8 --rounds 120 --sessions 1 \
-          --json "$dir/server.json" >"$dir/server.log" 2>&1 &
-spid=$!
+start_server() {  # start_server <extra server args...>
+  "$SERVER" --port 0 --bits 8 "$@" --json "$dir/server.json" \
+            >"$dir/server.log" 2>&1 &
+  spid=$!
+  # The server prints its bound (ephemeral) port on startup.
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$dir/server.log")
+    [ -n "$port" ] && break
+    kill -0 "$spid" 2>/dev/null || { echo "server died early:"; cat "$dir/server.log"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "server never reported its port:"; cat "$dir/server.log"; exit 1; }
+}
 
-# The server prints its bound (ephemeral) port on startup.
-port=""
-for _ in $(seq 1 100); do
-  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$dir/server.log")
-  [ -n "$port" ] && break
-  kill -0 "$spid" 2>/dev/null || { echo "server died early:"; cat "$dir/server.log"; exit 1; }
-  sleep 0.1
-done
-[ -n "$port" ] || { echo "server never reported its port:"; cat "$dir/server.log"; exit 1; }
+field() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$1"; }
+
+if [ "$MODE" = chaos ]; then
+  # One long-lived server (--sessions 0) with a tight idle deadline; the
+  # fault schedules reach the unmodified client purely through the
+  # MAXEL_FAULT_PLAN environment knob.
+  start_server --rounds 24 --sessions 0 --idle-timeout 2000 --quiet
+
+  plans=(
+    "close@send:0"
+    "close@recv:6"
+    "trunc@send:2"
+    "refuse@connect:0"
+    "seed=4;split@send:2"
+    "seed=11;stall@recv:1:300"
+  )
+  recovered=0
+  for i in "${!plans[@]}"; do
+    plan="${plans[$i]}"
+    rc=0
+    MAXEL_FAULT_PLAN="$plan" timeout 60 \
+      "$CLIENT" --port "$port" --bits 8 --retries 4 --retry-backoff 20 \
+                --net-timeout 2000 --quiet --json "$dir/c$i.json" \
+                >"$dir/c$i.log" 2>&1 || rc=$?
+    if [ "$rc" = 124 ]; then
+      echo "chaos[$plan]: client hung past the 60 s watchdog"
+      cat "$dir/c$i.log"; exit 1
+    fi
+    # A silent wrong answer is never acceptable, whatever the exit code.
+    if grep -q "MISMATCH" "$dir/c$i.log"; then
+      echo "chaos[$plan]: client decoded a wrong MAC without a typed error"
+      cat "$dir/c$i.log"; exit 1
+    fi
+    if [ "$rc" = 0 ]; then
+      grep -q VERIFIED "$dir/c$i.log" \
+        || { echo "chaos[$plan]: exit 0 without VERIFIED"; cat "$dir/c$i.log"; exit 1; }
+      attempts=$(field "$dir/c$i.json" attempts)
+      [ -n "$attempts" ] && [ "$attempts" -ge 2 ] && recovered=$((recovered + 1))
+      echo "chaos[$plan]: VERIFIED after $attempts attempt(s)"
+    else
+      grep -q "maxel_client:" "$dir/c$i.log" \
+        || { echo "chaos[$plan]: exit $rc without a typed error"; cat "$dir/c$i.log"; exit 1; }
+      echo "chaos[$plan]: typed error after retries: $(grep maxel_client: "$dir/c$i.log" | head -1)"
+    fi
+    kill -0 "$spid" 2>/dev/null \
+      || { echo "chaos[$plan]: server died"; cat "$dir/server.log"; exit 1; }
+  done
+  [ "$recovered" -ge 1 ] \
+    || { echo "chaos: no scenario recovered via retry (want attempts >= 2 at least once)"; exit 1; }
+
+  # Graceful server shutdown must still work after all that abuse.
+  kill -TERM "$spid"
+  wait "$spid" || { echo "server exited non-zero after chaos run:"; cat "$dir/server.log"; exit 1; }
+  spid=""
+  served=$(field "$dir/server.json" sessions_served)
+  errors=$(field "$dir/server.json" connection_errors)
+  [ "$served" -ge 1 ] || { echo "server served no sessions"; exit 1; }
+  [ "$errors" -ge 1 ] || { echo "server saw no connection errors (faults never landed?)"; exit 1; }
+  echo "net_e2e[chaos]: ${#plans[@]} plans, $recovered recovered via retry," \
+       "$served sessions served, $errors connection errors survived"
+  exit 0
+fi
+
+start_server --rounds 120 --sessions 1
 
 "$CLIENT" --port "$port" --bits 8 --json "$dir/client.json" \
           ${client_args[@]+"${client_args[@]}"} \
@@ -50,7 +120,6 @@ grep -q VERIFIED "$dir/client.log" \
 wait "$spid"  # exits 0 once its one session is served
 spid=""
 
-field() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$1"; }
 s_out=$(field "$dir/server.json" bytes_sent)
 s_in=$(field "$dir/server.json" bytes_received)
 c_out=$(field "$dir/client.json" bytes_sent)

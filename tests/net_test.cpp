@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuit/circuits.hpp"
+#include "crypto/prg.hpp"
 #include "crypto/rng.hpp"
 #include "net/client.hpp"
 #include "net/demo_inputs.hpp"
@@ -594,6 +595,119 @@ TEST(NetService, StreamRefusedByNoStreamServerWhichSurvives) {
   EXPECT_EQ(server.stats().handshakes_rejected, 1u);
   EXPECT_EQ(server.stats().sessions_served, 1u);
   EXPECT_EQ(server.stats().stream_sessions_served, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: randomized session shapes against the plaintext
+// reference. Bit widths, vector lengths (rounds) and demo seeds are
+// drawn from a pinned PRG stream and logged per trial, so any failure
+// reproduces exactly from the trace line.
+
+TEST(NetService, RandomizedSessionsMatchPlaintextReference) {
+  constexpr std::uint64_t kSweepSeed = 0x5EED5EED;
+  crypto::Prg prg(Block{kSweepSeed, 0});
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t bits = 4 + prg.next_u64() % 13;    // 4..16
+    const std::size_t rounds = 5 + prg.next_u64() % 28;  // 5..32
+    const std::uint64_t seed = prg.next_u64();
+    const bool stream = prg.next_bit();
+    SCOPED_TRACE("sweep_seed=" + std::to_string(kSweepSeed) +
+                 " trial=" + std::to_string(trial) +
+                 " bits=" + std::to_string(bits) +
+                 " rounds=" + std::to_string(rounds) +
+                 " demo_seed=" + std::to_string(seed) +
+                 (stream ? " mode=stream" : " mode=precomputed"));
+
+    ServerConfig scfg = quiet_server_config(bits, rounds);
+    scfg.demo_seed = seed;
+    Server server(scfg);
+    std::thread serve([&] { server.serve(); });
+
+    ClientConfig ccfg = quiet_client_config(server.port(), bits);
+    ccfg.demo_seed = seed;
+    if (stream) ccfg.mode = SessionMode::kStream;
+    const ClientStats cs = run_client(ccfg);
+    serve.join();
+
+    // Three-way agreement: TCP session == in-process protocol run ==
+    // plaintext fixed-point MAC fold, for this randomized shape.
+    EXPECT_TRUE(cs.verified);
+    EXPECT_EQ(cs.output_value, demo_mac_reference(seed, bits, rounds));
+    EXPECT_EQ(cs.output_value, in_process_reference(bits, rounds, seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stalled-peer regressions: a peer that stops reading (or never writes)
+// must surface as a typed error within the configured deadline on BOTH
+// sides — the send path historically blocked forever in ::send once the
+// socket buffers filled.
+
+TEST(TcpChannel, SenderUnblocksWhenPeerStopsDraining) {
+  TcpListener lis(0, "127.0.0.1");
+  TcpOptions opts = fast_opts();
+  opts.send_timeout_ms = 300;
+  opts.flush_threshold_bytes = 1 << 12;  // flush eagerly into the kernel
+  const int fd = raw_connect(lis.port());  // this peer never reads
+  auto ch = lis.accept(5'000, opts);
+  ASSERT_NE(ch, nullptr);
+  // Shrink our send buffer so the kernel back-pressures quickly.
+  int snd = 4'096;
+  ::setsockopt(ch->fd(), SOL_SOCKET, SO_SNDBUF, &snd, sizeof(snd));
+
+  std::vector<std::uint8_t> chunk(1 << 16, 0xAB);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    // Enough volume to overrun both socket buffers many times over; the
+    // old blocking send would wedge here forever.
+    for (int i = 0; i < 4'096; ++i) {
+      ch->send_bytes(chunk.data(), chunk.size());
+      ch->flush();
+    }
+    FAIL() << "256 MiB vanished into a peer that never reads";
+  } catch (const TimeoutError&) {
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0);  // deadline honored, not a 30 s default
+  ::close(fd);
+}
+
+TEST(NetService, SilentClientIsEvictedAndServerKeepsServing) {
+  ServerConfig cfg = quiet_server_config(8, 8);
+  cfg.idle_timeout_ms = 200;
+  Server server(cfg);
+  std::thread serve([&] { server.serve(); });
+
+  // Connect and never send the hello: the sequential server must evict
+  // this connection at the idle deadline instead of pinning on it...
+  const int fd = raw_connect(server.port());
+  // ...and then serve the well-behaved client queued behind it.
+  const ClientStats cs = run_client(quiet_client_config(server.port(), 8));
+  serve.join();
+  ::close(fd);
+
+  EXPECT_TRUE(cs.verified);
+  EXPECT_EQ(server.stats().sessions_served, 1u);
+  EXPECT_EQ(server.stats().idle_timeouts, 1u);
+  EXPECT_GE(server.stats().connection_errors, 1u);
+}
+
+TEST(NetService, UnresponsiveServerYieldsTimeoutNotHang) {
+  TcpListener lis(0, "127.0.0.1");
+  std::unique_ptr<TcpChannel> held;  // accepted, then left silent
+  std::thread acceptor([&] { held = lis.accept(5'000, fast_opts()); });
+
+  ClientConfig cfg = quiet_client_config(lis.port(), 8);
+  cfg.tcp.recv_timeout_ms = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(run_client(cfg), TimeoutError);  // handshake reply never comes
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  acceptor.join();
 }
 
 // Shutdown-latency regression: the accept loop polls with

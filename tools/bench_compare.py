@@ -40,6 +40,12 @@ CHECKS = {
         "key": "transport",
         "lower_bound": ["mac_per_sec"],
         "upper_bound": ["bytes_per_mac"],
+        # (metric, row, reference_row, min_ratio): measured-run invariant.
+        # The no-op FaultyChannel wrapper must stay within 5% of the raw
+        # TCP transport -- the fault-injection seam is free in production.
+        "ratio": [
+            ("mac_per_sec", "tcp-faulty-nop", "tcp-loopback", 0.95),
+        ],
     },
     "core_scaling": {
         "key": "cores",
@@ -133,6 +139,23 @@ def check_bench(name, spec, baseline_rows, measured_rows, args, failures):
                 f"{name}: expected {metric}[{small_key}] < "
                 f"{metric}[{large_key}], got {small[metric]:.4g} >= "
                 f"{large[metric]:.4g}")
+
+    for metric, row_key, ref_key, min_ratio in spec.get("ratio", []):
+        row = measured.get(row_key)
+        ref = measured.get(ref_key)
+        if row is None or ref is None:
+            failures.append(
+                f"{name}: ratio check needs rows "
+                f"{key}={row_key} and {key}={ref_key}")
+            continue
+        ratio = row[metric] / ref[metric] if ref[metric] else 0.0
+        ok = ratio >= min_ratio
+        print(f"  {name} ratio {metric}: {row_key}/{ref_key} = "
+              f"{ratio:.3f} (floor {min_ratio}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: {metric}[{row_key}] / {metric}[{ref_key}] = "
+                f"{ratio:.3f} < {min_ratio}")
 
 
 def main():

@@ -23,7 +23,12 @@
 //       and docs/OPERATIONS.md), and — negotiated per connection, in
 //       either of those — garble-while-transfer streaming when the
 //       client passes --stream (tune with --chunk-rounds/--queue-chunks,
-//       disable with --no-stream).
+//       disable with --no-stream). `connect` retries failed sessions
+//       from scratch with --retries/--retry-backoff; both sides take
+//       --fault-plan SPEC (or the MAXEL_FAULT_PLAN env var) to inject a
+//       deterministic schedule of link faults for chaos testing, and
+//       `serve` bounds stalled clients with --idle-timeout MS — see
+//       src/net/fault.hpp and docs/TESTING.md.
 //   maxelctl spool --dir DIR [--fill K --bits N --rounds M]
 //       Inspect or pre-fill a disk session spool.
 //   maxelctl stats --metrics FILE
