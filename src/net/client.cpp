@@ -46,12 +46,13 @@ std::uint64_t retry_backoff_ms(const SessionRetryPolicy& policy, int attempt) {
 }
 
 std::string ClientStats::to_json() const {
-  char buf[896];
+  char buf[1152];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"client\",\"rounds\":%u,\"bytes_sent\":%llu,"
       "\"bytes_received\":%llu,\"output_value\":%llu,\"checked\":%s,"
       "\"verified\":%s,\"working_set_bytes\":%zu,\"chunks_received\":%llu,"
+      "\"protocol_used\":%u,\"setup_bytes\":%llu,\"pool_resumed\":%s,"
       "\"attempts\":%u,\"retry_wait_ms\":%llu,"
       "\"handshake_seconds\":%.6f,\"transfer_seconds\":%.6f,"
       "\"ot_seconds\":%.6f,\"eval_seconds\":%.6f,"
@@ -61,37 +62,157 @@ std::string ClientStats::to_json() const {
       static_cast<unsigned long long>(output_value),
       checked ? "true" : "false", verified ? "true" : "false",
       working_set_bytes, static_cast<unsigned long long>(chunks_received),
-      attempts, static_cast<unsigned long long>(retry_wait_ms),
-      handshake_seconds, transfer_seconds, ot_seconds, eval_seconds,
-      first_table_seconds, total_seconds);
+      protocol_used, static_cast<unsigned long long>(setup_bytes),
+      pool_resumed ? "true" : "false", attempts,
+      static_cast<unsigned long long>(retry_wait_ms), handshake_seconds,
+      transfer_seconds, ot_seconds, eval_seconds, first_table_seconds,
+      total_seconds);
   return buf;
 }
 
 namespace {
 
+std::unique_ptr<proto::Channel> make_channel(
+    const ClientConfig& cfg, const std::shared_ptr<FaultInjector>& injector) {
+  if (cfg.channel_factory) return cfg.channel_factory();
+  if (injector && injector->on_connect())
+    throw ConnectError("fault: injected connect refusal");
+  std::unique_ptr<proto::Channel> base =
+      TcpChannel::connect(cfg.host, cfg.port, cfg.tcp);
+  if (injector)
+    return std::make_unique<FaultyChannel>(std::move(base), injector);
+  return base;
+}
+
+// One protocol-v3 session attempt: slim wire format, input labels from
+// the cross-session OT pool in `st`. Throws HandshakeError with
+// kVersionMismatch when the server only speaks v2 (the caller falls
+// back); any other failure follows the usual retry path — the pool
+// state survives, so a retried session resumes instead of redoing the
+// base OT.
+ClientStats run_v3_attempt(const ClientConfig& cfg,
+                           const std::shared_ptr<FaultInjector>& injector,
+                           V3ClientState& st, bool final_attempt) {
+  const auto t_total = Clock::now();
+  const circuit::Circuit circ =
+      circuit::make_mac_circuit(circuit::MacOptions{cfg.bits, cfg.bits, true});
+  const gc::V3Analysis an = gc::analyze_v3(circ);
+  std::unique_ptr<proto::Channel> ch = make_channel(cfg, injector);
+
+  ClientStats stats;
+  stats.protocol_used = kProtocolVersionV3;
+  {
+    const auto t0 = Clock::now();
+    ClientHello hello;
+    hello.scheme = static_cast<std::uint8_t>(cfg.scheme);
+    hello.ot = static_cast<std::uint8_t>(cfg.ot);
+    hello.bit_width = static_cast<std::uint32_t>(cfg.bits);
+    hello.rounds = cfg.rounds_hint;
+    hello.circuit_hash = circuit_fingerprint(circ);
+    HelloExtV3 ext;
+    ext.client_id = st.client_id;
+    if (st.ticket) {
+      ext.has_ticket = true;
+      ext.ticket = *st.ticket;
+    }
+    try {
+      stats.rounds = client_handshake_v3(*ch, hello, ext);
+      st.handshake_close_streak = 0;
+    } catch (const HandshakeError&) {
+      st.handshake_close_streak = 0;  // a typed reject is a verdict too
+      throw;
+    } catch (const PeerClosedError& e) {
+      // A v2-only server rejects after the 56-byte hello and closes with
+      // the v3 extension frame still unread; the resulting TCP reset can
+      // destroy the in-flight version-mismatch reject before we read it.
+      // A single bare close is ambiguous with a transient fault, so the
+      // first one follows the normal retry path (staying on v3); a
+      // second consecutive one reads as a deterministic pre-v3 server
+      // and becomes the version-mismatch fallback. With no retry budget
+      // left to disambiguate, fall back right away — a v2 session beats
+      // an error. A genuinely dead peer still surfaces either way: the
+      // v2 redial re-probes it.
+      if (++st.handshake_close_streak >= 2 || final_attempt)
+        throw HandshakeError(RejectCode::kVersionMismatch,
+                             std::string("connection closed during v3 "
+                                         "handshake twice (pre-v3 "
+                                         "server?): ") +
+                                 e.what());
+      throw;
+    }
+    stats.handshake_seconds = seconds_since(t0);
+  }
+
+  DemoInputStream x_inputs(cfg.demo_seed, kEvaluatorStream, cfg.bits);
+  std::vector<std::vector<bool>> e_bits(stats.rounds);
+  for (auto& row : e_bits) row = x_inputs.next_bits();
+
+  crypto::SystemRandom rng;
+  const auto t0 = Clock::now();
+  const V3EvalOutcome out = eval_v3_session(*ch, circ, an, e_bits, st, rng);
+  stats.eval_seconds = seconds_since(t0);
+  stats.first_table_seconds = seconds_since(t_total);
+
+  stats.setup_bytes = out.setup_bytes;
+  stats.pool_resumed = !out.fresh_pool;
+  stats.output_value = circuit::from_bits(out.decoded);
+  if (cfg.check) {
+    stats.checked = true;
+    stats.verified = stats.output_value == demo_mac_reference(cfg.demo_seed,
+                                                              cfg.bits,
+                                                              stats.rounds);
+  }
+  stats.bytes_sent = ch->bytes_sent();
+  stats.bytes_received = ch->bytes_received();
+  stats.total_seconds = seconds_since(t_total);
+
+  if (cfg.verbose)
+    std::fprintf(stderr,
+                 "[maxel_client] v3 (%s), %u rounds, %llu B in / %llu B out, "
+                 "setup %llu B%s\n",
+                 stats.pool_resumed ? "resumed pool" : "fresh pool",
+                 stats.rounds,
+                 static_cast<unsigned long long>(stats.bytes_received),
+                 static_cast<unsigned long long>(stats.bytes_sent),
+                 static_cast<unsigned long long>(stats.setup_bytes),
+                 stats.checked ? (stats.verified ? ", VERIFIED" : ", MISMATCH")
+                               : "");
+  return stats;
+}
+
 // One complete session attempt: fresh channel, fresh handshake, fresh
 // OT state, fresh evaluator. Throws on any failure; run_client maps
 // non-NetError escapes (parse/eval blowups from corrupted-but-framed
 // bytes) to the typed, retryable CorruptionError.
-ClientStats run_session_attempt(
-    const ClientConfig& cfg, const std::shared_ptr<FaultInjector>& injector) {
+ClientStats run_session_attempt(const ClientConfig& cfg,
+                                const std::shared_ptr<FaultInjector>& injector,
+                                V3ClientState* v3_state, bool final_attempt) {
+  // Prefer v3 when configured (precomputed mode only — v3 subsumes the
+  // per-round flow). A v2-only server rejects the v3 hello with
+  // kVersionMismatch; redial the same attempt with a v2 hello so old
+  // servers keep working unchanged.
+  if (v3_state && cfg.protocol >= kProtocolVersionV3 &&
+      cfg.mode == SessionMode::kPrecomputed) {
+    try {
+      return run_v3_attempt(cfg, injector, *v3_state, final_attempt);
+    } catch (const HandshakeError& e) {
+      if (e.code() != RejectCode::kVersionMismatch) throw;
+      if (cfg.verbose)
+        std::fprintf(stderr,
+                     "[maxel_client] server only speaks protocol v2 (%s); "
+                     "redialing with a v2 hello\n",
+                     e.what());
+    }
+  }
+
   const auto t_total = Clock::now();
   const circuit::Circuit circ =
       circuit::make_mac_circuit(circuit::MacOptions{cfg.bits, cfg.bits, true});
 
-  std::unique_ptr<proto::Channel> ch;
-  if (cfg.channel_factory) {
-    ch = cfg.channel_factory();
-  } else {
-    if (injector && injector->on_connect())
-      throw ConnectError("fault: injected connect refusal");
-    std::unique_ptr<proto::Channel> base =
-        TcpChannel::connect(cfg.host, cfg.port, cfg.tcp);
-    ch = injector ? std::make_unique<FaultyChannel>(std::move(base), injector)
-                  : std::move(base);
-  }
+  std::unique_ptr<proto::Channel> ch = make_channel(cfg, injector);
 
   ClientStats stats;
+  stats.protocol_used = kProtocolVersion;
   {
     const auto t0 = Clock::now();
     ClientHello hello;
@@ -222,6 +343,15 @@ ClientStats run_client(const ClientConfig& cfg) {
   if (!cfg.fault_plan.empty())
     injector = std::make_shared<FaultInjector>(FaultPlan::parse(cfg.fault_plan));
 
+  // The v3 pool state spans every attempt of this call (and every call,
+  // when the caller shares cfg.v3_state): a retry resumes the pool
+  // instead of paying the base OT again.
+  std::shared_ptr<V3ClientState> v3_state = cfg.v3_state;
+  if (!v3_state && cfg.protocol >= kProtocolVersionV3) {
+    crypto::SystemRandom id_rng;
+    v3_state = make_v3_client_state(id_rng);
+  }
+
   const int max_attempts = std::max(1, cfg.retry.max_attempts);
   const auto t_run = Clock::now();
   std::uint64_t waited_ms = 0;
@@ -244,7 +374,8 @@ ClientStats run_client(const ClientConfig& cfg) {
 
   for (int attempt = 1;; ++attempt) {
     try {
-      ClientStats stats = run_session_attempt(cfg, injector);
+      ClientStats stats = run_session_attempt(cfg, injector, v3_state.get(),
+                                              attempt >= max_attempts);
       // A checked mismatch is corruption: the session completed but the
       // bytes lied. While attempts remain, burn this session and retry;
       // on the last attempt keep the historical contract (stats.verified

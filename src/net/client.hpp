@@ -17,6 +17,7 @@
 #include "gc/scheme.hpp"
 #include "net/handshake.hpp"
 #include "net/tcp_channel.hpp"
+#include "net/v3_service.hpp"
 #include "proto/channel.hpp"
 
 namespace maxel::net {
@@ -49,6 +50,15 @@ struct ClientConfig {
   gc::Scheme scheme = gc::Scheme::kHalfGates;
   OtChoice ot = OtChoice::kIknp;
   SessionMode mode = SessionMode::kPrecomputed;  // kStream: chunked delivery
+  // Preferred protocol version. 3 = slim wire + cross-session OT pool
+  // (precomputed mode only); a server that only speaks v2 rejects with
+  // kVersionMismatch and the client transparently redials with a v2
+  // hello. 2 = classic flow.
+  std::uint32_t protocol = kProtocolVersion;
+  // Cross-session client identity + OT pool. Share one instance across
+  // run_client calls to amortize the base OT; when null, a fresh state
+  // is created per call (it still spans that call's retries).
+  std::shared_ptr<V3ClientState> v3_state;
   std::uint32_t rounds_hint = 0;  // requested; the server's reply wins
   std::uint64_t demo_seed = 7;    // must match the server's (demo_inputs.hpp)
   bool check = true;  // verify the decoded MAC against the plaintext reference
@@ -76,6 +86,9 @@ struct ClientStats {
   bool verified = false;
   std::size_t working_set_bytes = 0;  // streaming evaluator peak label memory
   std::uint64_t chunks_received = 0;  // stream mode: wire chunks consumed
+  std::uint32_t protocol_used = kProtocolVersion;  // after any v2 fallback
+  std::uint64_t setup_bytes = 0;  // v3: wire bytes before the first frame
+  bool pool_resumed = false;      // v3: served without a fresh base OT
   double handshake_seconds = 0;
   double transfer_seconds = 0;  // table + label receive
   double ot_seconds = 0;        // OT setup + per-round label OT

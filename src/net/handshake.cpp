@@ -120,16 +120,79 @@ std::uint32_t client_handshake(proto::Channel& ch, const ClientHello& hello) {
 }
 
 ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex) {
+  ServerExpectation v2_only = ex;
+  v2_only.allow_v3 = false;
+  return server_handshake_v23(ch, v2_only).hello;
+}
+
+void send_hello_ext_v3(proto::Channel& ch, const HelloExtV3& ext) {
+  ch.send_block(ext.client_id);
+  const std::uint8_t flag = ext.has_ticket ? 1 : 0;
+  ch.send_bytes(&flag, 1);
+  if (ext.has_ticket) proto::send_ticket(ch, ext.ticket);
+  ch.flush();
+}
+
+HelloExtV3 recv_hello_ext_v3(proto::Channel& ch) {
+  HelloExtV3 ext;
+  ext.client_id = ch.recv_block();
+  std::uint8_t flag = 0;
+  ch.recv_bytes(&flag, 1);
+  if (flag > 1) throw FramingError("bad v3 hello extension ticket flag");
+  ext.has_ticket = flag == 1;
+  if (ext.has_ticket) ext.ticket = proto::recv_ticket(ch);
+  return ext;
+}
+
+std::uint32_t client_handshake_v3(proto::Channel& ch, ClientHello hello,
+                                  const HelloExtV3& ext) {
+  hello.version = kProtocolVersionV3;
+  hello.mode = static_cast<std::uint8_t>(SessionMode::kPrecomputed);
+  send_hello(ch, hello);
+  send_hello_ext_v3(ch, ext);
+  const ServerAccept a = recv_accept(ch);
+  if (a.status != RejectCode::kOk)
+    throw HandshakeError(a.status,
+                         a.message.empty() ? "server rejected" : a.message);
+  return a.rounds;
+}
+
+V23Handshake server_handshake_v23(proto::Channel& ch,
+                                  const ServerExpectation& ex) {
   const ClientHello h = recv_hello(ch);
   const auto reject = [&](RejectCode code, const std::string& msg) {
     send_accept(ch, ServerAccept{code, 0, msg});
     throw HandshakeError(code, msg);
   };
   if (h.magic != kHelloMagic) reject(RejectCode::kBadMagic, "bad magic");
-  if (h.version != kProtocolVersion)
+  const bool v3 = h.version == kProtocolVersionV3 && ex.allow_v3;
+  if (!v3 && h.version != kProtocolVersion) {
+    // A v3 hello is trailed by its extension frame. Even when v3 is
+    // disabled this server knows the layout, so drain the extension
+    // before rejecting: closing with it unread would reset the
+    // connection, and the reset can destroy the in-flight reject before
+    // the client reads it — the client would see a bare peer close
+    // instead of the typed version verdict. (Genuinely pre-v3 servers
+    // cannot do this; the client's close-streak fallback covers those.)
+    if (h.version == kProtocolVersionV3) {
+      try {
+        (void)recv_hello_ext_v3(ch);
+      } catch (const NetError&) {
+        // Malformed or truncated extension: the reject below still goes
+        // out; the stream is torn down right after anyway.
+      }
+    }
     reject(RejectCode::kVersionMismatch,
            "server speaks version " + std::to_string(kProtocolVersion) +
                ", client sent " + std::to_string(h.version));
+  }
+  V23Handshake out;
+  out.hello = h;
+  out.version = v3 ? kProtocolVersionV3 : kProtocolVersion;
+  // The v3 extension rides directly behind the hello, so read it before
+  // any further verdict; a reject after this point still leaves the
+  // stream clean.
+  if (v3) out.ext = recv_hello_ext_v3(ch);
   if (h.scheme != static_cast<std::uint8_t>(ex.scheme))
     reject(RejectCode::kSchemeMismatch,
            std::string("server garbles ") + gc::scheme_name(ex.scheme));
@@ -140,6 +203,8 @@ ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex) {
   if (h.mode == static_cast<std::uint8_t>(SessionMode::kStream) &&
       !ex.allow_stream)
     reject(RejectCode::kBadMode, "server does not serve stream mode");
+  if (v3 && h.mode != static_cast<std::uint8_t>(SessionMode::kPrecomputed))
+    reject(RejectCode::kBadMode, "protocol v3 serves precomputed mode only");
   if (h.bit_width != ex.bit_width)
     reject(RejectCode::kBitWidthMismatch,
            "server serves bit width " + std::to_string(ex.bit_width) +
@@ -148,7 +213,7 @@ ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex) {
     reject(RejectCode::kCircuitMismatch,
            "circuit fingerprint mismatch (incompatible builds?)");
   send_accept(ch, ServerAccept{RejectCode::kOk, ex.rounds_per_session, ""});
-  return h;
+  return out;
 }
 
 }  // namespace maxel::net

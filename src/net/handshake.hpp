@@ -16,12 +16,14 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "circuit/netlist.hpp"
 #include "gc/scheme.hpp"
 #include "net/error.hpp"
 #include "proto/channel.hpp"
+#include "proto/v3_records.hpp"
 
 namespace maxel::net {
 
@@ -30,6 +32,21 @@ inline constexpr std::uint64_t kHelloMagic = 0x54454e4c4558414dull;  // "MAXELNE
 // stream mode added the chunk frames (see chunk_io.hpp) — a new session
 // byte stream, so per the policy below the version bumps.
 inline constexpr std::uint32_t kProtocolVersion = 2;
+// v3: slim wire format (PRG-seeded garbler labels, packed select bits)
+// plus the cross-session correlated-OT pool. A v3 hello is the same
+// 56-byte record with version=3, immediately followed by the v3
+// extension (client identity + optional resumption ticket). Servers
+// that don't speak v3 reject with kVersionMismatch; the client then
+// retries on a fresh connection with a v2 hello — old and new endpoints
+// always interoperate. This server drains the extension frame before
+// rejecting so the verdict survives the close (closing with it unread
+// would reset the connection and could destroy the in-flight reject).
+// A genuinely pre-v3 binary can't drain what it doesn't know, so the
+// client also treats two consecutive bare peer closes during v3
+// handshakes as a version mismatch (src/net/client.cpp — one close is
+// ambiguous with a transient fault and just retries on v3, except on
+// the final attempt, where falling back beats failing).
+inline constexpr std::uint32_t kProtocolVersionV3 = 3;
 
 enum class OtChoice : std::uint8_t { kBase = 0, kIknp = 1 };
 
@@ -86,7 +103,42 @@ struct ServerExpectation {
   std::array<std::uint8_t, 32> circuit_hash{};
   std::uint32_t rounds_per_session = 0;
   bool allow_stream = true;  // accept hellos asking for SessionMode::kStream
+  bool allow_v3 = false;     // accept version-3 hellos (slim wire + OT pool)
 };
 ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex);
+
+// --- Protocol v3 ---------------------------------------------------------
+
+// Trailer a v3 client sends directly after its hello: a persistent
+// client identity (random, generated once per client process/state) and,
+// on reconnect, the resumption ticket the server issued last time. The
+// identity keys the server's OT-pool registry; the ticket proves the
+// client believes it holds pool state and names which pool.
+struct HelloExtV3 {
+  crypto::Block client_id{};
+  bool has_ticket = false;
+  proto::ResumptionTicket ticket{};
+};
+
+void send_hello_ext_v3(proto::Channel& ch, const HelloExtV3& ext);
+HelloExtV3 recv_hello_ext_v3(proto::Channel& ch);
+
+// Client side of a v3 handshake: sends the hello (version forced to 3)
+// plus the extension, reads the verdict. Returns the negotiated rounds
+// or throws HandshakeError — kVersionMismatch means "server only speaks
+// v2"; callers fall back by reconnecting with client_handshake.
+std::uint32_t client_handshake_v3(proto::Channel& ch, ClientHello hello,
+                                  const HelloExtV3& ext);
+
+// Version-negotiating server handshake: accepts v2 hellos exactly like
+// server_handshake, and v3 hellos when ex.allow_v3 (v3 implies the
+// precomputed session mode). `ext` is set iff version == 3.
+struct V23Handshake {
+  ClientHello hello;
+  std::uint32_t version = kProtocolVersion;
+  std::optional<HelloExtV3> ext;
+};
+V23Handshake server_handshake_v23(proto::Channel& ch,
+                                  const ServerExpectation& ex);
 
 }  // namespace maxel::net

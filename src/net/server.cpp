@@ -38,6 +38,9 @@ void ServerStats::merge(const ServerStats& other) {
   bytes_received += other.bytes_received;
   sessions_precomputed += other.sessions_precomputed;
   stream_sessions_served += other.stream_sessions_served;
+  v3_sessions_served += other.v3_sessions_served;
+  v3_fresh_pools += other.v3_fresh_pools;
+  v3_ot_extended += other.v3_ot_extended;
   peak_resident_tables = std::max(peak_resident_tables,
                                   other.peak_resident_tables);
   handshake_seconds += other.handshake_seconds;
@@ -48,7 +51,7 @@ void ServerStats::merge(const ServerStats& other) {
 }
 
 std::string ServerStats::to_json() const {
-  char buf[896];
+  char buf[1152];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"server\",\"sessions_served\":%llu,\"rounds_served\":%llu,"
@@ -56,6 +59,8 @@ std::string ServerStats::to_json() const {
       "\"idle_timeouts\":%llu,"
       "\"bytes_sent\":%llu,\"bytes_received\":%llu,"
       "\"sessions_precomputed\":%llu,\"stream_sessions_served\":%llu,"
+      "\"v3_sessions_served\":%llu,\"v3_fresh_pools\":%llu,"
+      "\"v3_ot_extended\":%llu,"
       "\"peak_resident_tables\":%llu,\"handshake_seconds\":%.6f,"
       "\"transfer_seconds\":%.6f,\"ot_seconds\":%.6f,"
       "\"first_table_seconds\":%.6f,\"total_seconds\":%.6f}",
@@ -68,6 +73,9 @@ std::string ServerStats::to_json() const {
       static_cast<unsigned long long>(bytes_received),
       static_cast<unsigned long long>(sessions_precomputed),
       static_cast<unsigned long long>(stream_sessions_served),
+      static_cast<unsigned long long>(v3_sessions_served),
+      static_cast<unsigned long long>(v3_fresh_pools),
+      static_cast<unsigned long long>(v3_ot_extended),
       static_cast<unsigned long long>(peak_resident_tables),
       handshake_seconds, transfer_seconds, ot_seconds, first_table_seconds,
       total_seconds);
@@ -77,6 +85,8 @@ std::string ServerStats::to_json() const {
 Server::Server(const ServerConfig& cfg)
     : cfg_(cfg),
       circ_(make_service_circuit(cfg.bits)),
+      v3_an_(gc::analyze_v3(circ_)),
+      v3_reg_(crypto::SystemRandom().next_block()),
       listener_(cfg.port, cfg.bind_addr),
       pool_(cfg.precompute_cores, crypto::SystemRandom().next_block()),
       bank_(circ_, cfg.scheme, cfg.rounds_per_session) {
@@ -93,6 +103,7 @@ Server::Server(const ServerConfig& cfg)
   expect_.rounds_per_session =
       static_cast<std::uint32_t>(cfg.rounds_per_session);
   expect_.allow_stream = cfg.allow_stream;
+  expect_.allow_v3 = cfg.allow_v3;
   precompute_thread_ = std::thread([this] { precompute_loop(); });
 }
 
@@ -279,18 +290,41 @@ void serve_streaming_session(proto::Channel& ch, const ClientHello& hello,
   ++stats.stream_sessions_served;
 }
 
+void Server::serve_v3_connection(proto::Channel& ch, const HelloExtV3& ext,
+                                 ServerStats& session_stats) {
+  // v3 sessions are garbled inline at serve time: the slim material is
+  // ~40% of the v2 tables and the demo garbler inputs are known, so the
+  // bank (sized for v2 sessions) is bypassed. The garbling delta must be
+  // the pool correlation secret, which lives in the registry.
+  DemoInputStream a_inputs(cfg_.demo_seed, kGarblerStream, cfg_.bits);
+  std::vector<std::vector<bool>> g_bits(cfg_.rounds_per_session);
+  for (auto& row : g_bits) row = a_inputs.next_bits();
+  const auto t0 = Clock::now();
+  const proto::PrecomputedSessionV3 session = proto::garble_session_v3(
+      circ_, v3_an_, g_bits, v3_reg_.delta(), rng_.next_block(), rng_);
+  const double garble_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  serve_v3_session(ch, v3_reg_, ext, circ_, session, session_stats);
+  session_stats.transfer_seconds += seconds_since(t1);
+  session_stats.first_table_seconds += garble_s;
+}
+
 void Server::handle_connection(proto::Channel& ch) {
   const auto t_hs = Clock::now();
-  // server_handshake sends the typed reject and throws on mismatch; the
-  // caller counts it and moves on to the next client.
-  const ClientHello hello = server_handshake(ch, expect_);
+  // server_handshake_v23 sends the typed reject and throws on mismatch;
+  // the caller counts it and moves on to the next client.
+  const V23Handshake hs = server_handshake_v23(ch, expect_);
+  const ClientHello& hello = hs.hello;
   {
     const std::lock_guard<std::mutex> lock(bank_mu_);
     stats_.handshake_seconds += seconds_since(t_hs);
   }
 
   ServerStats session_stats;
-  if (hello.mode == static_cast<std::uint8_t>(SessionMode::kStream)) {
+  if (hs.version == kProtocolVersionV3) {
+    serve_v3_connection(ch, *hs.ext, session_stats);
+  } else if (hello.mode == static_cast<std::uint8_t>(SessionMode::kStream)) {
     // Stream sessions garble on the fly and never touch the bank.
     StreamOptions stream;
     stream.chunk_rounds = cfg_.stream_chunk_rounds;
@@ -316,7 +350,9 @@ void Server::handle_connection(proto::Channel& ch) {
                  "[maxel_server] session %llu (%s): %zu rounds, %llu B out / "
                  "%llu B in, transfer %.3fs, ot %.3fs\n",
                  static_cast<unsigned long long>(session_no),
-                 hello.mode == static_cast<std::uint8_t>(SessionMode::kStream)
+                 hs.version == kProtocolVersionV3 ? "v3"
+                 : hello.mode ==
+                         static_cast<std::uint8_t>(SessionMode::kStream)
                      ? "stream"
                      : "precomputed",
                  cfg_.rounds_per_session,

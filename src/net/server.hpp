@@ -28,6 +28,7 @@
 #include "net/fault.hpp"
 #include "net/handshake.hpp"
 #include "net/tcp_channel.hpp"
+#include "net/v3_service.hpp"
 #include "proto/precompute.hpp"
 
 namespace maxel::net {
@@ -51,6 +52,7 @@ struct ServerConfig {
   std::size_t stream_chunk_rounds = 16;
   std::size_t stream_queue_chunks = 4;
   bool allow_stream = true;            // reject kStream hellos when false
+  bool allow_v3 = true;                // accept protocol-v3 hellos
   TcpOptions tcp;
   // Per-connection idle deadline: when > 0 it overrides both
   // tcp.recv_timeout_ms and tcp.send_timeout_ms, so a client that goes
@@ -73,6 +75,9 @@ struct ServerStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t sessions_precomputed = 0;
   std::uint64_t stream_sessions_served = 0;  // subset of sessions_served
+  std::uint64_t v3_sessions_served = 0;      // subset of sessions_served
+  std::uint64_t v3_fresh_pools = 0;   // v3 sessions that paid a base OT
+  std::uint64_t v3_ot_extended = 0;   // correlated-OT indices materialized
   // Most tables resident server-side for any single session: the whole
   // session for precomputed mode, the bounded chunk queue for stream
   // mode. Merged with max, not sum — it is a high-water mark.
@@ -147,15 +152,23 @@ class Server {
   // bank lock rather than handing out a reference.
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const circuit::Circuit& circuit() const { return circ_; }
+  // OT-pool claims still outstanding (0 once no session is in flight).
+  [[nodiscard]] std::uint64_t v3_outstanding_claims() const {
+    return v3_reg_.outstanding_claims();
+  }
 
  private:
   void precompute_loop();
   proto::PrecomputedSession take_session();
   void handle_connection(proto::Channel& ch);
+  void serve_v3_connection(proto::Channel& ch, const HelloExtV3& ext,
+                           ServerStats& session_stats);
 
   ServerConfig cfg_;
   std::shared_ptr<FaultInjector> injector_;  // null when fault_plan empty
   circuit::Circuit circ_;
+  gc::V3Analysis v3_an_;
+  V3PoolRegistry v3_reg_;
   ServerExpectation expect_;
   TcpListener listener_;
   crypto::SystemRandom rng_;  // online-phase OT randomness

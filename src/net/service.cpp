@@ -102,6 +102,7 @@ int serve_command(int argc, char** argv) {
     else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
     else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
     else if (flag == "--no-stream") cfg.allow_stream = false;
+    else if (flag == "--no-v3") cfg.allow_v3 = false;
     else if (flag == "--idle-timeout") cfg.idle_timeout_ms = static_cast<int>(p.value_u64());
     else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
     else if (flag == "--scheme") {
@@ -168,6 +169,7 @@ int connect_command(int argc, char** argv) {
     else if (flag == "--no-check") cfg.check = false;
     else if (flag == "--quiet") cfg.verbose = false;
     else if (flag == "--stream") cfg.mode = SessionMode::kStream;
+    else if (flag == "--v3") cfg.protocol = kProtocolVersionV3;
     else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
     else if (flag == "--retries") cfg.retry.max_attempts = static_cast<int>(p.value_u64());
     else if (flag == "--retry-backoff") cfg.retry.backoff_ms = static_cast<int>(p.value_u64());

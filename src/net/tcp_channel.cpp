@@ -185,6 +185,43 @@ void TcpChannel::shutdown_send() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
+void TcpChannel::linger_close(int timeout_ms) {
+  if (fd_ < 0) return;
+  try {
+    flush();
+  } catch (...) {
+    // Best effort: the linger protects data already on the wire.
+  }
+  ::shutdown(fd_, SHUT_WR);
+  // Wait for the peer's EOF before closing. close() on a socket holding
+  // received-but-unread bytes sends RST instead of FIN, and the reset
+  // tears down the peer's receive queue too — including a verdict we
+  // just flushed that the peer has not read yet. The EOF proves the
+  // peer is done sending, so the close degrades to a plain FIN. Bounded
+  // in time and bytes so a stuck or blasting peer cannot pin us.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(std::max(0, timeout_ms));
+  std::uint8_t scratch[4096];
+  std::size_t drained = 0;
+  while (drained < (std::size_t{1} << 16)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) break;
+    try {
+      if (!poll_fd(fd_, POLLIN, static_cast<int>(left))) break;
+    } catch (const NetError&) {
+      break;
+    }
+    const ssize_t r = ::recv(fd_, scratch, sizeof scratch, 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;  // EOF, reset, or error: nothing left to protect
+    drained += static_cast<std::size_t>(r);
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
 void TcpChannel::read_exact(std::uint8_t* data, std::size_t n,
                             bool at_frame_start) {
   std::size_t got = 0;

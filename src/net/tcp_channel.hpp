@@ -75,6 +75,15 @@ class TcpChannel final : public proto::Channel {
   // boundary -> PeerClosedError, not a truncated frame).
   void shutdown_send();
 
+  // Graceful close for a channel that may still have unread peer bytes
+  // queued (e.g. a server rejecting before it parses the hello): plain
+  // close() would then reset the connection, and a reset discards
+  // whatever sits unread in the *peer's* receive buffer — destroying a
+  // verdict this side just flushed. Flushes, half-closes, drains until
+  // the peer's EOF (bounded by timeout_ms and a byte cap), then closes.
+  // Never throws; the fd is closed on return regardless.
+  void linger_close(int timeout_ms);
+
   [[nodiscard]] int fd() const { return fd_; }
 
  protected:

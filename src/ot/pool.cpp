@@ -1,0 +1,236 @@
+#include "ot/pool.hpp"
+
+#include <stdexcept>
+
+#include "ot/base_ot.hpp"
+#include "ot/iknp.hpp"
+
+namespace maxel::ot {
+namespace {
+
+std::size_t bytes_for(std::size_t n) { return (n + 7) / 8; }
+
+// Byte-packed bit column, trailing bits of the last byte zeroed.
+using ByteColumn = std::vector<std::uint8_t>;
+
+ByteColumn prg_bytes(crypto::Prg& prg, std::size_t n) {
+  ByteColumn col(bytes_for(n));
+  prg.fill(col.data(), col.size());
+  if (n % 8 != 0)
+    col.back() &= static_cast<std::uint8_t>((1u << (n % 8)) - 1);
+  return col;
+}
+
+Block row_from_byte_columns(const std::vector<ByteColumn>& cols,
+                            std::size_t j) {
+  Block b = Block::zero();
+  const std::size_t byte = j / 8;
+  const unsigned shift = j % 8;
+  for (std::size_t i = 0; i < kIknpWidth; ++i) {
+    if (((cols[i][byte] >> shift) & 1u) == 0) continue;
+    if (i < 64)
+      b.lo |= (1ull << i);
+    else
+      b.hi |= (1ull << (i - 64));
+  }
+  return b;
+}
+
+}  // namespace
+
+// ---- Sender (server) -----------------------------------------------------
+
+CorrelatedPoolSender::CorrelatedPoolSender(const Block& delta,
+                                           std::uint64_t pool_id)
+    : delta_(delta), pool_id_(pool_id) {
+  if ((delta_.lo & 1u) == 0)
+    throw std::invalid_argument("CorrelatedPoolSender: delta lsb must be 1");
+  s_bits_.resize(kIknpWidth);
+  for (std::size_t i = 0; i < kIknpWidth; ++i) {
+    const std::uint64_t limb = i < 64 ? delta_.lo : delta_.hi;
+    s_bits_[i] = ((limb >> (i % 64)) & 1u) != 0;
+  }
+}
+
+void CorrelatedPoolSender::base_setup_step2(proto::Channel& ch,
+                                            crypto::RandomSource& rng) {
+  base_.emplace(ch, rng);
+  base_->recv_phase1(s_bits_);
+}
+
+void CorrelatedPoolSender::base_setup_step4() {
+  if (!base_)
+    throw std::logic_error("CorrelatedPoolSender: step4 before step2");
+  const std::vector<Block> seeds = base_->recv_phase2();
+  base_.reset();
+  prgs_.clear();
+  prgs_.reserve(kIknpWidth);
+  for (const Block& k : seeds) prgs_.emplace_back(k);
+}
+
+void CorrelatedPoolSender::extend(proto::Channel& ch, std::size_t n) {
+  if (!is_setup())
+    throw std::logic_error("CorrelatedPoolSender: base_setup not run");
+  if (n == 0 || n > kMaxPoolExtend)
+    throw std::runtime_error("CorrelatedPoolSender: bad extend count");
+  std::vector<ByteColumn> q_cols(kIknpWidth);
+  for (std::size_t i = 0; i < kIknpWidth; ++i) {
+    ByteColumn u(bytes_for(n));
+    ch.recv_bytes(u.data(), u.size());
+    q_cols[i] = prg_bytes(prgs_[i], n);
+    if (s_bits_[i])
+      for (std::size_t b = 0; b < u.size(); ++b) q_cols[i][b] ^= u[b];
+    if (n % 8 != 0)
+      q_cols[i].back() &= static_cast<std::uint8_t>((1u << (n % 8)) - 1);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pads_.reserve(pads_.size() + n);
+  for (std::size_t j = 0; j < n; ++j)
+    pads_.push_back(row_from_byte_columns(q_cols, j));
+}
+
+PoolClaim CorrelatedPoolSender::claim(std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_claim_ + count > pads_.size())
+    throw std::runtime_error("CorrelatedPoolSender: pool exhausted");
+  const PoolClaim c{next_claim_, count};
+  next_claim_ += count;
+  claimed_ += count;
+  return c;
+}
+
+void CorrelatedPoolSender::consume(const PoolClaim& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (c.count > claimed_)
+    throw std::logic_error("CorrelatedPoolSender: consume without claim");
+  claimed_ -= c.count;
+  consumed_ += c.count;
+}
+
+void CorrelatedPoolSender::discard(const PoolClaim& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (c.count > claimed_)
+    throw std::logic_error("CorrelatedPoolSender: discard without claim");
+  claimed_ -= c.count;
+  discarded_ += c.count;
+}
+
+Block CorrelatedPoolSender::pad(std::uint64_t idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idx >= pads_.size())
+    throw std::out_of_range("CorrelatedPoolSender: pad index");
+  return pads_[idx];
+}
+
+std::uint64_t CorrelatedPoolSender::extended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pads_.size();
+}
+
+PoolStats CorrelatedPoolSender::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats st;
+  st.extended = pads_.size();
+  st.claimed = claimed_;
+  st.consumed = consumed_;
+  st.discarded = discarded_;
+  return st;
+}
+
+// ---- Receiver (client) ---------------------------------------------------
+
+void CorrelatedPoolReceiver::reset() {
+  base_.reset();
+  seed_pairs_.clear();
+  r_seed_ = Block{};
+  prgs0_.clear();
+  prgs1_.clear();
+  r_prg_.reset();
+  pads_.clear();
+  choices_.clear();
+  watermark_ = 0;
+}
+
+void CorrelatedPoolReceiver::base_setup_step1(proto::Channel& ch,
+                                              crypto::RandomSource& rng) {
+  seed_pairs_.assign(kIknpWidth, {});
+  for (auto& [k0, k1] : seed_pairs_) {
+    k0 = rng.next_block();
+    k1 = rng.next_block();
+  }
+  r_seed_ = rng.next_block();
+  base_.emplace(ch, rng);
+  base_->send_phase1(kIknpWidth);
+}
+
+void CorrelatedPoolReceiver::base_setup_step3() {
+  if (!base_)
+    throw std::logic_error("CorrelatedPoolReceiver: step3 before step1");
+  base_->send_phase2(seed_pairs_);
+  base_.reset();
+  prgs0_.clear();
+  prgs1_.clear();
+  prgs0_.reserve(kIknpWidth);
+  prgs1_.reserve(kIknpWidth);
+  for (const auto& [k0, k1] : seed_pairs_) {
+    prgs0_.emplace_back(k0);
+    prgs1_.emplace_back(k1);
+  }
+  seed_pairs_.clear();
+  r_prg_.emplace(r_seed_);
+  pads_.clear();
+  choices_.clear();
+  watermark_ = 0;
+}
+
+void CorrelatedPoolReceiver::extend(proto::Channel& ch, std::size_t n) {
+  if (!is_setup())
+    throw std::logic_error("CorrelatedPoolReceiver: base_setup not run");
+  if (n == 0 || n > kMaxPoolExtend)
+    throw std::runtime_error("CorrelatedPoolReceiver: bad extend count");
+  // Fresh random choice bits for the new indices, packed into an r column.
+  ByteColumn r(bytes_for(n), 0);
+  std::vector<bool> r_bits(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    r_bits[j] = r_prg_->next_bit();
+    if (r_bits[j]) r[j / 8] |= static_cast<std::uint8_t>(1u << (j % 8));
+  }
+
+  std::vector<ByteColumn> t_cols(kIknpWidth);
+  for (std::size_t i = 0; i < kIknpWidth; ++i) {
+    t_cols[i] = prg_bytes(prgs0_[i], n);
+    ByteColumn u = prg_bytes(prgs1_[i], n);
+    for (std::size_t b = 0; b < u.size(); ++b)
+      u[b] ^= t_cols[i][b] ^ r[b];
+    ch.send_bytes(u.data(), u.size());
+  }
+  pads_.reserve(pads_.size() + n);
+  for (std::size_t j = 0; j < n; ++j)
+    pads_.push_back(row_from_byte_columns(t_cols, j));
+  choices_.insert(choices_.end(), r_bits.begin(), r_bits.end());
+}
+
+const Block& CorrelatedPoolReceiver::pad(std::uint64_t idx) const {
+  if (idx >= pads_.size())
+    throw std::out_of_range("CorrelatedPoolReceiver: pad index");
+  return pads_[idx];
+}
+
+bool CorrelatedPoolReceiver::choice(std::uint64_t idx) const {
+  if (idx >= choices_.size())
+    throw std::out_of_range("CorrelatedPoolReceiver: choice index");
+  return choices_[idx];
+}
+
+void CorrelatedPoolReceiver::mark_consumed(std::uint64_t start,
+                                           std::uint64_t count) {
+  if (start < watermark_)
+    throw std::runtime_error(
+        "CorrelatedPoolReceiver: OT index replay (below watermark)");
+  if (start + count > pads_.size())
+    throw std::runtime_error(
+        "CorrelatedPoolReceiver: claim past materialized pool");
+  watermark_ = start + count;
+}
+
+}  // namespace maxel::ot

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "crypto/rng.hpp"
+#include "net/demo_inputs.hpp"
 
 namespace maxel::svc {
 
@@ -16,17 +17,24 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// How long a rejected connection waits for the client's EOF before
+// closing (see reject_connection). A well-behaved client hangs up
+// within a round trip of reading the verdict, so the cap only binds
+// against stuck peers.
+constexpr int kRejectLingerMs = 500;
+
 }  // namespace
 
 std::string BrokerStats::to_json() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"broker\",\"admission_rejects\":%llu,"
       "\"drain_rejects\":%llu,\"queue_depth\":%zu,"
       "\"spool\":{\"ready\":%zu,\"spooled\":%llu,\"claimed\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,\"purged_on_open\":%llu,"
-      "\"bytes_on_disk\":%llu},\"server\":",
+      "\"bytes_on_disk\":%llu,\"ready_v3\":%zu,\"v3_spooled\":%llu,"
+      "\"v3_claimed\":%llu,\"v3_lineage_discarded\":%llu},\"server\":",
       static_cast<unsigned long long>(admission_rejects),
       static_cast<unsigned long long>(drain_rejects), queue_depth,
       spool.sessions_ready,
@@ -35,7 +43,11 @@ std::string BrokerStats::to_json() const {
       static_cast<unsigned long long>(spool.cache_hits),
       static_cast<unsigned long long>(spool.cache_misses),
       static_cast<unsigned long long>(spool.purged_on_open),
-      static_cast<unsigned long long>(spool.bytes_on_disk));
+      static_cast<unsigned long long>(spool.bytes_on_disk),
+      spool.sessions_ready_v3,
+      static_cast<unsigned long long>(spool.v3_spooled),
+      static_cast<unsigned long long>(spool.v3_claimed),
+      static_cast<unsigned long long>(spool.v3_lineage_discarded));
   return std::string(buf) + server.to_json() + "}";
 }
 
@@ -43,6 +55,8 @@ Broker::Broker(const BrokerConfig& cfg)
     : cfg_(cfg),
       circ_(circuit::make_mac_circuit(
           circuit::MacOptions{cfg.bits, cfg.bits, true})),
+      v3_an_(gc::analyze_v3(circ_)),
+      v3_reg_(crypto::SystemRandom().next_block()),
       listener_(cfg.port, cfg.bind_addr),
       spool_(SpoolConfig{cfg.spool_dir, cfg.ram_cache_sessions, true}),
       pool_(cfg.precompute_cores, crypto::SystemRandom().next_block()),
@@ -60,6 +74,13 @@ Broker::Broker(const BrokerConfig& cfg)
   expect_.rounds_per_session =
       static_cast<std::uint32_t>(cfg_.rounds_per_session);
   expect_.allow_stream = cfg_.allow_stream;
+  expect_.allow_v3 = cfg_.allow_v3;
+  // Demo garbler inputs are deterministic, so the producer can garble
+  // v3 sessions ahead of time with the same rows every worker serves.
+  net::DemoInputStream a_inputs(cfg_.demo_seed, net::kGarblerStream,
+                                cfg_.bits);
+  v3_g_bits_.resize(cfg_.rounds_per_session);
+  for (auto& row : v3_g_bits_) row = a_inputs.next_bits();
   cfg_.workers = worker_stats_.size();
   if (cfg_.spool_high_watermark < cfg_.spool_low_watermark)
     cfg_.spool_high_watermark = cfg_.spool_low_watermark;
@@ -68,9 +89,9 @@ Broker::Broker(const BrokerConfig& cfg)
 Broker::~Broker() { request_stop(); }
 
 void Broker::reject_connection(net::TcpChannel& ch, net::RejectCode code) {
-  // Sent before reading the hello: the client's recv_accept sees the
-  // typed verdict regardless of what it queued. Best effort — a peer
-  // that already hung up only costs us the exception.
+  // Sent before reading the hello: the verdict must not depend on
+  // parsing anything the client queued. Best effort — a peer that
+  // already hung up only costs us the exception.
   try {
     net::send_accept(ch, net::ServerAccept{
                              code, 0,
@@ -79,6 +100,12 @@ void Broker::reject_connection(net::TcpChannel& ch, net::RejectCode code) {
                                  : "broker is draining"});
   } catch (const net::NetError&) {
   }
+  // The client's hello is still unread on this socket; a plain close
+  // would reset the connection and the reset can destroy the verdict we
+  // just sent before the client reads it. Linger until the client's EOF
+  // (it hangs up as soon as it has the verdict), bounded so a stuck
+  // peer cannot stall admission or drain.
+  ch.linger_close(kRejectLingerMs);
 }
 
 proto::PrecomputedSession Broker::take_session_blocking() {
@@ -97,25 +124,65 @@ proto::PrecomputedSession Broker::take_session_blocking() {
   }
 }
 
+proto::PrecomputedSessionV3 Broker::take_v3_blocking() {
+  for (;;) {
+    if (auto s = spool_.take_v3(v3_reg_.lineage())) {
+      metrics_.gauge("spool_ready_v3").set(
+          static_cast<std::int64_t>(spool_.ready_v3()));
+      spool_cv_.notify_all();  // the producer may want to refill now
+      return std::move(*s);
+    }
+    if (producer_stop_.load(std::memory_order_relaxed))
+      throw net::NetError("broker stopping: spool drained");
+    metrics_.counter("spool_empty_waits").inc();
+    std::unique_lock<std::mutex> lock(spool_mu_);
+    spool_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
 void Broker::producer_loop() {
   while (!producer_stop_.load(std::memory_order_relaxed)) {
     const std::size_t ready = spool_.ready();
-    if (ready >= cfg_.spool_low_watermark) {
+    // When the v3 lane is disabled, report it as full so only the v2
+    // watermark drives refills.
+    const std::size_t ready_v3 =
+        cfg_.allow_v3 ? spool_.ready_v3() : cfg_.spool_high_watermark;
+    if (ready >= cfg_.spool_low_watermark &&
+        ready_v3 >= cfg_.spool_low_watermark) {
       std::unique_lock<std::mutex> lock(spool_mu_);
       spool_cv_.wait_for(lock, std::chrono::milliseconds(50));
       continue;
     }
-    const std::size_t batch = cfg_.spool_high_watermark - ready;
-    std::vector<proto::PrecomputedSession> fresh(batch);
-    pool_.parallel_for(batch, [&](std::size_t item, std::size_t core) {
-      fresh[item] = proto::garble_session(circ_, cfg_.scheme,
-                                          cfg_.rounds_per_session,
-                                          pool_.core_rng(core));
-    });
-    for (auto& s : fresh) spool_.put(std::move(s));
-    precomputed_.fetch_add(batch, std::memory_order_relaxed);
-    metrics_.gauge("spool_ready").set(
-        static_cast<std::int64_t>(spool_.ready()));
+    if (ready < cfg_.spool_low_watermark) {
+      const std::size_t batch = cfg_.spool_high_watermark - ready;
+      std::vector<proto::PrecomputedSession> fresh(batch);
+      pool_.parallel_for(batch, [&](std::size_t item, std::size_t core) {
+        fresh[item] = proto::garble_session(circ_, cfg_.scheme,
+                                            cfg_.rounds_per_session,
+                                            pool_.core_rng(core));
+      });
+      for (auto& s : fresh) spool_.put(std::move(s));
+      precomputed_.fetch_add(batch, std::memory_order_relaxed);
+      metrics_.gauge("spool_ready").set(
+          static_cast<std::int64_t>(spool_.ready()));
+    }
+    if (ready_v3 < cfg_.spool_low_watermark) {
+      // v3 sessions are bound to the registry's garbling delta; the
+      // lineage recorded by put_v3 lets a future broker on this spool
+      // dir burn them instead of serving under the wrong correlation.
+      const std::size_t batch = cfg_.spool_high_watermark - ready_v3;
+      std::vector<proto::PrecomputedSessionV3> fresh(batch);
+      pool_.parallel_for(batch, [&](std::size_t item, std::size_t core) {
+        auto& rng = pool_.core_rng(core);
+        fresh[item] = proto::garble_session_v3(circ_, v3_an_, v3_g_bits_,
+                                               v3_reg_.delta(),
+                                               rng.next_block(), rng);
+      });
+      for (auto& s : fresh) spool_.put_v3(s);
+      precomputed_.fetch_add(batch, std::memory_order_relaxed);
+      metrics_.gauge("spool_ready_v3").set(
+          static_cast<std::int64_t>(spool_.ready_v3()));
+    }
     spool_cv_.notify_all();
   }
 }
@@ -124,14 +191,24 @@ void Broker::serve_connection(proto::Channel& ch, std::size_t worker) {
   net::ServerStats local;
   const auto t_hs = Clock::now();
   try {
-    const net::ClientHello hello = net::server_handshake(ch, expect_);
+    const net::V23Handshake hs = net::server_handshake_v23(ch, expect_);
+    const net::ClientHello& hello = hs.hello;
     local.handshake_seconds = seconds_since(t_hs);
     metrics_.histogram("handshake_seconds").observe(local.handshake_seconds);
 
+    const bool v3 = hs.version == net::kProtocolVersionV3;
     const bool stream =
+        !v3 &&
         hello.mode == static_cast<std::uint8_t>(net::SessionMode::kStream);
     const auto t_sess = Clock::now();
-    if (stream) {
+    if (v3) {
+      // Slim-wire session from the spool's v3 lane; the registry holds
+      // this client's OT pool across connections (and across concurrent
+      // sessions — pool I/O is serialized per client inside).
+      net::serve_v3_session(ch, v3_reg_, *hs.ext, circ_, take_v3_blocking(),
+                            local);
+      metrics_.counter("v3_sessions_served").inc();
+    } else if (stream) {
       // Garble-while-transfer: the worker garbles on the fly, so the
       // spool (and its disk round trip) is bypassed entirely.
       net::StreamOptions sopt;
@@ -160,6 +237,12 @@ void Broker::serve_connection(proto::Channel& ch, std::size_t worker) {
     metrics_.histogram("session_seconds").observe(seconds_since(t_sess));
     metrics_.counter("sessions_served").inc();
     metrics_.counter("rounds_served").inc(local.rounds_served);
+    // Per-direction wire accounting, split by session mode so a fleet
+    // can read the v2->v3 bandwidth win straight off `maxelctl stats`.
+    const char* mode = v3 ? "v3" : (stream ? "stream" : "precomputed");
+    metrics_.counter(std::string("net_tx_bytes_") + mode).inc(ch.bytes_sent());
+    metrics_.counter(std::string("net_rx_bytes_") + mode)
+        .inc(ch.bytes_received());
 
     const std::uint64_t total =
         sessions_served_total_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -167,8 +250,8 @@ void Broker::serve_connection(proto::Channel& ch, std::size_t worker) {
       std::fprintf(stderr,
                    "[broker] worker %zu served session %llu (%s): %zu rounds, "
                    "%llu B out, transfer %.3fs, ot %.3fs\n",
-                   worker, static_cast<unsigned long long>(total),
-                   stream ? "stream" : "precomputed", cfg_.rounds_per_session,
+                   worker, static_cast<unsigned long long>(total), mode,
+                   cfg_.rounds_per_session,
                    static_cast<unsigned long long>(ch.bytes_sent()),
                    local.transfer_seconds, local.ot_seconds);
     if (cfg_.max_sessions != 0 && total >= cfg_.max_sessions) request_stop();

@@ -36,10 +36,12 @@
 #include "circuit/circuits.hpp"
 #include "core/gc_core_pool.hpp"
 #include "crypto/rng.hpp"
+#include "gc/v3.hpp"
 #include "net/fault.hpp"
 #include "net/handshake.hpp"
 #include "net/server.hpp"
 #include "net/tcp_channel.hpp"
+#include "net/v3_service.hpp"
 #include "svc/metrics.hpp"
 #include "svc/session_spool.hpp"
 
@@ -70,6 +72,7 @@ struct BrokerConfig {
   std::size_t stream_chunk_rounds = 16;
   std::size_t stream_queue_chunks = 4;
   bool allow_stream = true;
+  bool allow_v3 = true;  // accept protocol-v3 hellos (slim wire + OT pool)
   net::TcpOptions tcp;
   // Per-connection idle deadline: when > 0 it overrides both
   // tcp.recv_timeout_ms and tcp.send_timeout_ms, bounding how long a
@@ -112,18 +115,26 @@ class Broker {
   [[nodiscard]] BrokerStats stats() const;
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const circuit::Circuit& circuit() const { return circ_; }
+  // OT-pool claims still outstanding (0 once no session is in flight).
+  [[nodiscard]] std::uint64_t v3_outstanding_claims() const {
+    return v3_reg_.outstanding_claims();
+  }
 
  private:
   void worker_loop(std::size_t worker);
   void producer_loop();
   void serve_connection(proto::Channel& ch, std::size_t worker);
   proto::PrecomputedSession take_session_blocking();
+  proto::PrecomputedSessionV3 take_v3_blocking();
   // Sends a load-state reject without reading the hello, then closes.
   void reject_connection(net::TcpChannel& ch, net::RejectCode code);
 
   BrokerConfig cfg_;
   std::shared_ptr<net::FaultInjector> injector_;  // null when plan empty
   circuit::Circuit circ_;
+  gc::V3Analysis v3_an_;
+  net::V3PoolRegistry v3_reg_;  // per-client OT pools, one broker delta
+  std::vector<std::vector<bool>> v3_g_bits_;  // demo garbler inputs/round
   net::ServerExpectation expect_;
   net::TcpListener listener_;
   SessionSpool spool_;

@@ -125,6 +125,7 @@ int broker_command(int argc, char** argv) {
     else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
     else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
     else if (flag == "--no-stream") cfg.allow_stream = false;
+    else if (flag == "--no-v3") cfg.allow_v3 = false;
     else if (flag == "--idle-timeout") cfg.idle_timeout_ms = static_cast<int>(p.value_u64());
     else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
     else if (flag == "--scheme") {

@@ -25,8 +25,9 @@ std::string sha_hex(const std::uint8_t* data, std::size_t n) {
   return crypto::Sha256::hex(crypto::Sha256::hash(data, n));
 }
 
-// sess-<12-digit seq>.mxs; the zero-padded sequence keeps lexicographic
-// order equal to creation order, so "oldest first" is a plain sort.
+// sess-<12-digit seq>.mxs (v2) / v3ss-<12-digit seq>.mx3 (v3 lane); the
+// zero-padded sequence keeps lexicographic order equal to creation
+// order within a lane, so "oldest first" is a plain sort.
 std::string session_file_name(std::uint64_t seq) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "sess-%012llu.mxs",
@@ -34,11 +35,28 @@ std::string session_file_name(std::uint64_t seq) {
   return buf;
 }
 
-// Parses the sequence number back out of a file name; npos on mismatch.
+std::string session_v3_file_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "v3ss-%012llu.mx3",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool is_v3_name(const std::string& name) {
+  return name.rfind("v3ss-", 0) == 0;
+}
+
+// Parses the sequence number back out of a file name (either lane);
+// ~0 on mismatch.
 std::uint64_t parse_seq(const std::string& name) {
-  if (name.size() != 21 || name.rfind("sess-", 0) != 0 ||
-      name.substr(17) != ".mxs")
+  if (name.size() != 21) return ~0ull;
+  if (name.rfind("sess-", 0) == 0) {
+    if (name.substr(17) != ".mxs") return ~0ull;
+  } else if (is_v3_name(name)) {
+    if (name.substr(17) != ".mx3") return ~0ull;
+  } else {
     return ~0ull;
+  }
   std::uint64_t seq = 0;
   for (std::size_t i = 5; i < 17; ++i) {
     const char c = name[i];
@@ -112,6 +130,13 @@ void SessionSpool::open_or_rebuild() {
             index_ok = false;
             break;
           }
+          e.v3 = is_v3_name(e.name);
+          // v3 lines carry a fourth column: the pool lineage the
+          // session was garbled under.
+          if (e.v3 && !(f >> e.lineage)) {
+            index_ok = false;
+            break;
+          }
           index_.push_back(std::move(e));
         }
         if (!index_ok) index_.clear();
@@ -138,16 +163,39 @@ void SessionSpool::open_or_rebuild() {
       std::ostringstream bytes;
       bytes << f.rdbuf();
       const std::string b = bytes.str();
-      reconciled.push_back(Entry{
-          name, b.size(),
-          sha_hex(reinterpret_cast<const std::uint8_t*>(b.data()), b.size())});
+      Entry e{name, b.size(),
+              sha_hex(reinterpret_cast<const std::uint8_t*>(b.data()),
+                      b.size())};
+      if (is_v3_name(name)) {
+        // The lineage column was lost with the index; recover it from
+        // the file itself, or destroy a file that no longer parses.
+        try {
+          e.lineage = proto::parse_session_v3(
+                          reinterpret_cast<const std::uint8_t*>(b.data()),
+                          b.size())
+                          .pool_lineage;
+          e.v3 = true;
+        } catch (const std::exception&) {
+          std::error_code ec;
+          fs::remove(root / "ready" / name, ec);
+          continue;
+        }
+      }
+      reconciled.push_back(std::move(e));
     }
     next_seq_ = std::max(next_seq_, parse_seq(name) + 1);
   }
   index_ = std::move(reconciled);
-  stats_.sessions_ready = index_.size();
+  stats_.sessions_ready = 0;
+  stats_.sessions_ready_v3 = 0;
   stats_.bytes_on_disk = 0;
-  for (const auto& e : index_) stats_.bytes_on_disk += e.bytes;
+  for (const auto& e : index_) {
+    stats_.bytes_on_disk += e.bytes;
+    if (e.v3)
+      ++stats_.sessions_ready_v3;
+    else
+      ++stats_.sessions_ready;
+  }
   write_index_locked();
 }
 
@@ -155,8 +203,11 @@ void SessionSpool::write_index_locked() {
   const fs::path root(cfg_.dir);
   std::ostringstream body;
   body << kIndexMagic << "\n";
-  for (const auto& e : index_)
-    body << e.name << " " << e.bytes << " " << e.sha256_hex << "\n";
+  for (const auto& e : index_) {
+    body << e.name << " " << e.bytes << " " << e.sha256_hex;
+    if (e.v3) body << " " << e.lineage;
+    body << "\n";
+  }
   const std::string content = body.str();
   const fs::path tmp = root / "tmp" / "spool.idx.tmp";
   {
@@ -206,13 +257,16 @@ bool SessionSpool::claim_locked(const Entry& e) {
 std::optional<proto::PrecomputedSession> SessionSpool::take() {
   const std::lock_guard<std::mutex> lock(mu_);
   const fs::path root(cfg_.dir);
-  while (!index_.empty()) {
-    Entry e = index_.front();
-    index_.pop_front();
+  for (;;) {
+    const auto it = std::find_if(index_.begin(), index_.end(),
+                                 [](const Entry& e) { return !e.v3; });
+    if (it == index_.end()) return std::nullopt;
+    Entry e = *it;
+    index_.erase(it);
     if (!claim_locked(e)) {
       // Somebody else (another process sharing the directory) won the
       // rename, or the file vanished; either way it is not ours.
-      stats_.sessions_ready = index_.size();
+      --stats_.sessions_ready;
       continue;
     }
     --stats_.sessions_ready;
@@ -253,9 +307,77 @@ std::optional<proto::PrecomputedSession> SessionSpool::take() {
   return std::nullopt;
 }
 
+void SessionSpool::put_v3(const proto::PrecomputedSessionV3& s) {
+  const std::vector<std::uint8_t> bytes = proto::serialize_session_v3(s);
+  const std::string digest = sha_hex(bytes.data(), bytes.size());
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = session_v3_file_name(next_seq_++);
+  const fs::path root(cfg_.dir);
+  const fs::path tmp = root / "tmp" / name;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) throw std::runtime_error("SessionSpool: cannot write " + name);
+  }
+  fs::rename(tmp, root / "ready" / name);
+  index_.push_back(Entry{name, bytes.size(), digest, true, s.pool_lineage});
+  ++stats_.v3_spooled;
+  ++stats_.sessions_ready_v3;
+  stats_.bytes_on_disk += bytes.size();
+  write_index_locked();
+}
+
+std::optional<proto::PrecomputedSessionV3> SessionSpool::take_v3(
+    std::uint64_t expected_lineage) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const fs::path root(cfg_.dir);
+  for (;;) {
+    const auto it = std::find_if(index_.begin(), index_.end(),
+                                 [](const Entry& e) { return e.v3; });
+    if (it == index_.end()) return std::nullopt;
+    Entry e = *it;
+    index_.erase(it);
+    --stats_.sessions_ready_v3;
+    if (!claim_locked(e)) continue;
+    stats_.bytes_on_disk -= std::min(stats_.bytes_on_disk, e.bytes);
+    write_index_locked();
+
+    std::error_code ec;
+    if (e.lineage != expected_lineage) {
+      // Garbled under a pool delta this process does not hold (e.g. a
+      // previous broker's registry). Unservable — burn it and move on.
+      ++stats_.v3_lineage_discarded;
+      fs::remove(root / "claimed" / e.name, ec);
+      continue;
+    }
+
+    std::ifstream is(root / "claimed" / e.name, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string bytes = buf.str();
+    if (cfg_.verify_checksums &&
+        sha_hex(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                bytes.size()) != e.sha256_hex)
+      throw std::runtime_error("SessionSpool: checksum mismatch on " + e.name +
+                               " (bit rot or tampering)");
+    proto::PrecomputedSessionV3 s = proto::parse_session_v3(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++stats_.v3_claimed;
+    fs::remove(root / "claimed" / e.name, ec);
+    return s;
+  }
+}
+
 std::size_t SessionSpool::ready() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return index_.size();
+  return stats_.sessions_ready;
+}
+
+std::size_t SessionSpool::ready_v3() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_.sessions_ready_v3;
 }
 
 SpoolStats SessionSpool::stats() const {

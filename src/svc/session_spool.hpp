@@ -8,6 +8,8 @@
 // On-disk layout under the spool directory (see docs/PROTOCOL.md):
 //
 //   ready/sess-<seq>.mxs    session_io-format files, available to serve
+//   ready/v3ss-<seq>.mx3    protocol-v3 lane (v3_session codec); the
+//                           index records each file's OT-pool lineage
 //   claimed/sess-<seq>.mxs  claimed by a worker; purged on open()
 //   tmp/                    staging for atomic writes
 //   spool.idx               checksummed index of ready/ (text, see below)
@@ -42,6 +44,7 @@
 #include <string>
 
 #include "proto/precompute.hpp"
+#include "proto/v3_session.hpp"
 
 namespace maxel::svc {
 
@@ -52,13 +55,21 @@ struct SpoolConfig {
 };
 
 struct SpoolStats {
-  std::size_t sessions_ready = 0;    // files in ready/ right now
+  std::size_t sessions_ready = 0;    // v2 files in ready/ right now
   std::uint64_t sessions_spooled = 0;   // put() total since open
   std::uint64_t sessions_claimed = 0;   // take() total since open
   std::uint64_t cache_hits = 0;         // take() served from RAM
   std::uint64_t cache_misses = 0;       // take() read back from disk
   std::uint64_t purged_on_open = 0;     // claimed/ leftovers destroyed
   std::uint64_t bytes_on_disk = 0;      // sum of ready/ file sizes
+  // Protocol-v3 lane (slim-wire sessions bound to an OT-pool delta).
+  std::size_t sessions_ready_v3 = 0;
+  std::uint64_t v3_spooled = 0;
+  std::uint64_t v3_claimed = 0;
+  // v3 sessions burned because their recorded pool lineage did not
+  // match the caller's registry — e.g. sessions spooled by a previous
+  // broker process whose garbling delta died with it. Never served.
+  std::uint64_t v3_lineage_discarded = 0;
 };
 
 class SessionSpool {
@@ -79,7 +90,18 @@ class SessionSpool {
   // the session is returned and unlinked once the load succeeded.
   std::optional<proto::PrecomputedSession> take();
 
+  // Protocol-v3 lane. v3 sessions are only servable from the OT pool
+  // whose garbling delta they were garbled under, so the index records
+  // each file's pool lineage (proto::delta_lineage) and take_v3 burns —
+  // claims and destroys, never serves — any session whose lineage does
+  // not match the caller's registry. The same single-use claim
+  // discipline as the v2 lane applies.
+  void put_v3(const proto::PrecomputedSessionV3& s);
+  std::optional<proto::PrecomputedSessionV3> take_v3(
+      std::uint64_t expected_lineage);
+
   [[nodiscard]] std::size_t ready() const;
+  [[nodiscard]] std::size_t ready_v3() const;
   [[nodiscard]] SpoolStats stats() const;
   [[nodiscard]] const std::string& dir() const { return cfg_.dir; }
 
@@ -88,6 +110,8 @@ class SessionSpool {
     std::string name;       // file name within ready/
     std::uint64_t bytes = 0;
     std::string sha256_hex;
+    bool v3 = false;            // lane: v3 files carry a lineage column
+    std::uint64_t lineage = 0;  // pool lineage (v3 only)
   };
 
   void open_or_rebuild();

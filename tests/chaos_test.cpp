@@ -31,12 +31,15 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/rng.hpp"
 #include "net/client.hpp"
 #include "net/demo_inputs.hpp"
 #include "net/error.hpp"
 #include "net/fault.hpp"
 #include "net/server.hpp"
 #include "net/tcp_channel.hpp"
+#include "net/v3_service.hpp"
+#include "ot/pool.hpp"
 #include "proto/channel.hpp"
 #include "svc/broker.hpp"
 
@@ -502,6 +505,123 @@ TEST(ChaosRecovery, RetryNeverReusesGarbledMaterial) {
       << "retry attempt received byte-identical garbled material";
 }
 
+// The same contract extended to the v3 OT pool: a retried session must
+// consume *fresh* pool indices — never the ones the dead attempt
+// claimed — and must do so by resuming the pool, not by redoing the
+// base OT. The dead attempt's claim is burned (discarded), and the wire
+// bytes of the two attempts differ over their overlap.
+TEST(ChaosRecovery, RetryResumesOtPoolAndNeverReusesIndices) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  crypto::SystemRandom id_rng(crypto::Block{91, 3});
+  auto state = net::make_v3_client_state(id_rng);
+
+  // Session 1: clean. Pays the base OT and the one extension batch, so
+  // the faulted session below resumes with a ~10-op setup and the fault
+  // lands squarely in the round material.
+  net::ClientConfig clean = chaos_client_config(server.port(), "");
+  clean.protocol = net::kProtocolVersionV3;
+  clean.v3_state = state;
+  const ChaosOutcome warm = run_chaos_client(clean);
+  ASSERT_TRUE(warm.verified) << warm.error;
+
+  // Session 2: recv op 25 dies mid-rounds, after the resumed setup
+  // claimed and announced an index range.
+  auto injector = std::make_shared<net::FaultInjector>(
+      net::FaultPlan::parse("close@recv:25"));
+  std::deque<std::vector<std::uint8_t>> captures;  // one stream per attempt
+
+  net::ClientConfig cfg = chaos_client_config(server.port(), "");
+  cfg.protocol = net::kProtocolVersionV3;
+  cfg.v3_state = state;
+  cfg.retry.max_attempts = 2;
+  const std::uint16_t port = server.port();
+  cfg.channel_factory = [&]() -> std::unique_ptr<proto::Channel> {
+    auto tcp = net::TcpChannel::connect("127.0.0.1", port, cfg.tcp);
+    auto faulty =
+        std::make_unique<net::FaultyChannel>(std::move(tcp), injector);
+    captures.emplace_back();
+    faulty->set_recv_capture(&captures.back());
+    return faulty;
+  };
+
+  const ChaosOutcome out = run_chaos_client(cfg);
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(out.verified) << out.error;
+  EXPECT_EQ(out.attempts, 2u);
+  ASSERT_EQ(captures.size(), 2u);
+
+  const net::ServerStats ss = server.stats();
+  EXPECT_EQ(ss.v3_sessions_served, 2u);
+  // Every attempt after session 1 resumed its pool: exactly one base OT
+  // and one extension batch ever ran, dead attempt included.
+  EXPECT_EQ(ss.v3_fresh_pools, 1u);
+  EXPECT_EQ(ss.v3_ot_extended,
+            static_cast<std::uint64_t>(ot::kPoolExtendBatch));
+  EXPECT_EQ(state->pool.extended(),
+            static_cast<std::uint64_t>(ot::kPoolExtendBatch));
+  // The dead attempt's claim was discarded, not left outstanding, and
+  // the client's watermark is past two disjoint per-session ranges.
+  EXPECT_EQ(server.v3_outstanding_claims(), 0u);
+  EXPECT_GE(state->pool.watermark(), 2u * kRounds * kBits);
+  EXPECT_GE(ss.connection_errors, 1u);
+
+  // Byte-level no-reuse: over the prefix both attempts received, the
+  // streams must differ — the retry was served fresh garbled material
+  // bound to a fresh OT index range.
+  const std::vector<std::uint8_t>& first = captures[0];
+  const std::vector<std::uint8_t>& second = captures[1];
+  const std::size_t overlap = std::min(first.size(), second.size());
+  ASSERT_GT(overlap, 64u);
+  EXPECT_NE(0, std::memcmp(first.data(), second.data(), overlap))
+      << "retried v3 session received byte-identical material";
+}
+
+// A connection killed during the resumption setup itself (before any
+// round material moves): the pool must roll forward — the next attempt
+// resumes it, any half-made claim is discarded cleanly, and no second
+// base OT or extension is paid.
+TEST(ChaosRecovery, KilledResumptionRollsThePoolForward) {
+  net::Server server(chaos_server_config());
+  std::thread serve([&] { server.serve(); });
+
+  crypto::SystemRandom id_rng(crypto::Block{17, 29});
+  auto state = net::make_v3_client_state(id_rng);
+
+  // Session 1: clean; pays the base OT and one extension batch.
+  net::ClientConfig clean = chaos_client_config(server.port(), "");
+  clean.protocol = net::kProtocolVersionV3;
+  clean.v3_state = state;
+  const ChaosOutcome s1 = run_chaos_client(clean);
+
+  // Session 2: the link dies on an early recv — inside the resumption
+  // handshake/setup exchange, before the rounds.
+  net::ClientConfig faulty = chaos_client_config(server.port(), "close@recv:3");
+  faulty.protocol = net::kProtocolVersionV3;
+  faulty.v3_state = state;
+  const ChaosOutcome s2 = run_chaos_client(faulty);
+
+  server.request_stop();
+  serve.join();
+
+  EXPECT_TRUE(s1.verified) << s1.error;
+  EXPECT_EQ(s1.attempts, 1u);
+  EXPECT_TRUE(s2.verified) << s2.error;
+  EXPECT_EQ(s2.attempts, 2u);
+
+  const net::ServerStats ss = server.stats();
+  EXPECT_EQ(ss.v3_sessions_served, 2u);
+  EXPECT_EQ(ss.v3_fresh_pools, 1u);  // only session 1 paid a base OT
+  EXPECT_EQ(state->pool.extended(),
+            static_cast<std::uint64_t>(ot::kPoolExtendBatch));
+  EXPECT_EQ(server.v3_outstanding_claims(), 0u);  // nothing stuck claimed
+  // Two sessions consumed; the dead attempt may have burned a range.
+  EXPECT_GE(state->pool.watermark(), 2u * kRounds * kBits);
+}
+
 TEST(ChaosRecovery, NonRetryableHandshakeRejectFailsFastDespiteRetries) {
   net::Server server(chaos_server_config());
   std::thread serve([&] { server.serve(); });
@@ -619,6 +739,40 @@ TEST(ChaosMatrix, StreamServerSurvivesEveryPlan) {
     }
     server.request_stop();
     serve.join();
+  }
+  EXPECT_GE(recovered, 5);
+}
+
+// Fourth serving path: protocol v3 with the cross-session OT pool. On
+// top of the usual chaos contract, every scenario must leave the pool
+// registry with zero outstanding claims — a death anywhere in the
+// resumption setup or the rounds either rolls the pool forward or
+// discards the claim, never wedges it.
+TEST(ChaosMatrix, V3ServerSurvivesEveryPlanWithNoStuckClaims) {
+  const std::uint64_t expected = net::demo_mac_reference(7, kBits, kRounds);
+  int recovered = 0;
+  for (const char* plan : kMatrixPlans) {
+    SCOPED_TRACE(std::string("plan=") + plan + " mode=v3");
+    net::Server server(chaos_server_config());
+    std::thread serve([&] { server.serve(); });
+
+    net::ClientConfig ccfg = chaos_client_config(server.port(), plan);
+    ccfg.protocol = net::kProtocolVersionV3;
+    const ChaosOutcome out = run_chaos_client(ccfg);
+    check_outcome(out, expected);
+    if (out.verified && out.attempts >= 2) ++recovered;
+
+    if (out.threw) {
+      net::ClientConfig clean_cfg = chaos_client_config(server.port(), "");
+      clean_cfg.protocol = net::kProtocolVersionV3;
+      const ChaosOutcome clean = run_chaos_client(clean_cfg);
+      EXPECT_TRUE(clean.verified) << clean.error;
+    }
+    server.request_stop();
+    serve.join();
+    // Checked only after the serve loop is fully down: consume runs
+    // after the last flush, so polling mid-serve would race it.
+    EXPECT_EQ(server.v3_outstanding_claims(), 0u);
   }
   EXPECT_GE(recovered, 5);
 }

@@ -1,0 +1,176 @@
+// Cross-session correlated-OT pool (ot/pool.hpp): correlation algebra,
+// derandomized label transfer, claim accounting (never-reuse), and the
+// client-side replay watermark.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/prg.hpp"
+#include "crypto/rng.hpp"
+#include "ot/pool.hpp"
+#include "proto/channel.hpp"
+
+namespace maxel::ot {
+namespace {
+
+using crypto::Block;
+using crypto::SystemRandom;
+using proto::MemoryChannel;
+
+struct PoolPair {
+  std::unique_ptr<MemoryChannel> s_ch, r_ch;
+  SystemRandom s_rng;
+  SystemRandom r_rng;
+  Block delta;
+  std::unique_ptr<CorrelatedPoolSender> sender;
+  CorrelatedPoolReceiver receiver;
+
+  explicit PoolPair(std::uint64_t seed = 7)
+      : s_rng(Block{1, seed}), r_rng(Block{3, seed}) {
+    auto [a, b] = MemoryChannel::create_pair();
+    s_ch = std::move(a);
+    r_ch = std::move(b);
+    SystemRandom d_rng(Block{seed, 0xD317A});
+    delta = d_rng.next_block();
+    delta.lo |= 1;
+    sender = std::make_unique<CorrelatedPoolSender>(delta, /*pool_id=*/seed);
+    pool_base_setup(*sender, receiver, *s_ch, *r_ch, s_rng, r_rng);
+  }
+
+  void extend(std::size_t n) {
+    receiver.extend(*r_ch, n);
+    sender->extend(*s_ch, n);
+  }
+};
+
+TEST(OtPool, CorrelationHoldsForEveryIndex) {
+  PoolPair p;
+  p.extend(300);  // deliberately not a multiple of 8
+  ASSERT_EQ(p.sender->extended(), 300u);
+  ASSERT_EQ(p.receiver.extended(), 300u);
+  for (std::uint64_t j = 0; j < 300; ++j) {
+    const Block q = p.sender->pad(j);
+    const Block t = p.receiver.pad(j);
+    if (p.receiver.choice(j))
+      EXPECT_EQ((t ^ q).hex(), p.delta.hex()) << "index " << j;
+    else
+      EXPECT_EQ(t.hex(), q.hex()) << "index " << j;
+  }
+}
+
+TEST(OtPool, DerandomizedTransferYieldsActiveLabel) {
+  // The session-layer use: server wants the client to end up with
+  // L0 ^ c*delta for the client's true choice c.
+  PoolPair p;
+  p.extend(64);
+  crypto::Prg data(Block{0xC0, 0x1C});
+  for (std::uint64_t j = 0; j < 64; ++j) {
+    const bool c = data.next_bit();
+    const Block l0 = data.next_block();
+    const bool d = c != p.receiver.choice(j);  // client reveals d = c ^ r
+    Block z = p.sender->pad(j) ^ l0;
+    if (d) z ^= p.sender->delta();
+    const Block got = p.receiver.pad(j) ^ z;
+    const Block want = c ? l0 ^ p.delta : l0;
+    EXPECT_EQ(got.hex(), want.hex()) << "index " << j;
+  }
+}
+
+TEST(OtPool, MultipleExtensionsStayConsistent) {
+  PoolPair p;
+  p.extend(128);
+  p.extend(17);
+  p.extend(8192);
+  ASSERT_EQ(p.sender->extended(), 128u + 17 + 8192);
+  for (const std::uint64_t j : {0ull, 127ull, 128ull, 144ull, 8336ull}) {
+    const Block want = p.receiver.choice(j) ? p.sender->pad(j) ^ p.delta
+                                            : p.sender->pad(j);
+    EXPECT_EQ(p.receiver.pad(j).hex(), want.hex()) << "index " << j;
+  }
+}
+
+TEST(OtPool, ClaimsAreMonotoneAndNeverOverlap) {
+  PoolPair p;
+  p.extend(256);
+  std::set<std::uint64_t> handed_out;
+  const PoolClaim a = p.sender->claim(100);
+  const PoolClaim b = p.sender->claim(50);
+  for (const auto& c : {a, b})
+    for (std::uint64_t j = c.start; j < c.start + c.count; ++j)
+      EXPECT_TRUE(handed_out.insert(j).second) << "index reused: " << j;
+  const PoolStats st = p.sender->stats();
+  EXPECT_EQ(st.claimed, 150u);
+  EXPECT_EQ(st.available(), 106u);
+  p.sender->consume(a);
+  p.sender->discard(b);
+  const PoolStats st2 = p.sender->stats();
+  EXPECT_EQ(st2.claimed, 0u);
+  EXPECT_EQ(st2.consumed, 100u);
+  EXPECT_EQ(st2.discarded, 50u);
+  // A discarded range is burned: the next claim starts above it.
+  const PoolClaim c = p.sender->claim(10);
+  EXPECT_GE(c.start, b.start + b.count);
+}
+
+TEST(OtPool, ExhaustionAndBadCountsAreTyped) {
+  PoolPair p;
+  p.extend(32);
+  EXPECT_THROW((void)p.sender->claim(33), std::runtime_error);
+  EXPECT_THROW(p.receiver.extend(*p.r_ch, 0), std::runtime_error);
+  EXPECT_THROW(p.receiver.extend(*p.r_ch, kMaxPoolExtend + 1),
+               std::runtime_error);
+  EXPECT_THROW(p.sender->extend(*p.s_ch, 0), std::runtime_error);
+  CorrelatedPoolSender cold(Block{1, 0}, 0);
+  EXPECT_THROW(cold.extend(*p.s_ch, 8), std::logic_error);
+  CorrelatedPoolReceiver cold_r;
+  EXPECT_THROW(cold_r.extend(*p.r_ch, 8), std::logic_error);
+  EXPECT_THROW(CorrelatedPoolSender(Block{2, 0}, 0), std::invalid_argument);
+}
+
+TEST(OtPool, WatermarkRejectsReplayAndOverrun) {
+  PoolPair p;
+  p.extend(128);
+  p.receiver.mark_consumed(0, 40);
+  EXPECT_EQ(p.receiver.watermark(), 40u);
+  // Replay of any index below the watermark aborts.
+  EXPECT_THROW(p.receiver.mark_consumed(39, 1), std::runtime_error);
+  EXPECT_THROW(p.receiver.mark_consumed(0, 128), std::runtime_error);
+  // Gaps are fine (server burned a claim on a failed session).
+  p.receiver.mark_consumed(64, 32);
+  EXPECT_EQ(p.receiver.watermark(), 96u);
+  // Past the materialized end.
+  EXPECT_THROW(p.receiver.mark_consumed(120, 9), std::runtime_error);
+}
+
+TEST(OtPool, DiscardedClaimNeverResurfaces) {
+  // The retry story: a session claims, dies, the pool discards; the next
+  // session's claim must sit strictly above — byte-for-byte fresh pads.
+  PoolPair p;
+  p.extend(512);
+  const PoolClaim dead = p.sender->claim(128);
+  std::vector<Block> dead_pads;
+  for (std::uint64_t j = dead.start; j < dead.start + dead.count; ++j)
+    dead_pads.push_back(p.sender->pad(j));
+  p.sender->discard(dead);
+  const PoolClaim retry = p.sender->claim(128);
+  EXPECT_EQ(retry.start, dead.start + dead.count);
+  for (std::uint64_t j = retry.start; j < retry.start + retry.count; ++j)
+    for (const Block& old : dead_pads)
+      EXPECT_FALSE(p.sender->pad(j) == old);
+}
+
+TEST(OtPool, PadsLookIndependentAcrossPools) {
+  // Two pools with the same delta still derive unrelated pads (base OT
+  // randomness), and within a pool pads never repeat.
+  PoolPair a(11), b(12);
+  a.extend(64);
+  b.extend(64);
+  std::set<std::string> seen;
+  for (std::uint64_t j = 0; j < 64; ++j) {
+    EXPECT_TRUE(seen.insert(a.sender->pad(j).hex()).second);
+    EXPECT_TRUE(seen.insert(b.sender->pad(j).hex()).second);
+  }
+}
+
+}  // namespace
+}  // namespace maxel::ot

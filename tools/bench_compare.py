@@ -39,12 +39,20 @@ CHECKS = {
     "net_loopback": {
         "key": "transport",
         "lower_bound": ["mac_per_sec"],
-        "upper_bound": ["bytes_per_mac"],
+        "upper_bound": ["bytes_per_mac", "setup_bytes"],
         # (metric, row, reference_row, min_ratio): measured-run invariant.
         # The no-op FaultyChannel wrapper must stay within 5% of the raw
         # TCP transport -- the fault-injection seam is free in production.
         "ratio": [
             ("mac_per_sec", "tcp-faulty-nop", "tcp-loopback", 0.95),
+        ],
+        # (metric, row, reference_row, max_ratio): the slim v3 wire must
+        # stay well under the v2 protocol's per-MAC bytes, and a
+        # resumed session's setup must stay a sliver of a fresh one's
+        # (base OT + extension amortized across the client's lifetime).
+        "ratio_max": [
+            ("bytes_per_mac", "tcp-loopback-v3", "tcp-loopback", 0.65),
+            ("setup_bytes", "v3-resume-100", "v3-resume-1", 0.10),
         ],
     },
     "core_scaling": {
@@ -156,6 +164,23 @@ def check_bench(name, spec, baseline_rows, measured_rows, args, failures):
             failures.append(
                 f"{name}: {metric}[{row_key}] / {metric}[{ref_key}] = "
                 f"{ratio:.3f} < {min_ratio}")
+
+    for metric, row_key, ref_key, max_ratio in spec.get("ratio_max", []):
+        row = measured.get(row_key)
+        ref = measured.get(ref_key)
+        if row is None or ref is None:
+            failures.append(
+                f"{name}: ratio_max check needs rows "
+                f"{key}={row_key} and {key}={ref_key}")
+            continue
+        ratio = row[metric] / ref[metric] if ref[metric] else float("inf")
+        ok = ratio <= max_ratio
+        print(f"  {name} ratio {metric}: {row_key}/{ref_key} = "
+              f"{ratio:.3f} (ceiling {max_ratio}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: {metric}[{row_key}] / {metric}[{ref_key}] = "
+                f"{ratio:.3f} > {max_ratio}")
 
 
 def main():
