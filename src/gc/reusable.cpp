@@ -1,0 +1,204 @@
+#include "gc/reusable.hpp"
+
+#include <stdexcept>
+
+namespace maxel::gc {
+
+namespace {
+
+// Draws single random bits out of 128-bit blocks without burning one
+// block per flip bit.
+class BitDrawer {
+ public:
+  explicit BitDrawer(crypto::RandomSource& rng) : rng_(rng) {}
+
+  bool next() {
+    if (left_ == 0) {
+      buf_ = rng_.next_block();
+      left_ = 128;
+    }
+    const int idx = 128 - left_;
+    --left_;
+    const std::uint64_t limb = idx < 64 ? buf_.lo : buf_.hi;
+    return ((limb >> (idx & 63)) & 1u) != 0;
+  }
+
+ private:
+  crypto::RandomSource& rng_;
+  crypto::Block buf_{};
+  int left_ = 0;
+};
+
+}  // namespace
+
+ReusableAnalysis analyze_reusable(const circuit::Circuit& c) {
+  ReusableAnalysis an;
+  an.cls.reserve(c.gates.size());
+  an.pub.assign(c.num_wires, false);
+  an.pub_val.assign(c.num_wires, false);
+  an.pub[circuit::kConstZero] = true;
+  an.pub[circuit::kConstOne] = true;
+  an.pub_val[circuit::kConstOne] = true;
+  // Inputs and DFF q wires are never public; only the constant cone is.
+  // (A DFF whose d wire is public still has a round-dependent q value —
+  // init at round 0, the d value after — so q stays non-public.)
+  for (const auto& g : c.gates) {
+    if (an.pub[g.a] && an.pub[g.b]) {
+      an.pub[g.out] = true;
+      an.pub_val[g.out] =
+          circuit::eval_gate(g.type, an.pub_val[g.a], an.pub_val[g.b]);
+      an.cls.push_back(ReusableGateClass::kPublic);
+      ++an.n_public;
+    } else if (circuit::is_free(g.type)) {
+      an.cls.push_back(ReusableGateClass::kFreeXor);
+      ++an.n_free;
+    } else {
+      an.cls.push_back(ReusableGateClass::kObfuscated);
+      ++an.n_tables;
+    }
+  }
+  return an;
+}
+
+ReusableCircuit make_reusable_circuit(const circuit::Circuit& c,
+                                      crypto::RandomSource& rng) {
+  const ReusableAnalysis an = analyze_reusable(c);
+  BitDrawer bits(rng);
+
+  // Per-wire flip bits. Every non-public wire that is not a gate output
+  // (inputs, DFF q wires, dangling wires) draws a random flip; gate
+  // outputs are then assigned in netlist order so free gates satisfy
+  // r_out = r_a ^ r_b.
+  std::vector<bool> flip(c.num_wires, false);
+  std::vector<bool> produced(c.num_wires, false);
+  for (const auto& g : c.gates) produced[g.out] = true;
+  for (circuit::Wire w = 2; w < c.num_wires; ++w)
+    if (!an.pub[w] && !produced[w]) flip[w] = bits.next();
+
+  ReusableCircuit rc;
+  rc.view.n_gates = c.gates.size();
+  rc.view.n_garbler_inputs = c.garbler_inputs.size();
+  rc.view.n_evaluator_inputs = c.evaluator_inputs.size();
+  rc.view.tables.assign(an.table_bytes(), 0);
+
+  std::size_t ti = 0;
+  for (std::size_t gi = 0; gi < c.gates.size(); ++gi) {
+    const auto& g = c.gates[gi];
+    switch (an.cls[gi]) {
+      case ReusableGateClass::kPublic:
+        flip[g.out] = false;  // masked value == public value
+        break;
+      case ReusableGateClass::kFreeXor:
+        flip[g.out] = flip[g.a] != flip[g.b];
+        break;
+      case ReusableGateClass::kObfuscated: {
+        flip[g.out] = bits.next();
+        std::uint8_t t = 0;
+        for (int oa = 0; oa < 2; ++oa)
+          for (int ob = 0; ob < 2; ++ob) {
+            const bool va = (oa != 0) != flip[g.a];
+            const bool vb = (ob != 0) != flip[g.b];
+            const bool out = circuit::eval_gate(g.type, va, vb) != flip[g.out];
+            if (out) t |= static_cast<std::uint8_t>(1u << ((oa << 1) | ob));
+          }
+        rc.view.tables[ti >> 1] |=
+            static_cast<std::uint8_t>(t << ((ti & 1) * 4));
+        ++ti;
+        break;
+      }
+    }
+  }
+
+  rc.view.dff_init_masked.reserve(c.dffs.size());
+  rc.view.dff_corrections.reserve(c.dffs.size());
+  for (const auto& d : c.dffs) {
+    rc.view.dff_init_masked.push_back(d.init != flip[d.q]);
+    rc.view.dff_corrections.push_back(flip[d.d] != flip[d.q]);
+  }
+  rc.view.output_flips.reserve(c.outputs.size());
+  for (const circuit::Wire w : c.outputs) rc.view.output_flips.push_back(flip[w]);
+  rc.garbler_flips.reserve(c.garbler_inputs.size());
+  for (const circuit::Wire w : c.garbler_inputs)
+    rc.garbler_flips.push_back(flip[w]);
+  rc.evaluator_flips.reserve(c.evaluator_inputs.size());
+  for (const circuit::Wire w : c.evaluator_inputs)
+    rc.evaluator_flips.push_back(flip[w]);
+  return rc;
+}
+
+ReusableEvaluator::ReusableEvaluator(const circuit::Circuit& c,
+                                     const ReusableView& view)
+    : circ_(c), an_(analyze_reusable(c)), view_(view) {
+  if (view_.n_gates != c.gates.size())
+    throw std::invalid_argument("reusable view: gate count mismatch");
+  if (view_.n_garbler_inputs != c.garbler_inputs.size() ||
+      view_.n_evaluator_inputs != c.evaluator_inputs.size())
+    throw std::invalid_argument("reusable view: input count mismatch");
+  if (view_.tables.size() != an_.table_bytes())
+    throw std::invalid_argument("reusable view: table stream size mismatch");
+  if (view_.dff_init_masked.size() != c.dffs.size() ||
+      view_.dff_corrections.size() != c.dffs.size())
+    throw std::invalid_argument("reusable view: DFF vector size mismatch");
+  if (view_.output_flips.size() != c.outputs.size())
+    throw std::invalid_argument("reusable view: output flip count mismatch");
+  // Public wires hold the same value every round; bake them once.
+  masked_.assign(c.num_wires, 0);
+  for (circuit::Wire w = 0; w < c.num_wires; ++w)
+    if (an_.pub[w]) masked_[w] = an_.pub_val[w] ? 1 : 0;
+  reset();
+}
+
+void ReusableEvaluator::reset() {
+  state_.resize(circ_.dffs.size());
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
+    state_[i] = view_.dff_init_masked[i] ? 1 : 0;
+  round_ = 0;
+}
+
+std::vector<bool> ReusableEvaluator::eval_round(
+    const std::vector<bool>& masked_garbler_bits,
+    const std::vector<bool>& masked_evaluator_bits) {
+  if (masked_garbler_bits.size() != circ_.garbler_inputs.size() ||
+      masked_evaluator_bits.size() != circ_.evaluator_inputs.size())
+    throw std::invalid_argument("reusable eval: round input count mismatch");
+  for (std::size_t i = 0; i < circ_.garbler_inputs.size(); ++i)
+    masked_[circ_.garbler_inputs[i]] = masked_garbler_bits[i] ? 1 : 0;
+  for (std::size_t i = 0; i < circ_.evaluator_inputs.size(); ++i)
+    masked_[circ_.evaluator_inputs[i]] = masked_evaluator_bits[i] ? 1 : 0;
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
+    masked_[circ_.dffs[i].q] = state_[i];
+
+  std::size_t ti = 0;
+  for (std::size_t gi = 0; gi < circ_.gates.size(); ++gi) {
+    const auto& g = circ_.gates[gi];
+    switch (an_.cls[gi]) {
+      case ReusableGateClass::kPublic:
+        break;  // baked in the constructor
+      case ReusableGateClass::kFreeXor: {
+        std::uint8_t o = masked_[g.a] ^ masked_[g.b];
+        if (g.type == circuit::GateType::kXnor) o ^= 1u;
+        masked_[g.out] = o;
+        break;
+      }
+      case ReusableGateClass::kObfuscated: {
+        const std::uint8_t nib =
+            (view_.tables[ti >> 1] >> ((ti & 1) * 4)) & 0x0fu;
+        const unsigned idx = (masked_[g.a] << 1) | masked_[g.b];
+        masked_[g.out] = (nib >> idx) & 1u;
+        ++ti;
+        break;
+      }
+    }
+  }
+
+  std::vector<bool> out(circ_.outputs.size());
+  for (std::size_t i = 0; i < circ_.outputs.size(); ++i)
+    out[i] = (masked_[circ_.outputs[i]] != 0) != view_.output_flips[i];
+  for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
+    state_[i] = masked_[circ_.dffs[i].d] ^
+                static_cast<std::uint8_t>(view_.dff_corrections[i] ? 1 : 0);
+  ++round_;
+  return out;
+}
+
+}  // namespace maxel::gc

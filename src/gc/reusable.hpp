@@ -1,0 +1,134 @@
+// CRGC-style reusable garbled circuits: garble once, evaluate millions
+// of sessions ("A Practical Framework for Constructing Reusable Garbled
+// Circuits", PAPERS.md).
+//
+// The single-use modes (precomputed / stream / v3) re-garble the MAC
+// netlist for every session: per-round ciphertext rows and fresh wire
+// labels are the price of hiding both parties' inputs behind AES. The
+// reusable construction drops the label machinery entirely. Every wire
+// w gets a secret *flip bit* r_w chosen once at construction; a party
+// evaluating the circuit only ever sees masked values o_w = v_w ^ r_w.
+// Non-free gates are rewritten into 4-entry plaintext truth tables over
+// masked operands,
+//
+//     T_g[o_a][o_b] = g(o_a ^ r_a, o_b ^ r_b) ^ r_out,
+//
+// XOR/XNOR stay free (r_out := r_a ^ r_b makes o_out = o_a ^ o_b (^1)),
+// and DFF state crosses rounds via a per-DFF correction r_d ^ r_q. The
+// resulting artifact — 4 bits per obfuscated gate plus a few bit
+// vectors — is circuit-shaped, input-independent, and valid for any
+// number of evaluations: a session costs masked-input transfer only,
+// with zero AES on the evaluation path.
+//
+// Classification (analyze_reusable) mirrors gc::analyze_v3 in spirit
+// but is value-independent and three-way:
+//   kPublic     both operands in the constant cone: the wire value is
+//               derivable from the netlist alone, flip 0, no table.
+//   kFreeXor    XOR/XNOR with a non-public operand: masked XOR, no
+//               table.
+//   kObfuscated everything else: one 4-entry masked table.
+//
+// SECURITY MODEL — read docs/SECURITY_MODELS.md before opting in. This
+// is *not* label-based garbling: the masked truth table of an AND-form
+// gate has a 3-vs-1 value split whose odd entry sits at (¬r_a, ¬r_b),
+// so an evaluator that knows the netlist (our handshake pins it by
+// fingerprint) can recover the flip bits of every table-adjacent wire
+// and unmask the garbler's per-session inputs. Reusable mode therefore
+// only fits public-model / private-query workloads: the evaluator's
+// inputs never leave its process (evaluation is local and the OT-pool
+// derandomization messages are input-independent), but the garbler-side
+// operands must be treated as public to the client.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel::gc {
+
+enum class ReusableGateClass : std::uint8_t {
+  kPublic,      // both operands constant-cone: no table, value baked
+  kFreeXor,     // XOR/XNOR: masked values XOR directly
+  kObfuscated,  // 4-entry masked truth table
+};
+
+// Deterministic, value-independent classification both parties compute
+// from the shared netlist; the table stream carries no per-gate headers.
+struct ReusableAnalysis {
+  std::vector<ReusableGateClass> cls;  // per gate, netlist order
+  std::vector<bool> pub;               // per wire: in the constant cone
+  std::vector<bool> pub_val;           // value of public wires
+  std::size_t n_tables = 0;            // obfuscated gate count
+  std::size_t n_public = 0;
+  std::size_t n_free = 0;
+
+  // Packed nibble stream size: two gate tables per byte.
+  [[nodiscard]] std::size_t table_bytes() const { return (n_tables + 1) / 2; }
+};
+
+ReusableAnalysis analyze_reusable(const circuit::Circuit& c);
+
+// The evaluator-visible artifact: everything a client needs to run
+// unlimited masked evaluations. Shipped once per client (keyed by its
+// SHA-256 in the session handshake), cached broker-side in the spool.
+struct ReusableView {
+  std::uint32_t bit_width = 0;                 // operand width it serves
+  std::array<std::uint8_t, 32> fingerprint{};  // net::circuit_fingerprint
+  std::uint64_t n_gates = 0;                   // netlist gate count (check)
+  std::uint64_t n_garbler_inputs = 0;
+  std::uint64_t n_evaluator_inputs = 0;
+  // Obfuscated-gate truth tables in netlist order, one nibble per gate
+  // packed low-nibble-first; bit (o_a << 1) | o_b of a nibble is the
+  // masked output for masked operands (o_a, o_b).
+  std::vector<std::uint8_t> tables;
+  std::vector<bool> dff_init_masked;  // per DFF: init ^ r_q
+  std::vector<bool> dff_corrections;  // per DFF: r_d ^ r_q
+  std::vector<bool> output_flips;     // per output wire: r_w (decode)
+};
+
+// Full artifact: the view plus the garbler-side secrets that never ship
+// to the evaluator — input flip bits the server uses to mask its own
+// per-session inputs and to answer the evaluator-input bit-OT.
+struct ReusableCircuit {
+  ReusableView view;
+  std::vector<bool> garbler_flips;    // per garbler-input wire
+  std::vector<bool> evaluator_flips;  // per evaluator-input wire
+};
+
+// Garbles `c` once. bit_width / fingerprint fields of the view are left
+// for the caller (they are transport-layer identity, not gate algebra).
+ReusableCircuit make_reusable_circuit(const circuit::Circuit& c,
+                                      crypto::RandomSource& rng);
+
+// Plaintext masked evaluation of a reusable artifact. Construction
+// validates the view against the netlist shape and throws
+// std::invalid_argument on any mismatch (wrong gate count, short table
+// stream, input/DFF/output count drift).
+class ReusableEvaluator {
+ public:
+  ReusableEvaluator(const circuit::Circuit& c, const ReusableView& view);
+
+  // Evaluates one sequential round on masked input bits (o = v ^ r for
+  // the matching input wire) and returns the *decoded* plaintext output
+  // bits of this round. DFF state carries across calls.
+  std::vector<bool> eval_round(const std::vector<bool>& masked_garbler_bits,
+                               const std::vector<bool>& masked_evaluator_bits);
+
+  // Rewinds DFF state to the masked power-on values for a new session.
+  void reset();
+
+  [[nodiscard]] std::uint64_t rounds_evaluated() const { return round_; }
+
+ private:
+  const circuit::Circuit& circ_;
+  ReusableAnalysis an_;
+  ReusableView view_;
+  std::vector<std::uint8_t> masked_;  // per-wire masked value buffer
+  std::vector<std::uint8_t> state_;   // per-DFF masked q value
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace maxel::gc

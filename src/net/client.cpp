@@ -13,6 +13,7 @@
 #include "gc/streaming_evaluator.hpp"
 #include "net/demo_inputs.hpp"
 #include "net/fault.hpp"
+#include "net/reusable_service.hpp"
 #include "ot/base_ot.hpp"
 #include "ot/iknp.hpp"
 #include "proto/chunk_io.hpp"
@@ -180,6 +181,80 @@ ClientStats run_v3_attempt(const ClientConfig& cfg,
   return stats;
 }
 
+// One reusable-mode session attempt: v3 hello with mode kReusable, the
+// artifact view cached across attempts/sessions in `st`, inputs through
+// the shared OT pool, all rounds evaluated locally off the plaintext
+// masked tables. There is no v2 equivalent to fall back to: a
+// kVersionMismatch (or any other reject) surfaces to the caller.
+ClientStats run_reusable_attempt(const ClientConfig& cfg,
+                                 const std::shared_ptr<FaultInjector>& injector,
+                                 V3ClientState& st) {
+  const auto t_total = Clock::now();
+  const circuit::Circuit circ =
+      circuit::make_mac_circuit(circuit::MacOptions{cfg.bits, cfg.bits, true});
+  std::unique_ptr<proto::Channel> ch = make_channel(cfg, injector);
+
+  ClientStats stats;
+  stats.protocol_used = kProtocolVersionV3;
+  {
+    const auto t0 = Clock::now();
+    ClientHello hello;
+    hello.scheme = static_cast<std::uint8_t>(cfg.scheme);
+    hello.ot = static_cast<std::uint8_t>(cfg.ot);
+    hello.mode = static_cast<std::uint8_t>(SessionMode::kReusable);
+    hello.bit_width = static_cast<std::uint32_t>(cfg.bits);
+    hello.rounds = cfg.rounds_hint;
+    hello.circuit_hash = circuit_fingerprint(circ);
+    HelloExtV3 ext;
+    ext.client_id = st.client_id;
+    if (st.ticket) {
+      ext.has_ticket = true;
+      ext.ticket = *st.ticket;
+    }
+    stats.rounds = client_handshake_v3(*ch, hello, ext);
+    stats.handshake_seconds = seconds_since(t0);
+  }
+
+  DemoInputStream x_inputs(cfg.demo_seed, kEvaluatorStream, cfg.bits);
+  std::vector<std::vector<bool>> e_bits(stats.rounds);
+  for (auto& row : e_bits) row = x_inputs.next_bits();
+
+  crypto::SystemRandom rng;
+  const auto t0 = Clock::now();
+  const ReusableEvalOutcome out =
+      eval_reusable_session(*ch, circ, e_bits, st, rng);
+  stats.eval_seconds = seconds_since(t0);
+  stats.first_table_seconds = seconds_since(t_total);
+
+  stats.setup_bytes = out.setup_bytes;
+  stats.pool_resumed = !out.fresh_pool;
+  stats.output_value = circuit::from_bits(out.decoded);
+  if (cfg.check) {
+    stats.checked = true;
+    stats.verified = stats.output_value == demo_mac_reference(cfg.demo_seed,
+                                                              cfg.bits,
+                                                              stats.rounds);
+  }
+  stats.bytes_sent = ch->bytes_sent();
+  stats.bytes_received = ch->bytes_received();
+  stats.total_seconds = seconds_since(t_total);
+
+  if (cfg.verbose)
+    std::fprintf(stderr,
+                 "[maxel_client] reusable (%s, %s), %u rounds, "
+                 "%llu B in / %llu B out, setup %llu B%s\n",
+                 stats.pool_resumed ? "resumed pool" : "fresh pool",
+                 out.artifact_received ? "artifact received"
+                                       : "artifact cached",
+                 stats.rounds,
+                 static_cast<unsigned long long>(stats.bytes_received),
+                 static_cast<unsigned long long>(stats.bytes_sent),
+                 static_cast<unsigned long long>(stats.setup_bytes),
+                 stats.checked ? (stats.verified ? ", VERIFIED" : ", MISMATCH")
+                               : "");
+  return stats;
+}
+
 // One complete session attempt: fresh channel, fresh handshake, fresh
 // OT state, fresh evaluator. Throws on any failure; run_client maps
 // non-NetError escapes (parse/eval blowups from corrupted-but-framed
@@ -187,6 +262,11 @@ ClientStats run_v3_attempt(const ClientConfig& cfg,
 ClientStats run_session_attempt(const ClientConfig& cfg,
                                 const std::shared_ptr<FaultInjector>& injector,
                                 V3ClientState* v3_state, bool final_attempt) {
+  if (cfg.mode == SessionMode::kReusable) {
+    if (!v3_state)
+      throw std::logic_error("reusable mode requires v3 client state");
+    return run_reusable_attempt(cfg, injector, *v3_state);
+  }
   // Prefer v3 when configured (precomputed mode only — v3 subsumes the
   // per-round flow). A v2-only server rejects the v3 hello with
   // kVersionMismatch; redial the same attempt with a v2 hello so old
@@ -347,7 +427,8 @@ ClientStats run_client(const ClientConfig& cfg) {
   // when the caller shares cfg.v3_state): a retry resumes the pool
   // instead of paying the base OT again.
   std::shared_ptr<V3ClientState> v3_state = cfg.v3_state;
-  if (!v3_state && cfg.protocol >= kProtocolVersionV3) {
+  if (!v3_state && (cfg.protocol >= kProtocolVersionV3 ||
+                    cfg.mode == SessionMode::kReusable)) {
     crypto::SystemRandom id_rng;
     v3_state = make_v3_client_state(id_rng);
   }

@@ -49,7 +49,10 @@ struct ClientConfig {
   std::size_t bits = 16;
   gc::Scheme scheme = gc::Scheme::kHalfGates;
   OtChoice ot = OtChoice::kIknp;
-  SessionMode mode = SessionMode::kPrecomputed;  // kStream: chunked delivery
+  // kStream: chunked delivery. kReusable: garble-once artifact over a
+  // v3 hello (no v2 fallback; weaker garbler privacy — see
+  // docs/SECURITY_MODELS.md).
+  SessionMode mode = SessionMode::kPrecomputed;
   // Preferred protocol version. 3 = slim wire + cross-session OT pool
   // (precomputed mode only); a server that only speaks v2 rejects with
   // kVersionMismatch and the client transparently redials with a v2

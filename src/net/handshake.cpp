@@ -147,7 +147,10 @@ HelloExtV3 recv_hello_ext_v3(proto::Channel& ch) {
 std::uint32_t client_handshake_v3(proto::Channel& ch, ClientHello hello,
                                   const HelloExtV3& ext) {
   hello.version = kProtocolVersionV3;
-  hello.mode = static_cast<std::uint8_t>(SessionMode::kPrecomputed);
+  // v3 never serves stream delivery; anything but the reusable flow is
+  // the precomputed slim-wire session.
+  if (hello.mode != static_cast<std::uint8_t>(SessionMode::kReusable))
+    hello.mode = static_cast<std::uint8_t>(SessionMode::kPrecomputed);
   send_hello(ch, hello);
   send_hello_ext_v3(ch, ext);
   const ServerAccept a = recv_accept(ch);
@@ -198,13 +201,22 @@ V23Handshake server_handshake_v23(proto::Channel& ch,
            std::string("server garbles ") + gc::scheme_name(ex.scheme));
   if (h.ot > static_cast<std::uint8_t>(OtChoice::kIknp))
     reject(RejectCode::kBadOtMode, "unknown OT mode");
-  if (h.mode > static_cast<std::uint8_t>(SessionMode::kStream))
+  if (h.mode > static_cast<std::uint8_t>(SessionMode::kReusable))
     reject(RejectCode::kBadMode, "unknown session mode");
   if (h.mode == static_cast<std::uint8_t>(SessionMode::kStream) &&
       !ex.allow_stream)
     reject(RejectCode::kBadMode, "server does not serve stream mode");
-  if (v3 && h.mode != static_cast<std::uint8_t>(SessionMode::kPrecomputed))
-    reject(RejectCode::kBadMode, "protocol v3 serves precomputed mode only");
+  if (h.mode == static_cast<std::uint8_t>(SessionMode::kReusable)) {
+    // The reusable flow needs the v3 hello extension (client identity +
+    // OT-pool ticket); a v2 hello asking for it is a typed mismatch,
+    // never a silent downgrade.
+    if (!v3)
+      reject(RejectCode::kBadMode, "reusable mode requires protocol v3");
+    if (!ex.allow_reusable)
+      reject(RejectCode::kBadMode, "server does not serve reusable mode");
+  }
+  if (v3 && h.mode == static_cast<std::uint8_t>(SessionMode::kStream))
+    reject(RejectCode::kBadMode, "protocol v3 does not serve stream mode");
   if (h.bit_width != ex.bit_width)
     reject(RejectCode::kBitWidthMismatch,
            "server serves bit width " + std::to_string(ex.bit_width) +

@@ -56,7 +56,15 @@ enum class OtChoice : std::uint8_t { kBase = 0, kIknp = 1 };
 // ships fixed-size chunks of rounds (proto::chunk_io frames), with OT
 // still run per round. The decoded outputs are bit-identical across
 // modes for the same inputs — only delivery and server memory differ.
-enum class SessionMode : std::uint8_t { kPrecomputed = 0, kStream = 1 };
+// kReusable serves evaluations off a circuit garbled once (the
+// CRGC-style artifact of gc/reusable.hpp); it rides a version-3 hello
+// (the extension's identity/ticket drive the same OT pool) and has a
+// weaker garbler-privacy model — see docs/SECURITY_MODELS.md.
+enum class SessionMode : std::uint8_t {
+  kPrecomputed = 0,
+  kStream = 1,
+  kReusable = 2,
+};
 
 // Canonical SHA-256 fingerprint of a netlist (structure only — wire
 // counts, input/output lists, gates, DFFs; the name is excluded). Both
@@ -104,6 +112,10 @@ struct ServerExpectation {
   std::uint32_t rounds_per_session = 0;
   bool allow_stream = true;  // accept hellos asking for SessionMode::kStream
   bool allow_v3 = false;     // accept version-3 hellos (slim wire + OT pool)
+  // Accept SessionMode::kReusable. Only meaningful with allow_v3: the
+  // reusable flow needs the v3 hello extension, so a v2 hello asking
+  // for it is rejected with kBadMode regardless of this flag.
+  bool allow_reusable = false;
 };
 ClientHello server_handshake(proto::Channel& ch, const ServerExpectation& ex);
 
@@ -123,16 +135,21 @@ struct HelloExtV3 {
 void send_hello_ext_v3(proto::Channel& ch, const HelloExtV3& ext);
 HelloExtV3 recv_hello_ext_v3(proto::Channel& ch);
 
-// Client side of a v3 handshake: sends the hello (version forced to 3)
-// plus the extension, reads the verdict. Returns the negotiated rounds
-// or throws HandshakeError — kVersionMismatch means "server only speaks
-// v2"; callers fall back by reconnecting with client_handshake.
+// Client side of a v3 handshake: sends the hello (version forced to 3,
+// mode passed through — kPrecomputed for the slim-wire flow, kReusable
+// for the reusable-artifact flow; kStream is not served over v3) plus
+// the extension, reads the verdict. Returns the negotiated rounds or
+// throws HandshakeError — kVersionMismatch means "server only speaks
+// v2"; precomputed callers fall back by reconnecting with
+// client_handshake, reusable callers surface it (there is no v2
+// equivalent of the reusable flow).
 std::uint32_t client_handshake_v3(proto::Channel& ch, ClientHello hello,
                                   const HelloExtV3& ext);
 
 // Version-negotiating server handshake: accepts v2 hellos exactly like
-// server_handshake, and v3 hellos when ex.allow_v3 (v3 implies the
-// precomputed session mode). `ext` is set iff version == 3.
+// server_handshake, and v3 hellos when ex.allow_v3 (v3 serves the
+// precomputed and reusable session modes). `ext` is set iff
+// version == 3.
 struct V23Handshake {
   ClientHello hello;
   std::uint32_t version = kProtocolVersion;

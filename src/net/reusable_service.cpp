@@ -1,0 +1,297 @@
+#include "net/reusable_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/sha256.hpp"
+#include "net/demo_inputs.hpp"
+#include "net/error.hpp"
+#include "net/handshake.hpp"
+#include "net/server.hpp"
+#include "proto/reusable_io.hpp"
+#include "proto/v3_records.hpp"
+
+namespace maxel::net {
+
+namespace {
+
+// recv_bits trusts the wire's count prefix, so the session flows never
+// use it directly: the expected bit count is always known from the
+// negotiated round/input geometry, and a peer announcing anything else
+// is a framing violation, not a reason to allocate.
+std::vector<bool> recv_bits_exact(proto::Channel& ch, std::uint64_t expect,
+                                  const char* what) {
+  const std::uint64_t n = ch.recv_u64();
+  if (n != expect)
+    throw FramingError(std::string("reusable session: ") + what +
+                       " carries " + std::to_string(n) + " bits, expected " +
+                       std::to_string(expect));
+  std::vector<std::uint8_t> packed((n + 7) / 8);
+  if (!packed.empty()) ch.recv_bytes(packed.data(), packed.size());
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bits[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  return bits;
+}
+
+}  // namespace
+
+gc::ReusableCircuit garble_reusable(const circuit::Circuit& c,
+                                    std::uint32_t bit_width,
+                                    crypto::RandomSource& rng) {
+  gc::ReusableCircuit rc = gc::make_reusable_circuit(c, rng);
+  rc.view.bit_width = bit_width;
+  rc.view.fingerprint = circuit_fingerprint(c);
+  return rc;
+}
+
+ReusableServeContext make_reusable_context(const circuit::Circuit& c,
+                                           gc::ReusableCircuit artifact,
+                                           std::uint32_t rounds,
+                                           std::uint64_t demo_seed) {
+  if (artifact.view.n_garbler_inputs != c.garbler_inputs.size() ||
+      artifact.view.n_evaluator_inputs != c.evaluator_inputs.size() ||
+      artifact.view.n_gates != c.gates.size())
+    throw std::invalid_argument(
+        "make_reusable_context: artifact does not match the circuit");
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(rounds) * c.evaluator_inputs.size();
+  if (need == 0 || need > ot::kMaxPoolExtend)
+    throw std::invalid_argument(
+        "make_reusable_context: session OT demand out of range");
+
+  ReusableServeContext ctx;
+  ctx.view_bytes = proto::serialize_reusable_view(artifact.view);
+  ctx.view_sha =
+      crypto::Sha256::hash(ctx.view_bytes.data(), ctx.view_bytes.size());
+  ctx.rounds = rounds;
+  const std::size_t n_g = c.garbler_inputs.size();
+  DemoInputStream garbler(demo_seed, kGarblerStream, artifact.view.bit_width);
+  ctx.masked_garbler_bits.reserve(static_cast<std::size_t>(rounds) * n_g);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    const std::vector<bool> v = garbler.next_bits();
+    if (v.size() != n_g)
+      throw std::invalid_argument(
+          "make_reusable_context: demo stream width != garbler inputs");
+    for (std::size_t j = 0; j < n_g; ++j)
+      ctx.masked_garbler_bits.push_back(v[j] != artifact.garbler_flips[j]);
+  }
+  ctx.artifact = std::move(artifact);
+  return ctx;
+}
+
+ReusableServeOutcome serve_reusable_session(proto::Channel& ch,
+                                            V3PoolRegistry& reg,
+                                            const HelloExtV3& ext,
+                                            const ReusableServeContext& ctx,
+                                            ServerStats& stats) {
+  const std::uint64_t n_in = ctx.artifact.view.n_evaluator_inputs;
+  const std::uint64_t need = static_cast<std::uint64_t>(ctx.rounds) * n_in;
+  if (need == 0 || need > ot::kMaxPoolExtend)
+    throw std::invalid_argument("serve_reusable_session: bad claim demand");
+
+  const auto entry = reg.entry_for(ext.client_id);
+  ReusableServeOutcome out;
+  ot::PoolClaim claim{};
+  std::shared_ptr<ot::CorrelatedPoolSender> pool;
+  {
+    const std::lock_guard<std::mutex> io(entry->io_mu);
+    const proto::ReusableClientSetup cs = proto::recv_reusable_client_setup(ch);
+
+    // Same resume rule as serve_v3_session: full agreement or a fresh
+    // pool — the modes share the registry, so a client may alternate v3
+    // and reusable sessions off one pool and one ticket.
+    const bool resume = entry->pool && ext.has_ticket &&
+                        ext.ticket.pool_id == entry->pool->pool_id() &&
+                        ext.ticket.cookie == entry->cookie &&
+                        ext.ticket.client_id == ext.client_id &&
+                        cs.extended == entry->pool->extended();
+    if (!resume) {
+      entry->pool = std::make_shared<ot::CorrelatedPoolSender>(
+          reg.delta(), reg.next_pool_id());
+      entry->cookie = reg.next_block();
+      out.fresh_pool = true;
+    }
+    pool = entry->pool;
+
+    const ot::PoolStats pst = pool->stats();
+    std::uint64_t extend_count = 0;
+    if (pst.available() < need) {
+      const std::uint64_t deficit = need - pst.available();
+      extend_count = ((deficit + ot::kPoolExtendBatch - 1) /
+                      ot::kPoolExtendBatch) *
+                     ot::kPoolExtendBatch;
+      extend_count = std::min<std::uint64_t>(
+          extend_count, static_cast<std::uint64_t>(ot::kMaxPoolExtend));
+    }
+    const std::uint64_t start = pst.claimed + pst.consumed + pst.discarded;
+
+    out.artifact_sent = !(cs.has_artifact && cs.artifact_sha == ctx.view_sha);
+    proto::ReusableServerSetup ss;
+    ss.fresh = out.fresh_pool;
+    ss.pool_id = pool->pool_id();
+    ss.cookie = entry->cookie;
+    ss.start_index = start;
+    ss.claim_count = need;
+    ss.extend_count = extend_count;
+    ss.artifact_bytes = out.artifact_sent ? ctx.view_bytes.size() : 0;
+    ss.artifact_sha = ctx.view_sha;
+    proto::send_reusable_server_setup(ch, ss);
+    ch.flush();
+
+    if (out.fresh_pool) {
+      crypto::SystemRandom setup_rng(reg.next_block());
+      pool->base_setup_step2(ch, setup_rng);
+      pool->base_setup_step4();
+    }
+    if (extend_count > 0) {
+      pool->extend(ch, extend_count);
+      out.extended = extend_count;
+    }
+    claim = pool->claim(need);
+    if (claim.start != start)
+      throw std::logic_error(
+          "serve_reusable_session: claim raced despite io_mu");
+    proto::send_ticket(ch, proto::ResumptionTicket{pool->pool_id(),
+                                                   ext.client_id,
+                                                   entry->cookie});
+    if (out.artifact_sent)
+      ch.send_bytes(ctx.view_bytes.data(), ctx.view_bytes.size());
+    ch.flush();
+  }
+  out.setup_bytes = ch.bytes_sent() + ch.bytes_received();
+
+  try {
+    // Derandomized bit-OT over the claimed window, whole session in one
+    // exchange: d_k = v ^ choice, answered with
+    // z_k = lsb(pad) ^ d_k ^ r_x so the client's lsb(pad') ^ z_k lands
+    // on v ^ r_x — its masked input. d is uniform to this side (choice
+    // bits are pool randomness), so nothing about the client's inputs
+    // leaks here.
+    const std::vector<bool> d = recv_bits_exact(ch, need, "choice-adjust bits");
+    std::vector<bool> z(static_cast<std::size_t>(need));
+    for (std::uint64_t k = 0; k < need; ++k)
+      z[static_cast<std::size_t>(k)] =
+          ((pool->pad(claim.start + k).lsb() != 0) != d[k]) !=
+          static_cast<bool>(
+              ctx.artifact.evaluator_flips[static_cast<std::size_t>(k % n_in)]);
+    ch.send_bits(z);
+    ch.send_bits(ctx.masked_garbler_bits);
+    ch.flush();
+  } catch (...) {
+    pool->discard(claim);
+    throw;
+  }
+  pool->consume(claim);
+
+  stats.bytes_sent += ch.bytes_sent();
+  stats.bytes_received += ch.bytes_received();
+  stats.rounds_served += ctx.rounds;
+  ++stats.sessions_served;
+  ++stats.reusable_sessions_served;
+  if (out.artifact_sent) ++stats.reusable_artifacts_sent;
+  if (out.fresh_pool) ++stats.v3_fresh_pools;
+  stats.v3_ot_extended += out.extended;
+  return out;
+}
+
+ReusableEvalOutcome eval_reusable_session(
+    proto::Channel& ch, const circuit::Circuit& circ,
+    const std::vector<std::vector<bool>>& evaluator_bits, V3ClientState& st,
+    crypto::RandomSource& rng) {
+  const std::size_t n_in = circ.evaluator_inputs.size();
+  const std::size_t n_g = circ.garbler_inputs.size();
+  const std::uint64_t rounds = evaluator_bits.size();
+  const std::uint64_t need = rounds * n_in;
+
+  proto::ReusableClientSetup cs;
+  cs.extended = st.pool.extended();
+  cs.watermark = st.pool.watermark();
+  cs.has_artifact = st.reusable_view.has_value();
+  if (cs.has_artifact) cs.artifact_sha = st.reusable_sha;
+  proto::send_reusable_client_setup(ch, cs);
+  ch.flush();
+  const proto::ReusableServerSetup ss = proto::recv_reusable_server_setup(ch);
+
+  ReusableEvalOutcome out;
+  if (ss.fresh) {
+    st.pool.reset();
+    st.ticket.reset();
+    st.pool.base_setup_step1(ch, rng);
+    st.pool.base_setup_step3();
+    out.fresh_pool = true;
+  }
+  if (ss.extend_count > 0) st.pool.extend(ch, ss.extend_count);
+  const proto::ResumptionTicket ticket = proto::recv_ticket(ch);
+  if (ticket.client_id != st.client_id)
+    throw NetError("reusable setup: ticket issued for a different client");
+  if (ticket.pool_id != ss.pool_id)
+    throw NetError("reusable setup: ticket names a different pool");
+  if (ss.claim_count != need)
+    throw NetError("reusable setup: claim does not cover the session rounds");
+
+  if (ss.artifact_bytes > 0) {
+    // Size was cap-checked by the setup parser; receive, hash-verify,
+    // parse (view framing only — a secrets-bearing blob is refused by
+    // the parser), and pin to the locally built netlist.
+    std::vector<std::uint8_t> blob(
+        static_cast<std::size_t>(ss.artifact_bytes));
+    ch.recv_bytes(blob.data(), blob.size());
+    if (crypto::Sha256::hash(blob.data(), blob.size()) != ss.artifact_sha)
+      throw CorruptionError("reusable artifact failed its checksum");
+    gc::ReusableView view = proto::parse_reusable_view(blob.data(),
+                                                       blob.size());
+    if (view.fingerprint != circuit_fingerprint(circ))
+      throw NetError(
+          "reusable artifact is for a different circuit fingerprint");
+    st.reusable_view = std::move(view);
+    st.reusable_sha = ss.artifact_sha;
+    out.artifact_received = true;
+  } else {
+    if (!st.reusable_view)
+      throw NetError("server sent no reusable artifact and none is cached");
+    if (ss.artifact_sha != st.reusable_sha)
+      throw NetError(
+          "server confirmed a reusable artifact the client does not hold");
+  }
+
+  // Watermark check: throws on any replayed OT index before use.
+  st.pool.mark_consumed(ss.start_index, ss.claim_count);
+  st.ticket = ticket;
+  out.setup_bytes = ch.bytes_sent() + ch.bytes_received();
+
+  std::vector<bool> d(static_cast<std::size_t>(need));
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (evaluator_bits[static_cast<std::size_t>(r)].size() != n_in)
+      throw std::invalid_argument(
+          "eval_reusable_session: round input width mismatch");
+    for (std::size_t j = 0; j < n_in; ++j)
+      d[static_cast<std::size_t>(r * n_in + j)] =
+          evaluator_bits[static_cast<std::size_t>(r)][j] !=
+          st.pool.choice(ss.start_index + r * n_in + j);
+  }
+  ch.send_bits(d);
+  ch.flush();
+
+  const std::vector<bool> z = recv_bits_exact(ch, need, "masked-input bits");
+  const std::vector<bool> g =
+      recv_bits_exact(ch, rounds * n_g, "masked garbler bits");
+
+  gc::ReusableEvaluator ev(circ, *st.reusable_view);
+  std::vector<bool> masked_e(n_in), masked_g(n_g);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    for (std::size_t j = 0; j < n_in; ++j) {
+      const std::uint64_t k = r * n_in + j;
+      masked_e[j] =
+          (st.pool.pad(ss.start_index + k).lsb() != 0) !=
+          z[static_cast<std::size_t>(k)];
+    }
+    for (std::size_t j = 0; j < n_g; ++j)
+      masked_g[j] = g[static_cast<std::size_t>(r * n_g + j)];
+    out.decoded = ev.eval_round(masked_g, masked_e);
+  }
+  return out;
+}
+
+}  // namespace maxel::net

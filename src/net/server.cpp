@@ -39,6 +39,9 @@ void ServerStats::merge(const ServerStats& other) {
   sessions_precomputed += other.sessions_precomputed;
   stream_sessions_served += other.stream_sessions_served;
   v3_sessions_served += other.v3_sessions_served;
+  reusable_sessions_served += other.reusable_sessions_served;
+  reusable_artifacts_sent += other.reusable_artifacts_sent;
+  reusable_garbles += other.reusable_garbles;
   v3_fresh_pools += other.v3_fresh_pools;
   v3_ot_extended += other.v3_ot_extended;
   peak_resident_tables = std::max(peak_resident_tables,
@@ -51,7 +54,7 @@ void ServerStats::merge(const ServerStats& other) {
 }
 
 std::string ServerStats::to_json() const {
-  char buf[1152];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"server\",\"sessions_served\":%llu,\"rounds_served\":%llu,"
@@ -59,7 +62,10 @@ std::string ServerStats::to_json() const {
       "\"idle_timeouts\":%llu,"
       "\"bytes_sent\":%llu,\"bytes_received\":%llu,"
       "\"sessions_precomputed\":%llu,\"stream_sessions_served\":%llu,"
-      "\"v3_sessions_served\":%llu,\"v3_fresh_pools\":%llu,"
+      "\"v3_sessions_served\":%llu,"
+      "\"reusable_sessions_served\":%llu,\"reusable_artifacts_sent\":%llu,"
+      "\"reusable_garbles\":%llu,"
+      "\"v3_fresh_pools\":%llu,"
       "\"v3_ot_extended\":%llu,"
       "\"peak_resident_tables\":%llu,\"handshake_seconds\":%.6f,"
       "\"transfer_seconds\":%.6f,\"ot_seconds\":%.6f,"
@@ -74,6 +80,9 @@ std::string ServerStats::to_json() const {
       static_cast<unsigned long long>(sessions_precomputed),
       static_cast<unsigned long long>(stream_sessions_served),
       static_cast<unsigned long long>(v3_sessions_served),
+      static_cast<unsigned long long>(reusable_sessions_served),
+      static_cast<unsigned long long>(reusable_artifacts_sent),
+      static_cast<unsigned long long>(reusable_garbles),
       static_cast<unsigned long long>(v3_fresh_pools),
       static_cast<unsigned long long>(v3_ot_extended),
       static_cast<unsigned long long>(peak_resident_tables),
@@ -104,6 +113,18 @@ Server::Server(const ServerConfig& cfg)
       static_cast<std::uint32_t>(cfg.rounds_per_session);
   expect_.allow_stream = cfg.allow_stream;
   expect_.allow_v3 = cfg.allow_v3;
+  expect_.allow_reusable = cfg.allow_v3 && cfg.allow_reusable;
+  if (expect_.allow_reusable) {
+    // Garble once, up front: every reusable session this server ever
+    // serves runs off this artifact.
+    crypto::SystemRandom garble_rng;
+    reusable_ctx_ = make_reusable_context(
+        circ_,
+        garble_reusable(circ_, static_cast<std::uint32_t>(cfg.bits),
+                        garble_rng),
+        static_cast<std::uint32_t>(cfg.rounds_per_session), cfg.demo_seed);
+    ++stats_.reusable_garbles;
+  }
   precompute_thread_ = std::thread([this] { precompute_loop(); });
 }
 
@@ -290,8 +311,16 @@ void serve_streaming_session(proto::Channel& ch, const ClientHello& hello,
   ++stats.stream_sessions_served;
 }
 
-void Server::serve_v3_connection(proto::Channel& ch, const HelloExtV3& ext,
+void Server::serve_v3_connection(proto::Channel& ch, const ClientHello& hello,
+                                 const HelloExtV3& ext,
                                  ServerStats& session_stats) {
+  // Reusable mode: no per-session garbling at all — serve off the
+  // context built at construction (the handshake already rejected the
+  // mode if it is disabled, so the context is present here).
+  if (hello.mode == static_cast<std::uint8_t>(SessionMode::kReusable)) {
+    serve_reusable_session(ch, v3_reg_, ext, *reusable_ctx_, session_stats);
+    return;
+  }
   // v3 sessions are garbled inline at serve time: the slim material is
   // ~40% of the v2 tables and the demo garbler inputs are known, so the
   // bank (sized for v2 sessions) is bypassed. The garbling delta must be
@@ -323,7 +352,7 @@ void Server::handle_connection(proto::Channel& ch) {
 
   ServerStats session_stats;
   if (hs.version == kProtocolVersionV3) {
-    serve_v3_connection(ch, *hs.ext, session_stats);
+    serve_v3_connection(ch, hello, *hs.ext, session_stats);
   } else if (hello.mode == static_cast<std::uint8_t>(SessionMode::kStream)) {
     // Stream sessions garble on the fly and never touch the bank.
     StreamOptions stream;
@@ -350,7 +379,10 @@ void Server::handle_connection(proto::Channel& ch) {
                  "[maxel_server] session %llu (%s): %zu rounds, %llu B out / "
                  "%llu B in, transfer %.3fs, ot %.3fs\n",
                  static_cast<unsigned long long>(session_no),
-                 hs.version == kProtocolVersionV3 ? "v3"
+                 hello.mode ==
+                         static_cast<std::uint8_t>(SessionMode::kReusable)
+                     ? "reusable"
+                 : hs.version == kProtocolVersionV3 ? "v3"
                  : hello.mode ==
                          static_cast<std::uint8_t>(SessionMode::kStream)
                      ? "stream"

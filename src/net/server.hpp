@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -27,6 +28,7 @@
 #include "gc/scheme.hpp"
 #include "net/fault.hpp"
 #include "net/handshake.hpp"
+#include "net/reusable_service.hpp"
 #include "net/tcp_channel.hpp"
 #include "net/v3_service.hpp"
 #include "proto/precompute.hpp"
@@ -53,6 +55,10 @@ struct ServerConfig {
   std::size_t stream_queue_chunks = 4;
   bool allow_stream = true;            // reject kStream hellos when false
   bool allow_v3 = true;                // accept protocol-v3 hellos
+  // Serve SessionMode::kReusable (garble-once artifact; weaker garbler
+  // privacy — docs/SECURITY_MODELS.md). Needs allow_v3: the reusable
+  // flow rides the v3 hello extension and OT pool.
+  bool allow_reusable = true;
   TcpOptions tcp;
   // Per-connection idle deadline: when > 0 it overrides both
   // tcp.recv_timeout_ms and tcp.send_timeout_ms, so a client that goes
@@ -76,7 +82,13 @@ struct ServerStats {
   std::uint64_t sessions_precomputed = 0;
   std::uint64_t stream_sessions_served = 0;  // subset of sessions_served
   std::uint64_t v3_sessions_served = 0;      // subset of sessions_served
-  std::uint64_t v3_fresh_pools = 0;   // v3 sessions that paid a base OT
+  // Reusable-mode sessions (subset of sessions_served) and how many of
+  // them had to ship the artifact view (the rest ran off the client's
+  // hash-confirmed cache).
+  std::uint64_t reusable_sessions_served = 0;
+  std::uint64_t reusable_artifacts_sent = 0;
+  std::uint64_t reusable_garbles = 0;  // times a reusable artifact was built
+  std::uint64_t v3_fresh_pools = 0;   // v3/reusable sessions that paid a base OT
   std::uint64_t v3_ot_extended = 0;   // correlated-OT indices materialized
   // Most tables resident server-side for any single session: the whole
   // session for precomputed mode, the bounded chunk queue for stream
@@ -161,7 +173,8 @@ class Server {
   void precompute_loop();
   proto::PrecomputedSession take_session();
   void handle_connection(proto::Channel& ch);
-  void serve_v3_connection(proto::Channel& ch, const HelloExtV3& ext,
+  void serve_v3_connection(proto::Channel& ch, const ClientHello& hello,
+                           const HelloExtV3& ext,
                            ServerStats& session_stats);
 
   ServerConfig cfg_;
@@ -169,6 +182,9 @@ class Server {
   circuit::Circuit circ_;
   gc::V3Analysis v3_an_;
   V3PoolRegistry v3_reg_;
+  // Garbled once at construction when reusable mode is enabled; every
+  // reusable session is served off this one context.
+  std::optional<ReusableServeContext> reusable_ctx_;
   ServerExpectation expect_;
   TcpListener listener_;
   crypto::SystemRandom rng_;  // online-phase OT randomness

@@ -52,6 +52,46 @@ void dump_stats(const std::string& json, const std::string& path) {
   }
 }
 
+// The four session modes of the unified --mode flag, with the
+// tradeoffs operators pick between. Shared by serve/connect --help.
+constexpr const char* kModeHelp =
+    "  --mode precomputed  classic v2 per-round flow off pre-garbled\n"
+    "                      sessions: strongest-understood privacy for\n"
+    "                      both parties, highest bytes/MAC (full tables\n"
+    "                      + labels every round).\n"
+    "  --mode stream       garble-while-transfer: same privacy as\n"
+    "                      precomputed, bounded server memory, tables\n"
+    "                      still shipped per round.\n"
+    "  --mode v3           slim wire (PRG-seeded labels, packed select\n"
+    "                      bits) + cross-session OT pool: same privacy,\n"
+    "                      ~40%% of the v2 bytes, base OT amortized to\n"
+    "                      ~zero across sessions.\n"
+    "  --mode reusable     garble once, evaluate any number of\n"
+    "                      sessions off one cached artifact: lowest\n"
+    "                      bytes/MAC and highest MAC/s, but WEAKER\n"
+    "                      GARBLER PRIVACY (public-model/private-query\n"
+    "                      only — see docs/SECURITY_MODELS.md).\n";
+
+// Unified mode selector. Server side: picks which hellos are accepted
+// (precomputed is always served; the flag gates the optional modes).
+// Client side: picks what the hello asks for.
+struct ModeChoice {
+  bool stream = false;
+  bool v3 = false;
+  bool reusable = false;
+};
+
+bool parse_mode(const char* v, ModeChoice& out) {
+  if (v == nullptr) return false;
+  const std::string name = v;
+  if (name == "precomputed") out = {false, false, false};
+  else if (name == "stream") out = {true, false, false};
+  else if (name == "v3") out = {false, true, false};
+  else if (name == "reusable") out = {false, true, true};
+  else return false;
+  return true;
+}
+
 // Shared flag scaffolding: returns false (usage error) on unknown flags
 // or missing values.
 struct FlagParser {
@@ -101,8 +141,37 @@ int serve_command(int argc, char** argv) {
     else if (flag == "--quiet") cfg.verbose = false;
     else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
     else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
+    else if (flag == "--mode") {
+      // Restricts the server to one mode family (precomputed v2 is
+      // always served as the baseline every client can fall back to).
+      ModeChoice mc;
+      if (!parse_mode(p.value(), mc)) {
+        std::fprintf(stderr,
+                     "bad --mode (precomputed|stream|v3|reusable)\n");
+        return 2;
+      }
+      cfg.allow_stream = mc.stream;
+      cfg.allow_v3 = mc.v3;
+      cfg.allow_reusable = mc.reusable;
+    }
+    // Deprecated aliases of --mode, kept so existing scripts work.
     else if (flag == "--no-stream") cfg.allow_stream = false;
     else if (flag == "--no-v3") cfg.allow_v3 = false;
+    else if (flag == "--no-reusable") cfg.allow_reusable = false;
+    else if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "maxel_server serve [flags]\n"
+          "  --port N --bind ADDR --bits N --rounds N --sessions N\n"
+          "  --cores N --seed N --scheme {halfgates|grr3|classic4}\n"
+          "  --chunk-rounds N --queue-chunks N --idle-timeout MS\n"
+          "  --fault-plan SPEC --json PATH --quiet\n"
+          "  --mode {precomputed|stream|v3|reusable}  serve only this mode\n"
+          "        family (default: all four):\n%s"
+          "  --no-stream/--no-v3/--no-reusable  deprecated aliases that\n"
+          "        switch off one mode\n",
+          kModeHelp);
+      return 0;
+    }
     else if (flag == "--idle-timeout") cfg.idle_timeout_ms = static_cast<int>(p.value_u64());
     else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
     else if (flag == "--scheme") {
@@ -168,8 +237,35 @@ int connect_command(int argc, char** argv) {
     else if (flag == "--seed") cfg.demo_seed = p.value_u64();
     else if (flag == "--no-check") cfg.check = false;
     else if (flag == "--quiet") cfg.verbose = false;
+    else if (flag == "--mode") {
+      ModeChoice mc;
+      if (!parse_mode(p.value(), mc)) {
+        std::fprintf(stderr,
+                     "bad --mode (precomputed|stream|v3|reusable)\n");
+        return 2;
+      }
+      cfg.mode = mc.reusable ? SessionMode::kReusable
+                 : mc.stream ? SessionMode::kStream
+                             : SessionMode::kPrecomputed;
+      cfg.protocol = mc.v3 ? kProtocolVersionV3 : kProtocolVersion;
+    }
+    // Deprecated aliases of --mode, kept so existing scripts work.
     else if (flag == "--stream") cfg.mode = SessionMode::kStream;
     else if (flag == "--v3") cfg.protocol = kProtocolVersionV3;
+    else if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "maxel_client connect [flags]\n"
+          "  --host H --port N --bits N --rounds N --seed N\n"
+          "  --ot {base|iknp} --scheme {halfgates|grr3|classic4}\n"
+          "  --retries N --retry-backoff MS --retry-backoff-max MS\n"
+          "  --retry-seed N --net-timeout MS --fault-plan SPEC\n"
+          "  --json PATH --no-check --quiet\n"
+          "  --mode {precomputed|stream|v3|reusable}  session mode to\n"
+          "        request (default: precomputed):\n%s"
+          "  --stream/--v3  deprecated aliases of --mode stream / --mode v3\n",
+          kModeHelp);
+      return 0;
+    }
     else if (flag == "--json") { const char* v = p.value(); if (v) json_path = v; }
     else if (flag == "--retries") cfg.retry.max_attempts = static_cast<int>(p.value_u64());
     else if (flag == "--retry-backoff") cfg.retry.backoff_ms = static_cast<int>(p.value_u64());

@@ -18,6 +18,7 @@
 //     retried or resumed session can never see an OT index twice.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,6 +29,7 @@
 
 #include "circuit/netlist.hpp"
 #include "crypto/rng.hpp"
+#include "gc/reusable.hpp"
 #include "gc/v3.hpp"
 #include "net/handshake.hpp"
 #include "ot/pool.hpp"
@@ -107,6 +109,11 @@ struct V3ClientState {
   // as deterministic, and the client falls back to a v2 hello. Reset by
   // any handshake that reaches a verdict.
   int handshake_close_streak = 0;
+  // Reusable-mode artifact cache: the view received (and SHA-verified)
+  // on a previous reusable session. Offered back by hash in the setup
+  // record so repeat sessions skip the artifact transfer entirely.
+  std::optional<gc::ReusableView> reusable_view;
+  std::array<std::uint8_t, 32> reusable_sha{};
 };
 
 std::shared_ptr<V3ClientState> make_v3_client_state(crypto::RandomSource& rng);

@@ -6,6 +6,7 @@
 
 #include "crypto/rng.hpp"
 #include "net/demo_inputs.hpp"
+#include "proto/reusable_io.hpp"
 
 namespace maxel::svc {
 
@@ -26,7 +27,7 @@ constexpr int kRejectLingerMs = 500;
 }  // namespace
 
 std::string BrokerStats::to_json() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"role\":\"broker\",\"admission_rejects\":%llu,"
@@ -34,7 +35,10 @@ std::string BrokerStats::to_json() const {
       "\"spool\":{\"ready\":%zu,\"spooled\":%llu,\"claimed\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,\"purged_on_open\":%llu,"
       "\"bytes_on_disk\":%llu,\"ready_v3\":%zu,\"v3_spooled\":%llu,"
-      "\"v3_claimed\":%llu,\"v3_lineage_discarded\":%llu},\"server\":",
+      "\"v3_claimed\":%llu,\"v3_lineage_discarded\":%llu,"
+      "\"reusable_ready\":%zu,\"reusable_spooled\":%llu,"
+      "\"reusable_evaluations\":%llu,\"reusable_corrupt_discarded\":%llu},"
+      "\"server\":",
       static_cast<unsigned long long>(admission_rejects),
       static_cast<unsigned long long>(drain_rejects), queue_depth,
       spool.sessions_ready,
@@ -47,7 +51,11 @@ std::string BrokerStats::to_json() const {
       spool.sessions_ready_v3,
       static_cast<unsigned long long>(spool.v3_spooled),
       static_cast<unsigned long long>(spool.v3_claimed),
-      static_cast<unsigned long long>(spool.v3_lineage_discarded));
+      static_cast<unsigned long long>(spool.v3_lineage_discarded),
+      spool.reusable_ready,
+      static_cast<unsigned long long>(spool.reusable_spooled),
+      static_cast<unsigned long long>(spool.reusable_evaluations),
+      static_cast<unsigned long long>(spool.reusable_corrupt_discarded));
   return std::string(buf) + server.to_json() + "}";
 }
 
@@ -75,6 +83,7 @@ Broker::Broker(const BrokerConfig& cfg)
       static_cast<std::uint32_t>(cfg_.rounds_per_session);
   expect_.allow_stream = cfg_.allow_stream;
   expect_.allow_v3 = cfg_.allow_v3;
+  expect_.allow_reusable = cfg_.allow_v3 && cfg_.allow_reusable;
   // Demo garbler inputs are deterministic, so the producer can garble
   // v3 sessions ahead of time with the same rows every worker serves.
   net::DemoInputStream a_inputs(cfg_.demo_seed, net::kGarblerStream,
@@ -84,6 +93,50 @@ Broker::Broker(const BrokerConfig& cfg)
   cfg_.workers = worker_stats_.size();
   if (cfg_.spool_high_watermark < cfg_.spool_low_watermark)
     cfg_.spool_high_watermark = cfg_.spool_low_watermark;
+  if (expect_.allow_reusable) ensure_reusable();
+}
+
+void Broker::ensure_reusable() {
+  reusable_key_ = reusable_artifact_key(expect_.circuit_hash, cfg_.bits);
+  if (auto bytes = spool_.fetch_reusable(reusable_key_)) {
+    try {
+      gc::ReusableCircuit rc =
+          proto::parse_reusable(bytes->data(), bytes->size());
+      if (rc.view.fingerprint == expect_.circuit_hash &&
+          rc.view.bit_width == cfg_.bits) {
+        reusable_ctx_ = net::make_reusable_context(
+            circ_, std::move(rc),
+            static_cast<std::uint32_t>(cfg_.rounds_per_session),
+            cfg_.demo_seed);
+        metrics_.counter("reusable_artifact_loaded").inc();
+        if (cfg_.verbose)
+          std::fprintf(stderr,
+                       "[broker] reusable artifact %s reloaded from spool "
+                       "(%llu evaluations served so far)\n",
+                       reusable_key_.c_str(),
+                       static_cast<unsigned long long>(
+                           spool_.stats().reusable_evaluations));
+        return;
+      }
+      // Same key, different contents (should not happen; the key pins
+      // the fingerprint) — treat like corruption and re-garble.
+    } catch (const std::exception&) {
+      // Checksum passed but the blob no longer parses: fall through to
+      // a fresh garbling; put_reusable below replaces the bad file.
+    }
+  }
+  crypto::SystemRandom garble_rng;
+  gc::ReusableCircuit rc = net::garble_reusable(
+      circ_, static_cast<std::uint32_t>(cfg_.bits), garble_rng);
+  spool_.put_reusable(reusable_key_, proto::serialize_reusable(rc));
+  reusable_ctx_ = net::make_reusable_context(
+      circ_, std::move(rc),
+      static_cast<std::uint32_t>(cfg_.rounds_per_session), cfg_.demo_seed);
+  ++reusable_garbles_;
+  metrics_.counter("reusable_garbles").inc();
+  if (cfg_.verbose)
+    std::fprintf(stderr, "[broker] garbled reusable artifact %s into spool\n",
+                 reusable_key_.c_str());
 }
 
 Broker::~Broker() { request_stop(); }
@@ -197,11 +250,24 @@ void Broker::serve_connection(proto::Channel& ch, std::size_t worker) {
     metrics_.histogram("handshake_seconds").observe(local.handshake_seconds);
 
     const bool v3 = hs.version == net::kProtocolVersionV3;
+    const bool reusable =
+        v3 &&
+        hello.mode == static_cast<std::uint8_t>(net::SessionMode::kReusable);
     const bool stream =
         !v3 &&
         hello.mode == static_cast<std::uint8_t>(net::SessionMode::kStream);
     const auto t_sess = Clock::now();
-    if (v3) {
+    if (reusable) {
+      // Garble-once lane: every worker serves off the one read-only
+      // context built at startup; the only per-session cost is the
+      // pool claim and the d/z exchange. The persisted evaluation
+      // counter is what `maxelctl spool` reports per artifact.
+      net::serve_reusable_session(ch, v3_reg_, *hs.ext, *reusable_ctx_,
+                                  local);
+      spool_.add_reusable_evaluations(reusable_key_,
+                                      cfg_.rounds_per_session);
+      metrics_.counter("reusable_sessions_served").inc();
+    } else if (v3) {
       // Slim-wire session from the spool's v3 lane; the registry holds
       // this client's OT pool across connections (and across concurrent
       // sessions — pool I/O is serialized per client inside).
@@ -239,7 +305,8 @@ void Broker::serve_connection(proto::Channel& ch, std::size_t worker) {
     metrics_.counter("rounds_served").inc(local.rounds_served);
     // Per-direction wire accounting, split by session mode so a fleet
     // can read the v2->v3 bandwidth win straight off `maxelctl stats`.
-    const char* mode = v3 ? "v3" : (stream ? "stream" : "precomputed");
+    const char* mode = reusable ? "reusable"
+                                : (v3 ? "v3" : (stream ? "stream" : "precomputed"));
     metrics_.counter(std::string("net_tx_bytes_") + mode).inc(ch.bytes_sent());
     metrics_.counter(std::string("net_rx_bytes_") + mode)
         .inc(ch.bytes_received());
@@ -393,6 +460,7 @@ BrokerStats Broker::stats() const {
     st.drain_rejects = drain_rejects_;
     st.server.total_seconds = accept_wall_seconds_;
   }
+  st.server.reusable_garbles += reusable_garbles_;
   st.server.sessions_precomputed =
       precomputed_.load(std::memory_order_relaxed);
   st.spool = spool_.stats();

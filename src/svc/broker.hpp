@@ -29,6 +29,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "gc/v3.hpp"
 #include "net/fault.hpp"
 #include "net/handshake.hpp"
+#include "net/reusable_service.hpp"
 #include "net/server.hpp"
 #include "net/tcp_channel.hpp"
 #include "net/v3_service.hpp"
@@ -73,6 +75,13 @@ struct BrokerConfig {
   std::size_t stream_queue_chunks = 4;
   bool allow_stream = true;
   bool allow_v3 = true;  // accept protocol-v3 hellos (slim wire + OT pool)
+  // Reusable-circuit sessions (garble once, evaluate forever). Rides on
+  // v3, so it is only served when allow_v3 is also true. The artifact
+  // lives in the spool's reusable lane keyed by (circuit fingerprint,
+  // bit width): a broker restarting on the same spool dir reloads it
+  // instead of re-garbling. Weaker garbler privacy — see
+  // docs/SECURITY_MODELS.md.
+  bool allow_reusable = true;
   net::TcpOptions tcp;
   // Per-connection idle deadline: when > 0 it overrides both
   // tcp.recv_timeout_ms and tcp.send_timeout_ms, bounding how long a
@@ -126,6 +135,11 @@ class Broker {
   void serve_connection(proto::Channel& ch, std::size_t worker);
   proto::PrecomputedSession take_session_blocking();
   proto::PrecomputedSessionV3 take_v3_blocking();
+  // Loads the reusable artifact for this (fingerprint, bits) key from
+  // the spool — or garbles it once and persists it — and builds the
+  // serve context. Corrupt or unparseable blobs are destroyed and
+  // replaced by a fresh garbling, never served.
+  void ensure_reusable();
   // Sends a load-state reject without reading the hello, then closes.
   void reject_connection(net::TcpChannel& ch, net::RejectCode code);
 
@@ -139,6 +153,14 @@ class Broker {
   net::TcpListener listener_;
   SessionSpool spool_;
   core::GcCorePool pool_;
+
+  // Reusable-circuit cache: one artifact per broker (the broker serves
+  // one circuit), built once in the constructor and read-only after —
+  // workers share it without locking. reusable_garbles_ counts fresh
+  // garblings (0 when the spool supplied the artifact on open).
+  std::optional<net::ReusableServeContext> reusable_ctx_;
+  std::string reusable_key_;
+  std::uint64_t reusable_garbles_ = 0;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> producer_stop_{false};  // set after workers drain

@@ -33,6 +33,25 @@ bool parse_scheme(const std::string& name, gc::Scheme& out) {
   return true;
 }
 
+// Mirrors the sequential server's --mode selector (net/service.cpp):
+// precomputed is always served; the flag gates the optional families.
+struct ModeChoice {
+  bool stream = false;
+  bool v3 = false;
+  bool reusable = false;
+};
+
+bool parse_mode(const char* v, ModeChoice& out) {
+  if (v == nullptr) return false;
+  const std::string name = v;
+  if (name == "precomputed") out = {false, false, false};
+  else if (name == "stream") out = {true, false, false};
+  else if (name == "v3") out = {false, true, false};
+  else if (name == "reusable") out = {false, true, true};
+  else return false;
+  return true;
+}
+
 struct FlagParser {
   int argc;
   char** argv;
@@ -124,8 +143,20 @@ int broker_command(int argc, char** argv) {
     else if (flag == "--quiet") cfg.verbose = false;
     else if (flag == "--chunk-rounds") cfg.stream_chunk_rounds = p.value_u64();
     else if (flag == "--queue-chunks") cfg.stream_queue_chunks = p.value_u64();
+    else if (flag == "--mode") {
+      ModeChoice mc;
+      if (!parse_mode(p.value(), mc)) {
+        std::fprintf(stderr, "bad --mode (precomputed|stream|v3|reusable)\n");
+        return 2;
+      }
+      cfg.allow_stream = mc.stream;
+      cfg.allow_v3 = mc.v3;
+      cfg.allow_reusable = mc.reusable;
+    }
+    // Deprecated aliases of --mode, kept so existing scripts work.
     else if (flag == "--no-stream") cfg.allow_stream = false;
     else if (flag == "--no-v3") cfg.allow_v3 = false;
+    else if (flag == "--no-reusable") cfg.allow_reusable = false;
     else if (flag == "--idle-timeout") cfg.idle_timeout_ms = static_cast<int>(p.value_u64());
     else if (flag == "--fault-plan") { const char* v = p.value(); if (v) cfg.fault_plan = v; }
     else if (flag == "--scheme") {
@@ -196,6 +227,41 @@ int broker_command(int argc, char** argv) {
 }
 
 int spool_command(int argc, char** argv) {
+  // `maxelctl spool purge --lane reusable --dir DIR` destroys the named
+  // lane's resident files. Only the reusable lane is purgeable from
+  // here: v2/v3 sessions are single-use and age out on their own, but a
+  // reusable artifact lives forever until an operator retires it (e.g.
+  // to force a re-garble with fresh flips).
+  if (argc >= 1 && std::strcmp(argv[0], "purge") == 0) {
+    std::string dir, lane;
+    FlagParser p{argc - 1, argv + 1};
+    std::string flag;
+    while (p.next_flag(flag)) {
+      if (flag == "--dir") { const char* v = p.value(); if (v) dir = v; }
+      else if (flag == "--lane") { const char* v = p.value(); if (v) lane = v; }
+      else {
+        std::fprintf(stderr, "maxelctl spool purge: unknown flag %s\n",
+                     flag.c_str());
+        return 2;
+      }
+    }
+    if (!p.ok || dir.empty() || lane != "reusable") {
+      std::fprintf(stderr,
+                   "maxelctl spool purge: --dir DIR --lane reusable required\n");
+      return 2;
+    }
+    try {
+      SessionSpool spool(SpoolConfig{dir, 0, true});
+      const std::size_t removed = spool.purge_reusable();
+      std::printf("purged %zu reusable artifact%s from %s\n", removed,
+                  removed == 1 ? "" : "s", dir.c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "maxelctl spool purge: %s\n", e.what());
+      return 1;
+    }
+  }
+
   std::string dir;
   std::uint64_t fill = 0;
   std::size_t bits = 16, rounds = 128;
@@ -243,12 +309,25 @@ int spool_command(int argc, char** argv) {
                 static_cast<double>(st.bytes_on_disk) / 1024.0,
                 static_cast<unsigned long long>(st.sessions_spooled),
                 static_cast<unsigned long long>(st.purged_on_open));
+    // Reusable lane: one line per resident artifact — the cache key a
+    // broker looks up, the blob size, the persisted MAC-evaluation
+    // counter, and the checksum lineage take() verifies against.
+    for (const auto& e : spool.reusable_entries())
+      std::printf("  reusable %s: %s, %.1f KB, %llu evaluations served, "
+                  "lineage %.12s\n",
+                  e.key.c_str(), e.name.c_str(),
+                  static_cast<double>(e.bytes) / 1024.0,
+                  static_cast<unsigned long long>(e.evaluations),
+                  e.sha256_hex.c_str());
     std::printf("STATS {\"role\":\"spool\",\"ready\":%zu,\"bytes_on_disk\":%llu,"
-                "\"spooled\":%llu,\"purged_on_open\":%llu}\n",
+                "\"spooled\":%llu,\"purged_on_open\":%llu,"
+                "\"reusable_ready\":%zu,\"reusable_evaluations\":%llu}\n",
                 st.sessions_ready,
                 static_cast<unsigned long long>(st.bytes_on_disk),
                 static_cast<unsigned long long>(st.sessions_spooled),
-                static_cast<unsigned long long>(st.purged_on_open));
+                static_cast<unsigned long long>(st.purged_on_open),
+                st.reusable_ready,
+                static_cast<unsigned long long>(st.reusable_evaluations));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "maxelctl spool: %s\n", e.what());

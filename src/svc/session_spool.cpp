@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "crypto/sha256.hpp"
+#include "proto/reusable_io.hpp"
 #include "proto/session_io.hpp"
 
 namespace maxel::svc {
@@ -42,11 +43,22 @@ std::string session_v3_file_name(std::uint64_t seq) {
   return buf;
 }
 
+std::string reusable_file_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "reus-%012llu.mxr",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
 bool is_v3_name(const std::string& name) {
   return name.rfind("v3ss-", 0) == 0;
 }
 
-// Parses the sequence number back out of a file name (either lane);
+bool is_reusable_name(const std::string& name) {
+  return name.rfind("reus-", 0) == 0;
+}
+
+// Parses the sequence number back out of a file name (any lane);
 // ~0 on mismatch.
 std::uint64_t parse_seq(const std::string& name) {
   if (name.size() != 21) return ~0ull;
@@ -54,6 +66,8 @@ std::uint64_t parse_seq(const std::string& name) {
     if (name.substr(17) != ".mxs") return ~0ull;
   } else if (is_v3_name(name)) {
     if (name.substr(17) != ".mx3") return ~0ull;
+  } else if (is_reusable_name(name)) {
+    if (name.substr(17) != ".mxr") return ~0ull;
   } else {
     return ~0ull;
   }
@@ -75,6 +89,20 @@ void remove_all_children(const fs::path& dir, std::uint64_t* count = nullptr) {
 }
 
 }  // namespace
+
+std::string reusable_artifact_key(
+    const std::array<std::uint8_t, 32>& fingerprint, std::size_t bits) {
+  static const char* hex = "0123456789abcdef";
+  std::string key;
+  key.reserve(16 + 1 + 4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    key.push_back(hex[fingerprint[i] >> 4]);
+    key.push_back(hex[fingerprint[i] & 0xF]);
+  }
+  key.push_back('-');
+  key += std::to_string(bits);
+  return key;
+}
 
 SessionSpool::SessionSpool(const SpoolConfig& cfg) : cfg_(cfg) {
   if (cfg_.dir.empty())
@@ -131,9 +159,15 @@ void SessionSpool::open_or_rebuild() {
             break;
           }
           e.v3 = is_v3_name(e.name);
+          e.reusable = is_reusable_name(e.name);
           // v3 lines carry a fourth column: the pool lineage the
-          // session was garbled under.
+          // session was garbled under. Reusable lines carry the cache
+          // key and the persisted evaluations-served counter.
           if (e.v3 && !(f >> e.lineage)) {
+            index_ok = false;
+            break;
+          }
+          if (e.reusable && !(f >> e.key >> e.evals)) {
             index_ok = false;
             break;
           }
@@ -163,9 +197,11 @@ void SessionSpool::open_or_rebuild() {
       std::ostringstream bytes;
       bytes << f.rdbuf();
       const std::string b = bytes.str();
-      Entry e{name, b.size(),
-              sha_hex(reinterpret_cast<const std::uint8_t*>(b.data()),
-                      b.size())};
+      Entry e;
+      e.name = name;
+      e.bytes = b.size();
+      e.sha256_hex = sha_hex(
+          reinterpret_cast<const std::uint8_t*>(b.data()), b.size());
       if (is_v3_name(name)) {
         // The lineage column was lost with the index; recover it from
         // the file itself, or destroy a file that no longer parses.
@@ -180,6 +216,22 @@ void SessionSpool::open_or_rebuild() {
           fs::remove(root / "ready" / name, ec);
           continue;
         }
+      } else if (is_reusable_name(name)) {
+        // The key (and, lost with the index, the evaluation counter)
+        // is recovered from the artifact itself; a blob that no longer
+        // parses is destroyed rather than ever offered to a broker.
+        try {
+          const gc::ReusableCircuit rc = proto::parse_reusable(
+              reinterpret_cast<const std::uint8_t*>(b.data()), b.size());
+          e.key =
+              reusable_artifact_key(rc.view.fingerprint, rc.view.bit_width);
+          e.reusable = true;
+          e.evals = 0;
+        } catch (const std::exception&) {
+          std::error_code ec;
+          fs::remove(root / "ready" / name, ec);
+          continue;
+        }
       }
       reconciled.push_back(std::move(e));
     }
@@ -188,13 +240,19 @@ void SessionSpool::open_or_rebuild() {
   index_ = std::move(reconciled);
   stats_.sessions_ready = 0;
   stats_.sessions_ready_v3 = 0;
+  stats_.reusable_ready = 0;
+  stats_.reusable_evaluations = 0;
   stats_.bytes_on_disk = 0;
   for (const auto& e : index_) {
     stats_.bytes_on_disk += e.bytes;
-    if (e.v3)
+    if (e.v3) {
       ++stats_.sessions_ready_v3;
-    else
+    } else if (e.reusable) {
+      ++stats_.reusable_ready;
+      stats_.reusable_evaluations += e.evals;
+    } else {
       ++stats_.sessions_ready;
+    }
   }
   write_index_locked();
 }
@@ -206,6 +264,7 @@ void SessionSpool::write_index_locked() {
   for (const auto& e : index_) {
     body << e.name << " " << e.bytes << " " << e.sha256_hex;
     if (e.v3) body << " " << e.lineage;
+    if (e.reusable) body << " " << e.key << " " << e.evals;
     body << "\n";
   }
   const std::string content = body.str();
@@ -237,7 +296,11 @@ void SessionSpool::put(proto::PrecomputedSession s) {
   }
   // The rename is the commit point: ready/ only ever holds complete files.
   fs::rename(tmp, root / "ready" / name);
-  index_.push_back(Entry{name, bytes.size(), digest});
+  Entry entry;
+  entry.name = name;
+  entry.bytes = bytes.size();
+  entry.sha256_hex = digest;
+  index_.push_back(std::move(entry));
   ++stats_.sessions_spooled;
   ++stats_.sessions_ready;
   stats_.bytes_on_disk += bytes.size();
@@ -258,8 +321,9 @@ std::optional<proto::PrecomputedSession> SessionSpool::take() {
   const std::lock_guard<std::mutex> lock(mu_);
   const fs::path root(cfg_.dir);
   for (;;) {
-    const auto it = std::find_if(index_.begin(), index_.end(),
-                                 [](const Entry& e) { return !e.v3; });
+    const auto it =
+        std::find_if(index_.begin(), index_.end(),
+                     [](const Entry& e) { return !e.v3 && !e.reusable; });
     if (it == index_.end()) return std::nullopt;
     Entry e = *it;
     index_.erase(it);
@@ -322,7 +386,13 @@ void SessionSpool::put_v3(const proto::PrecomputedSessionV3& s) {
     if (!os) throw std::runtime_error("SessionSpool: cannot write " + name);
   }
   fs::rename(tmp, root / "ready" / name);
-  index_.push_back(Entry{name, bytes.size(), digest, true, s.pool_lineage});
+  Entry entry;
+  entry.name = name;
+  entry.bytes = bytes.size();
+  entry.sha256_hex = digest;
+  entry.v3 = true;
+  entry.lineage = s.pool_lineage;
+  index_.push_back(std::move(entry));
   ++stats_.v3_spooled;
   ++stats_.sessions_ready_v3;
   stats_.bytes_on_disk += bytes.size();
@@ -368,6 +438,133 @@ std::optional<proto::PrecomputedSessionV3> SessionSpool::take_v3(
     fs::remove(root / "claimed" / e.name, ec);
     return s;
   }
+}
+
+void SessionSpool::put_reusable(const std::string& key,
+                                const std::vector<std::uint8_t>& bytes) {
+  if (key.empty() || key.find_first_of(" \t\n") != std::string::npos)
+    throw std::invalid_argument("SessionSpool: bad reusable key");
+  const std::string digest = sha_hex(bytes.data(), bytes.size());
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const fs::path root(cfg_.dir);
+  // One resident artifact per key: a repeated put replaces (re-garble
+  // after corruption, operator-forced refresh) and the evaluation
+  // counter restarts with the new artifact's lineage.
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->reusable && it->key == key) {
+      std::error_code ec;
+      fs::remove(root / "ready" / it->name, ec);
+      stats_.bytes_on_disk -= std::min(stats_.bytes_on_disk, it->bytes);
+      stats_.reusable_evaluations -=
+          std::min(stats_.reusable_evaluations, it->evals);
+      --stats_.reusable_ready;
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const std::string name = reusable_file_name(next_seq_++);
+  const fs::path tmp = root / "tmp" / name;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) throw std::runtime_error("SessionSpool: cannot write " + name);
+  }
+  fs::rename(tmp, root / "ready" / name);
+  Entry e;
+  e.name = name;
+  e.bytes = bytes.size();
+  e.sha256_hex = digest;
+  e.reusable = true;
+  e.key = key;
+  index_.push_back(std::move(e));
+  ++stats_.reusable_spooled;
+  ++stats_.reusable_ready;
+  stats_.bytes_on_disk += bytes.size();
+  write_index_locked();
+}
+
+std::optional<std::vector<std::uint8_t>> SessionSpool::fetch_reusable(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const fs::path root(cfg_.dir);
+  const auto it = std::find_if(
+      index_.begin(), index_.end(),
+      [&](const Entry& e) { return e.reusable && e.key == key; });
+  if (it == index_.end()) return std::nullopt;
+
+  std::ifstream is(root / "ready" / it->name, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string b = buf.str();
+  const bool corrupt =
+      !is.good() ||
+      (cfg_.verify_checksums &&
+       sha_hex(reinterpret_cast<const std::uint8_t*>(b.data()), b.size()) !=
+           it->sha256_hex);
+  if (corrupt) {
+    // Bit rot or tampering: destroy the blob so it can never be served,
+    // and let the caller re-garble under the same key.
+    std::error_code ec;
+    fs::remove(root / "ready" / it->name, ec);
+    stats_.bytes_on_disk -= std::min(stats_.bytes_on_disk, it->bytes);
+    stats_.reusable_evaluations -=
+        std::min(stats_.reusable_evaluations, it->evals);
+    --stats_.reusable_ready;
+    ++stats_.reusable_corrupt_discarded;
+    index_.erase(it);
+    write_index_locked();
+    return std::nullopt;
+  }
+  return std::vector<std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(b.data()),
+      reinterpret_cast<const std::uint8_t*>(b.data()) + b.size());
+}
+
+void SessionSpool::add_reusable_evaluations(const std::string& key,
+                                            std::uint64_t rounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find_if(
+      index_.begin(), index_.end(),
+      [&](const Entry& e) { return e.reusable && e.key == key; });
+  if (it == index_.end()) return;  // artifact purged under us: drop the count
+  it->evals += rounds;
+  stats_.reusable_evaluations += rounds;
+  write_index_locked();
+}
+
+std::size_t SessionSpool::purge_reusable() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const fs::path root(cfg_.dir);
+  std::size_t removed = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->reusable) {
+      std::error_code ec;
+      fs::remove(root / "ready" / it->name, ec);
+      stats_.bytes_on_disk -= std::min(stats_.bytes_on_disk, it->bytes);
+      ++stats_.reusable_purged;
+      ++removed;
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.reusable_ready = 0;
+  stats_.reusable_evaluations = 0;
+  write_index_locked();
+  return removed;
+}
+
+std::vector<ReusableSpoolEntry> SessionSpool::reusable_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReusableSpoolEntry> out;
+  for (const auto& e : index_)
+    if (e.reusable)
+      out.push_back(
+          ReusableSpoolEntry{e.name, e.key, e.bytes, e.sha256_hex, e.evals});
+  return out;
 }
 
 std::size_t SessionSpool::ready() const {

@@ -10,11 +10,22 @@
 //   ready/sess-<seq>.mxs    session_io-format files, available to serve
 //   ready/v3ss-<seq>.mx3    protocol-v3 lane (v3_session codec); the
 //                           index records each file's OT-pool lineage
+//   ready/reus-<seq>.mxr    reusable-circuit lane (reusable_io full
+//                           framing, secrets included); the index
+//                           records each artifact's cache key and the
+//                           MAC evaluations served off it
 //   claimed/sess-<seq>.mxs  claimed by a worker; purged on open()
 //   tmp/                    staging for atomic writes
 //   spool.idx               checksummed index of ready/ (text, see below)
 //
-// Single-use invariants:
+// The reusable lane breaks the single-use mold on purpose: a reusable
+// artifact is garbled once per (circuit fingerprint, bit width) key and
+// then read — never claimed — by every broker process that opens the
+// spool, surviving restarts. Corruption is handled at fetch time: a
+// checksum mismatch destroys the file and the caller re-garbles, so a
+// flipped bit on disk costs one garbling, never a wrong table.
+//
+// Single-use invariants (v2 and v3 lanes):
 //   * put() writes tmp/<name>, fsync-free but complete, then renames
 //     into ready/ — a crash mid-write leaves only tmp/ garbage, never a
 //     half session in ready/.
@@ -37,11 +48,13 @@
 // the hot path skips the read-back + parse entirely.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "proto/precompute.hpp"
 #include "proto/v3_session.hpp"
@@ -70,7 +83,30 @@ struct SpoolStats {
   // match the caller's registry — e.g. sessions spooled by a previous
   // broker process whose garbling delta died with it. Never served.
   std::uint64_t v3_lineage_discarded = 0;
+  // Reusable-circuit lane (garble-once artifacts, fetched not claimed).
+  std::size_t reusable_ready = 0;          // artifacts in ready/ right now
+  std::uint64_t reusable_spooled = 0;      // put_reusable() since open
+  std::uint64_t reusable_purged = 0;       // purge_reusable() victims
+  std::uint64_t reusable_corrupt_discarded = 0;  // failed fetch checksum
+  // MAC evaluations served across all resident artifacts — persisted in
+  // the index, so the count survives broker restarts with the artifact.
+  std::uint64_t reusable_evaluations = 0;
 };
+
+// One resident reusable artifact, as listed by `maxelctl spool`.
+struct ReusableSpoolEntry {
+  std::string name;        // reus-*.mxr file name within ready/
+  std::string key;         // <fingerprint16hex>-<bits> cache key
+  std::uint64_t bytes = 0;
+  std::string sha256_hex;  // artifact lineage: checksum of the blob
+  std::uint64_t evaluations = 0;  // MAC rounds served off this artifact
+};
+
+// Canonical reusable cache key: the first 8 bytes of the circuit
+// fingerprint in lowercase hex, a dash, the bit width — one token, so
+// it embeds safely in the whitespace-separated index.
+std::string reusable_artifact_key(
+    const std::array<std::uint8_t, 32>& fingerprint, std::size_t bits);
 
 class SessionSpool {
  public:
@@ -100,6 +136,22 @@ class SessionSpool {
   std::optional<proto::PrecomputedSessionV3> take_v3(
       std::uint64_t expected_lineage);
 
+  // Reusable-circuit lane. Artifacts are keyed, not sequenced: one
+  // resident artifact per key, replaced (old file destroyed, evaluation
+  // counter restarted) by a repeated put_reusable. fetch_reusable reads
+  // without claiming — the file stays in ready/ for the next process —
+  // and destroys a blob whose checksum no longer matches, returning
+  // nullopt so the caller re-garbles. add_reusable_evaluations persists
+  // the served-rounds counter through the index.
+  void put_reusable(const std::string& key,
+                    const std::vector<std::uint8_t>& bytes);
+  std::optional<std::vector<std::uint8_t>> fetch_reusable(
+      const std::string& key);
+  void add_reusable_evaluations(const std::string& key, std::uint64_t rounds);
+  // Destroys every resident artifact; returns how many were removed.
+  std::size_t purge_reusable();
+  [[nodiscard]] std::vector<ReusableSpoolEntry> reusable_entries() const;
+
   [[nodiscard]] std::size_t ready() const;
   [[nodiscard]] std::size_t ready_v3() const;
   [[nodiscard]] SpoolStats stats() const;
@@ -112,6 +164,9 @@ class SessionSpool {
     std::string sha256_hex;
     bool v3 = false;            // lane: v3 files carry a lineage column
     std::uint64_t lineage = 0;  // pool lineage (v3 only)
+    bool reusable = false;      // lane: reus files carry key + evals
+    std::string key;            // reusable cache key
+    std::uint64_t evals = 0;    // MAC evaluations served (reusable only)
   };
 
   void open_or_rebuild();

@@ -31,11 +31,14 @@
 #include <thread>
 #include <vector>
 
+#include "circuit/circuits.hpp"
 #include "crypto/rng.hpp"
 #include "net/client.hpp"
 #include "net/demo_inputs.hpp"
 #include "net/error.hpp"
 #include "net/fault.hpp"
+#include "net/handshake.hpp"
+#include "net/reusable_service.hpp"
 #include "net/server.hpp"
 #include "net/tcp_channel.hpp"
 #include "net/v3_service.hpp"
@@ -777,6 +780,106 @@ TEST(ChaosMatrix, V3ServerSurvivesEveryPlanWithNoStuckClaims) {
   EXPECT_GE(recovered, 5);
 }
 
+// Fifth serving path: the reusable garble-once lane. Same contract as
+// v3 (bounded time, bit-correct or typed error, zero stuck claims after
+// every scenario), and a fault anywhere — artifact delivery included —
+// must never burn the one shared artifact: a clean client still
+// verifies afterwards off the same garbling.
+TEST(ChaosMatrix, ReusableServerSurvivesEveryPlanWithNoStuckClaims) {
+  const std::uint64_t expected = net::demo_mac_reference(7, kBits, kRounds);
+  int recovered = 0;
+  for (const char* plan : kMatrixPlans) {
+    SCOPED_TRACE(std::string("plan=") + plan + " mode=reusable");
+    net::Server server(chaos_server_config());
+    std::thread serve([&] { server.serve(); });
+
+    net::ClientConfig ccfg = chaos_client_config(server.port(), plan);
+    ccfg.mode = net::SessionMode::kReusable;
+    const ChaosOutcome out = run_chaos_client(ccfg);
+    check_outcome(out, expected);
+    if (out.verified && out.attempts >= 2) ++recovered;
+
+    if (out.threw) {
+      net::ClientConfig clean_cfg = chaos_client_config(server.port(), "");
+      clean_cfg.mode = net::SessionMode::kReusable;
+      const ChaosOutcome clean = run_chaos_client(clean_cfg);
+      EXPECT_TRUE(clean.verified) << clean.error;
+    }
+    server.request_stop();
+    serve.join();
+    EXPECT_EQ(server.v3_outstanding_claims(), 0u);
+    EXPECT_EQ(server.stats().reusable_garbles, 1u);  // chaos never re-garbles
+  }
+  EXPECT_GE(recovered, 5);
+}
+
+// The corrupt-artifact verdict, deterministically: serve off a context
+// whose view bytes were flipped after hashing (exactly what an in-flight
+// corruption looks like to the client). The client must die to its
+// SHA-256 check with a typed CorruptionError — never evaluate off the
+// poisoned tables — and the server's pool claim must be discarded.
+TEST(ChaosRecovery, CorruptReusableArtifactDiesTypedWithNoStuckClaim) {
+  const circuit::Circuit circ =
+      circuit::make_mac_circuit(circuit::MacOptions{kBits, kBits, true});
+  crypto::SystemRandom garble_rng(crypto::Block{0xC0, 0xDE});
+  net::ReusableServeContext ctx = net::make_reusable_context(
+      circ, net::garble_reusable(circ, kBits, garble_rng), kRounds, 7);
+  ctx.view_bytes[ctx.view_bytes.size() / 2] ^= 0x20;  // sha is now stale
+
+  net::ServerExpectation ex;
+  ex.scheme = gc::Scheme::kHalfGates;
+  ex.bit_width = kBits;
+  ex.circuit_hash = net::circuit_fingerprint(circ);
+  ex.rounds_per_session = kRounds;
+  ex.allow_v3 = true;
+  ex.allow_reusable = true;
+
+  net::TcpOptions topt;
+  topt.recv_timeout_ms = 5'000;
+  net::TcpListener lis(0, "127.0.0.1");
+  net::V3PoolRegistry reg(crypto::SystemRandom().next_block());
+  std::unique_ptr<net::TcpChannel> server_ch;
+  std::thread accept([&] { server_ch = lis.accept(5'000, topt); });
+  auto client_ch = net::TcpChannel::connect("127.0.0.1", lis.port(), topt);
+  accept.join();
+
+  std::thread server([&] {
+    try {
+      const net::V23Handshake hs = net::server_handshake_v23(*server_ch, ex);
+      net::ServerStats local;
+      net::serve_reusable_session(*server_ch, reg, *hs.ext, ctx, local);
+    } catch (const net::NetError&) {
+      // The client hangs up at the checksum; any typed death is fine —
+      // the claim-discard assertion below is what matters.
+    }
+  });
+
+  net::ClientHello hello;
+  hello.scheme = static_cast<std::uint8_t>(ex.scheme);
+  hello.ot = static_cast<std::uint8_t>(net::OtChoice::kIknp);
+  hello.mode = static_cast<std::uint8_t>(net::SessionMode::kReusable);
+  hello.bit_width = ex.bit_width;
+  hello.circuit_hash = ex.circuit_hash;
+  crypto::SystemRandom id_rng(crypto::Block{0xFA, 0x11});
+  auto state = net::make_v3_client_state(id_rng);
+  net::HelloExtV3 hext;
+  hext.client_id = state->client_id;
+  (void)net::client_handshake_v3(*client_ch, hello, hext);
+
+  net::DemoInputStream x_inputs(7, net::kEvaluatorStream, kBits);
+  std::vector<std::vector<bool>> e_bits(kRounds);
+  for (auto& row : e_bits) row = x_inputs.next_bits();
+  crypto::SystemRandom rng;
+  EXPECT_THROW(
+      net::eval_reusable_session(*client_ch, circ, e_bits, *state, rng),
+      net::CorruptionError);
+  client_ch.reset();  // hang up; the server thread dies typed
+  server.join();
+  EXPECT_EQ(reg.outstanding_claims(), 0u);
+  // The poisoned view never entered the client's cache.
+  EXPECT_FALSE(state->reusable_view.has_value());
+}
+
 class BrokerChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -855,6 +958,41 @@ TEST_F(BrokerChaosTest, BrokerSideFaultIsMeteredAndSurvived) {
                 broker.metrics().counter("connection_errors").value(),
             1u);
   EXPECT_EQ(broker.stats().server.sessions_served, 1u);
+}
+
+// Reusable sessions through the chaos matrix against the broker: a kill
+// anywhere — artifact delivery, the d/z exchange, mid-evaluation — must
+// end typed-or-verified, leave zero stuck claims, and never cost the
+// spool its artifact: one garbling per broker, no matter what the link
+// does.
+TEST_F(BrokerChaosTest, ReusableBrokerSurvivesEveryPlanOffOneGarbling) {
+  const std::uint64_t expected = net::demo_mac_reference(7, kBits, kRounds);
+  int recovered = 0;
+  for (const char* plan : kMatrixPlans) {
+    SCOPED_TRACE(std::string("plan=") + plan + " mode=broker-reusable");
+    svc::Broker broker(chaos_broker_config());
+    std::thread run([&] { broker.run(); });
+
+    net::ClientConfig ccfg = chaos_client_config(broker.port(), plan);
+    ccfg.mode = net::SessionMode::kReusable;
+    const ChaosOutcome out = run_chaos_client(ccfg);
+    check_outcome(out, expected);
+    if (out.verified && out.attempts >= 2) ++recovered;
+
+    if (out.threw) {
+      net::ClientConfig clean_cfg = chaos_client_config(broker.port(), "");
+      clean_cfg.mode = net::SessionMode::kReusable;
+      const ChaosOutcome clean = run_chaos_client(clean_cfg);
+      EXPECT_TRUE(clean.verified) << clean.error;
+    }
+    broker.request_stop();
+    run.join();
+    EXPECT_EQ(broker.v3_outstanding_claims(), 0u);
+    const svc::BrokerStats st = broker.stats();
+    EXPECT_LE(st.server.reusable_garbles, 1u);
+    EXPECT_EQ(st.spool.reusable_ready, 1u);  // artifact survived the chaos
+  }
+  EXPECT_GE(recovered, 5);
 }
 
 }  // namespace

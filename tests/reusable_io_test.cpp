@@ -1,0 +1,200 @@
+// Hostile-input contract for the MXREUS1 codec, in the chunk_io mold:
+// every truncation of a valid record throws ReusableFormatError, every
+// single-byte mutation either parses or throws (never crashes, never
+// over-allocates), and hostile count prefixes are rejected by value
+// before any allocation.
+#include "proto/reusable_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "circuit/circuits.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel {
+namespace {
+
+gc::ReusableCircuit sample_artifact() {
+  const auto c = circuit::make_mac_circuit({.bit_width = 8});
+  crypto::SystemRandom rng(crypto::Block{13, 37});
+  auto rc = gc::make_reusable_circuit(c, rng);
+  rc.view.bit_width = 8;
+  for (std::size_t i = 0; i < rc.view.fingerprint.size(); ++i)
+    rc.view.fingerprint[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  return rc;
+}
+
+TEST(ReusableIo, ArtifactRoundtripsBothFramings) {
+  const auto rc = sample_artifact();
+  const auto view_bytes = proto::serialize_reusable_view(rc.view);
+  const auto full_bytes = proto::serialize_reusable(rc);
+  ASSERT_GT(full_bytes.size(), view_bytes.size());
+
+  const auto view = proto::parse_reusable_view(view_bytes.data(),
+                                               view_bytes.size());
+  EXPECT_EQ(view.bit_width, rc.view.bit_width);
+  EXPECT_EQ(view.fingerprint, rc.view.fingerprint);
+  EXPECT_EQ(view.n_gates, rc.view.n_gates);
+  EXPECT_EQ(view.tables, rc.view.tables);
+  EXPECT_EQ(view.dff_init_masked, rc.view.dff_init_masked);
+  EXPECT_EQ(view.dff_corrections, rc.view.dff_corrections);
+  EXPECT_EQ(view.output_flips, rc.view.output_flips);
+
+  const auto full = proto::parse_reusable(full_bytes.data(),
+                                          full_bytes.size());
+  EXPECT_EQ(full.view.tables, rc.view.tables);
+  EXPECT_EQ(full.garbler_flips, rc.garbler_flips);
+  EXPECT_EQ(full.evaluator_flips, rc.evaluator_flips);
+}
+
+TEST(ReusableIo, FramingFlagsAreMutuallyExclusive) {
+  const auto rc = sample_artifact();
+  const auto view_bytes = proto::serialize_reusable_view(rc.view);
+  const auto full_bytes = proto::serialize_reusable(rc);
+  // A client must refuse a secrets-bearing blob outright.
+  EXPECT_THROW(proto::parse_reusable_view(full_bytes.data(),
+                                          full_bytes.size()),
+               proto::ReusableFormatError);
+  // The spool loader must refuse a secrets-free blob.
+  EXPECT_THROW(proto::parse_reusable(view_bytes.data(), view_bytes.size()),
+               proto::ReusableFormatError);
+}
+
+TEST(ReusableIo, EveryTruncationThrowsTyped) {
+  const auto rc = sample_artifact();
+  for (const auto& blob :
+       {proto::serialize_reusable_view(rc.view), proto::serialize_reusable(rc)}) {
+    for (std::size_t len = 0; len < blob.size(); ++len) {
+      EXPECT_THROW(proto::parse_reusable_view(blob.data(), len),
+                   proto::ReusableFormatError)
+          << "len=" << len;
+      EXPECT_THROW(proto::parse_reusable(blob.data(), len),
+                   proto::ReusableFormatError)
+          << "len=" << len;
+    }
+  }
+}
+
+TEST(ReusableIo, TrailingBytesAreRejected) {
+  const auto rc = sample_artifact();
+  auto blob = proto::serialize_reusable_view(rc.view);
+  blob.push_back(0);
+  EXPECT_THROW(proto::parse_reusable_view(blob.data(), blob.size()),
+               proto::ReusableFormatError);
+}
+
+TEST(ReusableIo, EveryByteMutationIsHandled) {
+  const auto rc = sample_artifact();
+  const auto blob = proto::serialize_reusable_view(rc.view);
+  for (std::size_t pos = 0; pos < blob.size(); ++pos) {
+    for (const std::uint8_t mut : {std::uint8_t{0x80}, std::uint8_t{0x00},
+                                   std::uint8_t{0xff}}) {
+      auto copy = blob;
+      copy[pos] = mut == 0x80 ? static_cast<std::uint8_t>(copy[pos] ^ 0x80)
+                              : mut;
+      if (copy == blob) continue;
+      try {
+        (void)proto::parse_reusable_view(copy.data(), copy.size());
+      } catch (const proto::ReusableFormatError&) {
+        // Typed rejection is the expected common case.
+      }
+      // Anything else escaping (bad_alloc, segfault) fails the test run.
+    }
+  }
+}
+
+TEST(ReusableIo, HostileCountsRejectedBeforeAllocation) {
+  const auto rc = sample_artifact();
+  auto blob = proto::serialize_reusable_view(rc.view);
+  const std::size_t gates_off = 8 + 1 + 4 + 32;  // magic|flag|bits|sha
+  const auto stamp_u64 = [&](std::size_t off, std::uint64_t v) {
+    auto copy = blob;
+    std::memcpy(copy.data() + off, &v, 8);
+    EXPECT_THROW(proto::parse_reusable_view(copy.data(), copy.size()),
+                 proto::ReusableFormatError)
+        << "off=" << off << " v=" << v;
+  };
+  stamp_u64(gates_off, ~0ull);                  // gate count
+  stamp_u64(gates_off, proto::kMaxReusableGates + 1);
+  stamp_u64(gates_off + 8, ~0ull);              // table slots
+  stamp_u64(gates_off + 16, ~0ull);             // garbler inputs
+  stamp_u64(gates_off + 24, proto::kMaxReusableInputs + 1);
+  stamp_u64(gates_off + 32, ~0ull);             // outputs
+  stamp_u64(gates_off + 40, proto::kMaxReusableDffs + 1);
+}
+
+TEST(ReusableIo, ClientSetupRoundtripAndRejects) {
+  proto::ReusableClientSetup s;
+  s.extended = 8192;
+  s.watermark = 100;
+  s.has_artifact = true;
+  for (std::size_t i = 0; i < s.artifact_sha.size(); ++i)
+    s.artifact_sha[i] = static_cast<std::uint8_t>(i);
+  const auto buf = proto::serialize_reusable_client_setup(s);
+  ASSERT_EQ(buf.size(), proto::kReusableClientSetupWire);
+  const auto back = proto::parse_reusable_client_setup(buf.data(), buf.size());
+  EXPECT_EQ(back.extended, s.extended);
+  EXPECT_EQ(back.watermark, s.watermark);
+  EXPECT_TRUE(back.has_artifact);
+  EXPECT_EQ(back.artifact_sha, s.artifact_sha);
+
+  for (std::size_t len = 0; len < buf.size(); ++len)
+    EXPECT_THROW(proto::parse_reusable_client_setup(buf.data(), len),
+                 proto::ReusableFormatError);
+  auto bad = buf;
+  bad[16] = 2;  // artifact flag not boolean
+  EXPECT_THROW(proto::parse_reusable_client_setup(bad.data(), bad.size()),
+               proto::ReusableFormatError);
+  proto::ReusableClientSetup inverted;
+  inverted.extended = 1;
+  inverted.watermark = 2;
+  const auto ibuf = proto::serialize_reusable_client_setup(inverted);
+  EXPECT_THROW(proto::parse_reusable_client_setup(ibuf.data(), ibuf.size()),
+               proto::ReusableFormatError);
+}
+
+TEST(ReusableIo, ServerSetupRoundtripAndRejects) {
+  proto::ReusableServerSetup s;
+  s.fresh = true;
+  s.pool_id = 77;
+  s.cookie = crypto::Block{123, 456};
+  s.start_index = 4096;
+  s.claim_count = 96;
+  s.extend_count = 8192;
+  s.artifact_bytes = 1234;
+  for (std::size_t i = 0; i < s.artifact_sha.size(); ++i)
+    s.artifact_sha[i] = static_cast<std::uint8_t>(255 - i);
+  const auto buf = proto::serialize_reusable_server_setup(s);
+  ASSERT_EQ(buf.size(), proto::kReusableServerSetupWire);
+  const auto back = proto::parse_reusable_server_setup(buf.data(), buf.size());
+  EXPECT_EQ(back.fresh, s.fresh);
+  EXPECT_EQ(back.pool_id, s.pool_id);
+  EXPECT_EQ(back.cookie, s.cookie);
+  EXPECT_EQ(back.start_index, s.start_index);
+  EXPECT_EQ(back.claim_count, s.claim_count);
+  EXPECT_EQ(back.extend_count, s.extend_count);
+  EXPECT_EQ(back.artifact_bytes, s.artifact_bytes);
+  EXPECT_EQ(back.artifact_sha, s.artifact_sha);
+
+  for (std::size_t len = 0; len < buf.size(); ++len)
+    EXPECT_THROW(proto::parse_reusable_server_setup(buf.data(), len),
+                 proto::ReusableFormatError);
+
+  const auto stamp = [&](std::size_t off, std::uint64_t v) {
+    auto copy = buf;
+    std::memcpy(copy.data() + off, &v, 8);
+    EXPECT_THROW(proto::parse_reusable_server_setup(copy.data(), copy.size()),
+                 proto::ReusableFormatError);
+  };
+  stamp(1 + 8 + 16 + 8, proto::kMaxReusableClaim + 1);      // claim count
+  stamp(1 + 8 + 16 + 16, ~0ull);                            // extend count
+  stamp(1 + 8 + 16 + 24, proto::kMaxReusableArtifactBytes + 1);
+  auto bad = buf;
+  bad[0] = 7;  // fresh flag not boolean
+  EXPECT_THROW(proto::parse_reusable_server_setup(bad.data(), bad.size()),
+               proto::ReusableFormatError);
+}
+
+}  // namespace
+}  // namespace maxel

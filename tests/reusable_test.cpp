@@ -1,0 +1,162 @@
+// Reusable (CRGC-style) garbling unit tests: the masked-table artifact
+// must reproduce the plaintext reference bit-for-bit across rounds and
+// sessions, off a single construction.
+#include "gc/reusable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuits.hpp"
+#include "crypto/rng.hpp"
+
+namespace maxel {
+namespace {
+
+std::vector<bool> to_bits(std::uint64_t v, std::size_t n) {
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = ((v >> i) & 1u) != 0;
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) v |= 1ull << i;
+  return v;
+}
+
+std::vector<bool> mask_bits(const std::vector<bool>& v,
+                            const std::vector<bool>& r) {
+  std::vector<bool> o(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) o[i] = v[i] != r[i];
+  return o;
+}
+
+TEST(ReusableAnalysis, ClassifiesEveryGateExactlyOnce) {
+  const auto c = circuit::make_mac_circuit({.bit_width = 8});
+  const auto an = gc::analyze_reusable(c);
+  ASSERT_EQ(an.cls.size(), c.gates.size());
+  EXPECT_EQ(an.n_public + an.n_free + an.n_tables, c.gates.size());
+  EXPECT_GT(an.n_tables, 0u);  // the multiplier is not XOR-only
+  EXPECT_EQ(an.table_bytes(), (an.n_tables + 1) / 2);
+  // Constant wires are public with their defined values.
+  EXPECT_TRUE(an.pub[circuit::kConstZero]);
+  EXPECT_TRUE(an.pub[circuit::kConstOne]);
+  EXPECT_FALSE(an.pub_val[circuit::kConstZero]);
+  EXPECT_TRUE(an.pub_val[circuit::kConstOne]);
+  // Inputs are never public.
+  for (const auto w : c.garbler_inputs) EXPECT_FALSE(an.pub[w]);
+  for (const auto w : c.evaluator_inputs) EXPECT_FALSE(an.pub[w]);
+}
+
+TEST(ReusableMac, MatchesSequentialPlainReference) {
+  for (const std::size_t bits : {4u, 8u, 16u}) {
+    const circuit::MacOptions opt{.bit_width = bits};
+    const auto c = circuit::make_mac_circuit(opt);
+    crypto::SystemRandom rng(crypto::Block{7, static_cast<std::uint64_t>(bits)});
+    const auto rc = gc::make_reusable_circuit(c, rng);
+    gc::ReusableEvaluator ev(c, rc.view);
+
+    crypto::SystemRandom inputs(crypto::Block{21, 42});
+    const std::uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
+    std::vector<circuit::RoundInputs> rounds;
+    std::vector<bool> decoded;
+    for (int r = 0; r < 9; ++r) {
+      const std::uint64_t a = inputs.next_u64() & mask;
+      const std::uint64_t x = inputs.next_u64() & mask;
+      rounds.push_back({to_bits(a, bits), to_bits(x, bits)});
+      decoded = ev.eval_round(
+          mask_bits(rounds.back().garbler_bits, rc.garbler_flips),
+          mask_bits(rounds.back().evaluator_bits, rc.evaluator_flips));
+      const auto ref = circuit::eval_sequential_plain(c, rounds);
+      EXPECT_EQ(from_bits(decoded), from_bits(ref))
+          << "bits=" << bits << " round=" << r;
+    }
+  }
+}
+
+TEST(ReusableMac, ResetReplaysManySessionsOffOneArtifact) {
+  const circuit::MacOptions opt{.bit_width = 8};
+  const auto c = circuit::make_mac_circuit(opt);
+  crypto::SystemRandom rng(crypto::Block{3, 4});
+  const auto rc = gc::make_reusable_circuit(c, rng);
+  gc::ReusableEvaluator ev(c, rc.view);
+
+  crypto::SystemRandom inputs(crypto::Block{5, 6});
+  for (int session = 0; session < 20; ++session) {
+    ev.reset();
+    EXPECT_EQ(ev.rounds_evaluated(), 0u);
+    std::vector<circuit::RoundInputs> rounds;
+    std::vector<bool> decoded;
+    for (int r = 0; r < 5; ++r) {
+      rounds.push_back({to_bits(inputs.next_u64() & 0xff, 8),
+                        to_bits(inputs.next_u64() & 0xff, 8)});
+      decoded = ev.eval_round(
+          mask_bits(rounds.back().garbler_bits, rc.garbler_flips),
+          mask_bits(rounds.back().evaluator_bits, rc.evaluator_flips));
+    }
+    EXPECT_EQ(from_bits(decoded),
+              from_bits(circuit::eval_sequential_plain(c, rounds)))
+        << "session=" << session;
+  }
+}
+
+TEST(ReusableCombinational, MillionairesMatchesEvalPlain) {
+  const auto c = circuit::make_millionaires_circuit(8);
+  crypto::SystemRandom rng(crypto::Block{11, 12});
+  const auto rc = gc::make_reusable_circuit(c, rng);
+  gc::ReusableEvaluator ev(c, rc.view);
+  for (std::uint64_t a = 0; a < 16; ++a)
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      ev.reset();
+      const auto ga = to_bits(a * 17, 8);
+      const auto gb = to_bits(b * 13, 8);
+      const auto got = ev.eval_round(mask_bits(ga, rc.garbler_flips),
+                                     mask_bits(gb, rc.evaluator_flips));
+      const auto ref = circuit::eval_plain(c, ga, gb);
+      EXPECT_EQ(got, ref) << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(ReusableConstruction, FreshRandomnessChangesTheTables) {
+  const auto c = circuit::make_mac_circuit({.bit_width = 8});
+  crypto::SystemRandom rng1(crypto::Block{1, 1});
+  crypto::SystemRandom rng2(crypto::Block{2, 2});
+  const auto rc1 = gc::make_reusable_circuit(c, rng1);
+  const auto rc2 = gc::make_reusable_circuit(c, rng2);
+  EXPECT_NE(rc1.view.tables, rc2.view.tables);
+  // Same seed replays the same artifact (spool determinism is not
+  // required, but the construction itself must be a pure function of
+  // the rng stream).
+  crypto::SystemRandom rng1b(crypto::Block{1, 1});
+  const auto rc1b = gc::make_reusable_circuit(c, rng1b);
+  EXPECT_EQ(rc1.view.tables, rc1b.view.tables);
+  EXPECT_EQ(rc1.garbler_flips, rc1b.garbler_flips);
+}
+
+TEST(ReusableEvaluator, RejectsShapeMismatches) {
+  const auto c = circuit::make_mac_circuit({.bit_width = 8});
+  crypto::SystemRandom rng(crypto::Block{9, 9});
+  const auto rc = gc::make_reusable_circuit(c, rng);
+
+  auto bad = rc.view;
+  bad.n_gates += 1;
+  EXPECT_THROW(gc::ReusableEvaluator(c, bad), std::invalid_argument);
+
+  bad = rc.view;
+  bad.tables.pop_back();
+  EXPECT_THROW(gc::ReusableEvaluator(c, bad), std::invalid_argument);
+
+  bad = rc.view;
+  bad.output_flips.pop_back();
+  EXPECT_THROW(gc::ReusableEvaluator(c, bad), std::invalid_argument);
+
+  bad = rc.view;
+  bad.dff_corrections.push_back(false);
+  EXPECT_THROW(gc::ReusableEvaluator(c, bad), std::invalid_argument);
+
+  gc::ReusableEvaluator ev(c, rc.view);
+  EXPECT_THROW(ev.eval_round({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxel

@@ -14,7 +14,9 @@
 #include "circuit/circuits.hpp"
 #include "crypto/rng.hpp"
 #include "gc/v3.hpp"
+#include "net/reusable_service.hpp"
 #include "proto/precompute.hpp"
+#include "proto/reusable_io.hpp"
 #include "proto/session_io.hpp"
 #include "proto/v3_session.hpp"
 #include "svc/metrics.hpp"
@@ -249,6 +251,103 @@ TEST_F(SpoolTest, V3LaneSurvivesRestartAndBurnsForeignLineage) {
   // And the burn is durable: nothing reappears on the next open.
   SessionSpool reopened(config());
   EXPECT_EQ(reopened.ready_v3(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reusable lane: keyed garble-once artifacts, fetched without claiming.
+
+TEST_F(SpoolTest, ReusableLaneFetchesWithoutClaimingAndStaysSeparate) {
+  SessionSpool spool(config());
+  spool.put(make_session(1));
+  const auto s3 = make_v3_session(2, Block{0x1, 0x3});
+  spool.put_v3(s3);
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  spool.put_reusable("abcd-8", blob);
+
+  // Fetch is idempotent: the artifact never moves to claimed/ and both
+  // single-use lanes are blind to it.
+  EXPECT_EQ(spool.fetch_reusable("abcd-8"), blob);
+  EXPECT_EQ(spool.fetch_reusable("abcd-8"), blob);
+  EXPECT_FALSE(spool.fetch_reusable("other-key").has_value());
+  ASSERT_TRUE(spool.take().has_value());
+  EXPECT_FALSE(spool.take().has_value());
+  ASSERT_TRUE(spool.take_v3(s3.pool_lineage).has_value());
+  EXPECT_FALSE(spool.take_v3(s3.pool_lineage).has_value());
+  EXPECT_EQ(spool.stats().reusable_ready, 1u);
+  EXPECT_EQ(spool.stats().reusable_spooled, 1u);
+}
+
+TEST_F(SpoolTest, ReusableEvaluationCounterPersistsAcrossRestart) {
+  const circuit::Circuit c =
+      circuit::make_mac_circuit(circuit::MacOptions{8, 8, true});
+  crypto::SystemRandom rng(Block{0x77, 0x9});
+  const gc::ReusableCircuit rc = net::garble_reusable(c, 8, rng);
+  const std::string key = reusable_artifact_key(rc.view.fingerprint, 8);
+  {
+    SessionSpool spool(config());
+    spool.put_reusable(key, proto::serialize_reusable(rc));
+    spool.add_reusable_evaluations(key, 100);
+    spool.add_reusable_evaluations(key, 28);
+  }
+  {
+    SessionSpool spool(config());
+    const auto entries = spool.reusable_entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].key, key);
+    EXPECT_EQ(entries[0].evaluations, 128u);
+    EXPECT_EQ(spool.stats().reusable_evaluations, 128u);
+  }
+  // Losing the index costs the counter but not the artifact: the key is
+  // recovered by parsing the blob itself.
+  fs::remove(dir_ / "spool.idx");
+  SessionSpool rebuilt(config());
+  const auto entries = rebuilt.reusable_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, key);
+  EXPECT_EQ(entries[0].evaluations, 0u);
+  ASSERT_TRUE(rebuilt.fetch_reusable(key).has_value());
+}
+
+TEST_F(SpoolTest, ReusableFetchDestroysBitRottedArtifact) {
+  SessionSpool spool(config());
+  spool.put_reusable("feed-16", std::vector<std::uint8_t>(64, 0xAB));
+  for (const auto& e : fs::directory_iterator(dir_ / "ready")) {
+    std::ofstream os(e.path(), std::ios::binary | std::ios::trunc);
+    os << "tampered";
+  }
+  EXPECT_FALSE(spool.fetch_reusable("feed-16").has_value());
+  EXPECT_EQ(spool.stats().reusable_corrupt_discarded, 1u);
+  EXPECT_EQ(spool.stats().reusable_ready, 0u);
+  // The discard is durable: nothing resurfaces on the next open.
+  spool.put(make_session(9));  // keep the dir non-trivial
+  SessionSpool reopened(config());
+  EXPECT_FALSE(reopened.fetch_reusable("feed-16").has_value());
+}
+
+TEST_F(SpoolTest, ReusablePutReplacesPerKeyAndPurgeRetires) {
+  SessionSpool spool(config());
+  spool.put_reusable("k-8", std::vector<std::uint8_t>(32, 0x01));
+  spool.add_reusable_evaluations("k-8", 50);
+  spool.put_reusable("k-8", std::vector<std::uint8_t>(48, 0x02));
+  auto entries = spool.reusable_entries();
+  ASSERT_EQ(entries.size(), 1u);  // replaced, not accumulated
+  EXPECT_EQ(entries[0].bytes, 48u);
+  EXPECT_EQ(entries[0].evaluations, 0u);  // fresh artifact, fresh count
+  spool.put_reusable("k2-16", std::vector<std::uint8_t>(16, 0x03));
+  EXPECT_EQ(spool.purge_reusable(), 2u);
+  EXPECT_TRUE(spool.reusable_entries().empty());
+  EXPECT_EQ(spool.stats().reusable_purged, 2u);
+  EXPECT_FALSE(spool.fetch_reusable("k-8").has_value());
+  SessionSpool reopened(config());
+  EXPECT_TRUE(reopened.reusable_entries().empty());
+}
+
+TEST(ReusableKey, EncodesFingerprintPrefixAndBits) {
+  std::array<std::uint8_t, 32> fp{};
+  fp[0] = 0xDE;
+  fp[1] = 0xAD;
+  fp[7] = 0x01;
+  EXPECT_EQ(reusable_artifact_key(fp, 16), "dead000000000001-16");
 }
 
 // ---------------------------------------------------------------------------

@@ -55,6 +55,26 @@ CHECKS = {
             ("setup_bytes", "v3-resume-100", "v3-resume-1", 0.10),
         ],
     },
+    "reusable": {
+        "key": "point",
+        # No absolute mac_per_sec floors: the 1-session rows are a few
+        # ms of wall time, all connect latency, and vary several-fold
+        # between runners. The wire bytes are deterministic, and the
+        # 1000-session ratios below hold at any machine speed -- those
+        # carry the regression gate.
+        "lower_bound": [],
+        "upper_bound": ["bytes_per_mac"],
+        # The whole point of garble-once: after 1000 sessions the cached
+        # artifact must have collapsed the wire to a sliver of v3's
+        # per-MAC bytes and be serving MACs at a multiple of v3's rate.
+        # Measured-run ratios, so they hold at any machine speed.
+        "ratio": [
+            ("mac_per_sec", "reusable-1000", "v3-1000", 2.0),
+        ],
+        "ratio_max": [
+            ("bytes_per_mac", "reusable-1000", "v3-1000", 0.25),
+        ],
+    },
     "core_scaling": {
         "key": "cores",
         "lower_bound": ["mac_per_sec"],

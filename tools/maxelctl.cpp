@@ -17,20 +17,26 @@
 //   maxelctl serve / maxelctl connect
 //       The network service (garbler server / evaluator client); same
 //       flags as the standalone maxel_server / maxel_client binaries —
-//       see src/net/service.hpp and docs/PROTOCOL.md. `serve` has three
-//       modes: the sequential server (default), the concurrent session
+//       see src/net/service.hpp and docs/PROTOCOL.md. `serve` is either
+//       the sequential server (default) or the concurrent session
 //       broker (--spool DIR or --workers N — see src/svc/service.hpp
-//       and docs/OPERATIONS.md), and — negotiated per connection, in
-//       either of those — garble-while-transfer streaming when the
-//       client passes --stream (tune with --chunk-rounds/--queue-chunks,
-//       disable with --no-stream). `connect` retries failed sessions
-//       from scratch with --retries/--retry-backoff; both sides take
-//       --fault-plan SPEC (or the MAXEL_FAULT_PLAN env var) to inject a
-//       deterministic schedule of link faults for chaos testing, and
-//       `serve` bounds stalled clients with --idle-timeout MS — see
-//       src/net/fault.hpp and docs/TESTING.md.
+//       and docs/OPERATIONS.md); both take the unified session-mode
+//       selector --mode {precomputed|stream|v3|reusable} (the client
+//       side of `connect` takes the same flag to pick what it asks
+//       for; --stream/--v3/--no-stream/--no-v3/--no-reusable survive
+//       as deprecated aliases). `reusable` trades garbler privacy for
+//       garble-once throughput — see docs/SECURITY_MODELS.md. `connect`
+//       retries failed sessions from scratch with
+//       --retries/--retry-backoff; both sides take --fault-plan SPEC
+//       (or the MAXEL_FAULT_PLAN env var) to inject a deterministic
+//       schedule of link faults for chaos testing, and `serve` bounds
+//       stalled clients with --idle-timeout MS — see src/net/fault.hpp
+//       and docs/TESTING.md.
 //   maxelctl spool --dir DIR [--fill K --bits N --rounds M]
-//       Inspect or pre-fill a disk session spool.
+//       Inspect or pre-fill a disk session spool; lists resident
+//       reusable artifacts (key, size, evaluations served, lineage).
+//   maxelctl spool purge --lane reusable --dir DIR
+//       Retire the spool's reusable artifacts (forces a re-garble).
 //   maxelctl stats --metrics FILE
 //       Pretty-print a broker metrics dump (`serve --metrics FILE`).
 #include <cstdio>
@@ -74,10 +80,12 @@ int usage() {
                "usage: maxelctl "
                "<circuit|stats|simulate|bank|bench-mac|serve|connect|spool> "
                "[options]\n"
-               "  serve modes: sequential server (default), concurrent broker "
-               "(--spool DIR / --workers N),\n"
-               "  garble-while-transfer streaming (per connection, when the "
-               "client passes --stream)\n"
+               "  serve: sequential server (default) or concurrent broker "
+               "(--spool DIR / --workers N);\n"
+               "  session modes via --mode "
+               "{precomputed|stream|v3|reusable} on serve and connect\n"
+               "  spool purge --lane reusable --dir DIR retires cached "
+               "reusable artifacts\n"
                "  see the header of tools/maxelctl.cpp\n");
   return 2;
 }
