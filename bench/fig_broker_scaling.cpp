@@ -1,170 +1,191 @@
-// fig_broker_scaling — does the concurrent broker actually scale?
+// fig_broker_scaling — the evloop concurrency sweep: how many live
+// sessions can one serving process carry, and at what latency?
 //
-// The single-connection net::Server serves one evaluator at a time; the
-// svc::Broker puts a worker pool and a disk-backed session spool behind
-// the same wire protocol. This bench sweeps concurrent loopback clients
-// 1 -> 8 (worker pool sized to match), each client running several full
-// garbled-MAC sessions back to back, and reports aggregate MAC
-// throughput plus the speedup over the single-client baseline — the
-// number that justifies the serving tier. Spools are pre-filled so the
-// measurement isolates serving (handshake + table/label streaming +
-// OT), not garbling.
+// Four tiers, all driving canned reusable-mode sessions through real
+// loopback TCP from the single-threaded evloop::ReusableLoadgen (one
+// mock client = one connect + one full reusable session):
+//
+//   workerpool-100  blocking svc::Broker, 8 worker threads, the
+//                   thread-per-connection baseline at 100 concurrent
+//   evloop-100      sharded EvBroker at the same 100-concurrent point —
+//                   the CI gate: its sessions/s must not fall below the
+//                   worker pool's (tools/bench_compare.py)
+//   evloop-1000     1000 concurrent — past any sane thread-pool size
+//   evloop-10000    10k mock clients through a 4096-connection window;
+//                   client AND server ends share this one process's fd
+//                   budget (2 fds/session), so the window, not the
+//                   client count, caps concurrency
+//
+// Sessions are tiny (b=8, 2 MAC rounds) on purpose: the sweep measures
+// the concurrency machinery — accept drain, readiness scheduling, the
+// timer wheel, pool-gate serialization — not garbled-table crypto,
+// which the other benches already cover. Every tier requires zero
+// failed sessions; the JSON rows carry sessions/s, p50/p99 latency,
+// peak in-flight, peak open fds and peak RSS for the baseline gate.
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "bench_util.hpp"
-#include "circuit/circuits.hpp"
-#include "core/gc_core_pool.hpp"
-#include "crypto/rng.hpp"
-#include "net/client.hpp"
-#include "proto/precompute.hpp"
+#include "evloop/ev_broker.hpp"
+#include "evloop/loadgen.hpp"
 #include "svc/broker.hpp"
-#include "svc/session_spool.hpp"
 
 namespace {
 
 using namespace maxel;
 namespace fs = std::filesystem;
-using Clock = std::chrono::steady_clock;
 
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+constexpr std::size_t kBits = 8;
+constexpr std::size_t kRounds = 2;  // MAC rounds per session
+constexpr std::size_t kShards = 2;
 
-constexpr std::size_t kBits = 16;
-constexpr std::size_t kRounds = 12;       // MAC rounds per session
-constexpr std::size_t kSessionsEach = 3;  // sessions per client
-
-struct Point {
-  std::size_t clients = 0;
-  double seconds = 0;
-  double macs_per_sec = 0;
-  double sessions_per_sec = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  bool all_verified = true;
+struct Tier {
+  const char* point;
+  bool evloop;
+  std::size_t sessions;    // total mock clients driven through the tier
+  std::size_t window;      // max concurrently open connections
+  std::size_t identities;  // distinct client OT-pool identities
 };
 
-Point run_point(std::size_t clients, const fs::path& spool_dir) {
-  const std::size_t total_sessions = clients * kSessionsEach;
+constexpr Tier kTiers[] = {
+    {"workerpool-100", false, 2000, 100, 16},
+    {"evloop-100", true, 2000, 100, 16},
+    {"evloop-1000", true, 4000, 1000, 32},
+    {"evloop-10000", true, 10000, 4096, 64},
+};
+
+struct TierRun {
+  evloop::LoadgenResult res;
+  std::uint64_t served = 0;  // broker-side reusable_sessions_served
+  bool claims_clean = false;
+};
+
+evloop::LoadgenConfig loadgen_config(const Tier& t, std::uint16_t port) {
+  evloop::LoadgenConfig lcfg;
+  lcfg.port = port;
+  lcfg.total_sessions = t.sessions;
+  lcfg.window = t.window;
+  lcfg.clients = t.identities;
+  return lcfg;
+}
+
+TierRun run_evloop_tier(const Tier& t, const fs::path& spool_dir) {
   fs::remove_all(spool_dir);
+  evloop::EvBrokerConfig cfg;
+  cfg.bind_addr = "127.0.0.1";
+  cfg.port = 0;
+  cfg.bits = kBits;
+  cfg.rounds_per_session = kRounds;
+  cfg.spool_dir = spool_dir.string();
+  cfg.shards = kShards;
+  cfg.spool_low_watermark = 0;  // reusable sessions never touch the
+  cfg.spool_high_watermark = 0;  // precomputed spool: producer stays idle
+  cfg.ram_cache_sessions = 0;
+  cfg.verbose = false;
+  evloop::EvBroker broker(cfg);
+  std::thread run([&] { broker.run(); });
 
-  // Pre-fill the spool so serving, not garbling, is what gets timed.
-  {
-    svc::SessionSpool spool(
-        svc::SpoolConfig{spool_dir.string(), /*ram_cache=*/0, true});
-    const circuit::Circuit c =
-        circuit::make_mac_circuit(circuit::MacOptions{kBits, kBits, true});
-    core::GcCorePool pool(0, crypto::SystemRandom().next_block());
-    std::vector<proto::PrecomputedSession> fresh(total_sessions);
-    pool.parallel_for(total_sessions, [&](std::size_t i, std::size_t core) {
-      fresh[i] = proto::garble_session(c, gc::Scheme::kHalfGates, kRounds,
-                                       pool.core_rng(core));
-    });
-    for (auto& s : fresh) spool.put(std::move(s));
-  }
+  TierRun out;
+  evloop::ReusableLoadgen lg(broker.v3_registry(), *broker.reusable_context(),
+                             broker.expectation());
+  out.res = lg.run(loadgen_config(t, broker.port()));
+  broker.request_stop();
+  run.join();
+  out.served = broker.stats().server.reusable_sessions_served;
+  out.claims_clean = broker.v3_outstanding_claims() == 0;
+  fs::remove_all(spool_dir);
+  return out;
+}
 
+TierRun run_workerpool_tier(const Tier& t, const fs::path& spool_dir) {
+  fs::remove_all(spool_dir);
   svc::BrokerConfig cfg;
   cfg.bind_addr = "127.0.0.1";
   cfg.port = 0;
   cfg.bits = kBits;
   cfg.rounds_per_session = kRounds;
-  cfg.workers = clients;
-  cfg.admission_queue = clients * 2;
   cfg.spool_dir = spool_dir.string();
-  cfg.spool_low_watermark = 0;  // pre-filled: the producer stays idle
-  cfg.spool_high_watermark = 0;
-  cfg.ram_cache_sessions = 0;  // every session comes off disk
-  cfg.max_sessions = total_sessions;
+  cfg.workers = 8;
+  cfg.admission_queue = t.window + 32;  // the whole window fits: no rejects
   cfg.accept_poll_ms = 50;
+  cfg.spool_low_watermark = 0;
+  cfg.spool_high_watermark = 0;
+  cfg.ram_cache_sessions = 0;
   cfg.verbose = false;
   svc::Broker broker(cfg);
   std::thread run([&] { broker.run(); });
 
-  Point pt;
-  pt.clients = clients;
-  const auto t0 = Clock::now();
-  std::vector<std::thread> threads;
-  std::vector<char> ok(clients, 1);
-  for (std::size_t i = 0; i < clients; ++i)
-    threads.emplace_back([&, i] {
-      net::ClientConfig ccfg;
-      ccfg.port = broker.port();
-      ccfg.bits = kBits;
-      ccfg.verbose = false;
-      ccfg.tcp.recv_timeout_ms = 30'000;
-      ccfg.tcp.connect_attempts = 5;
-      ccfg.tcp.connect_backoff_ms = 20;
-      for (std::size_t s = 0; s < kSessionsEach; ++s) {
-        const net::ClientStats cs = net::run_client(ccfg);
-        if (!cs.verified) ok[i] = 0;
-      }
-    });
-  for (auto& t : threads) t.join();
-  pt.seconds = seconds_since(t0);
+  TierRun out;
+  evloop::ReusableLoadgen lg(broker.v3_registry(), *broker.reusable_context(),
+                             broker.expectation());
+  out.res = lg.run(loadgen_config(t, broker.port()));
+  broker.request_stop();
   run.join();
-
-  for (const char o : ok) pt.all_verified = pt.all_verified && o;
-  pt.macs_per_sec =
-      static_cast<double>(total_sessions * kRounds) / pt.seconds;
-  pt.sessions_per_sec = static_cast<double>(total_sessions) / pt.seconds;
-  const svc::BrokerStats st = broker.stats();
-  pt.cache_hits = st.spool.cache_hits;
-  pt.cache_misses = st.spool.cache_misses;
-  pt.all_verified =
-      pt.all_verified && st.server.sessions_served == total_sessions;
+  out.served = broker.stats().server.reusable_sessions_served;
+  out.claims_clean = broker.v3_outstanding_claims() == 0;
   fs::remove_all(spool_dir);
-  return pt;
+  return out;
 }
 
 }  // namespace
 
 int main() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  bench::header("Broker scaling: concurrent loopback clients vs throughput");
-  std::printf("b=%zu, %zu MAC rounds/session, %zu sessions/client, "
-              "workers = clients, spool pre-filled (no RAM cache)\n",
-              kBits, kRounds, kSessionsEach);
-  std::printf("host hardware threads: %u — client and worker threads share "
-              "them, so wall-clock speedup is bounded by ~hw/2\n\n",
-              hw);
-  std::printf("%8s %10s %12s %14s %10s %9s\n", "clients", "wall s",
-              "sessions/s", "agg MAC/s", "speedup", "verified");
-  bench::rule(68);
+  const std::uint64_t nofile = evloop::raise_nofile_limit();
+  bench::header("Broker scaling: evloop shard front vs blocking worker pool");
+  std::printf("b=%zu, %zu MAC rounds/session, reusable-mode canned sessions, "
+              "%zu evloop shards, RLIMIT_NOFILE %llu\n",
+              kBits, kRounds, kShards,
+              static_cast<unsigned long long>(nofile));
+  std::printf("one mock client = one connect + one full reusable session; "
+              "client and server fds share this process\n\n");
+  std::printf("%16s %9s %8s %10s %12s %9s %9s %9s %8s %9s\n", "tier",
+              "sessions", "window", "wall s", "sessions/s", "p50 ms", "p99 ms",
+              "peak fds", "rss MB", "failed");
+  bench::rule(108);
 
   const fs::path spool_dir =
       fs::temp_directory_path() / "maxel_bench_broker_spool";
   bench::JsonReporter rep("broker_scaling");
-  double baseline = 0;
-  for (const std::size_t clients : {1u, 2u, 4u, 8u}) {
-    const Point pt = run_point(clients, spool_dir);
-    if (clients == 1) baseline = pt.macs_per_sec;
-    const double speedup = baseline > 0 ? pt.macs_per_sec / baseline : 0;
-    std::printf("%8zu %10.3f %12.1f %14.0f %9.2fx %9s\n", pt.clients,
-                pt.seconds, pt.sessions_per_sec, pt.macs_per_sec, speedup,
-                pt.all_verified ? "yes" : "NO");
+  bool all_ok = true;
+  for (const Tier& t : kTiers) {
+    const TierRun r = t.evloop ? run_evloop_tier(t, spool_dir)
+                               : run_workerpool_tier(t, spool_dir);
+    const bool verified = r.res.ok == t.sessions && r.res.failed == 0 &&
+                          r.served == t.sessions && r.claims_clean;
+    all_ok = all_ok && verified;
+    std::printf("%16s %9zu %8zu %10.3f %12.1f %9.2f %9.2f %8zu %8.1f %9zu%s\n",
+                t.point, t.sessions, t.window, r.res.wall_seconds,
+                r.res.sessions_per_sec(), r.res.p50_ms, r.res.p99_ms,
+                r.res.peak_open_fds,
+                static_cast<double>(r.res.peak_rss_kb) / 1024.0, r.res.failed,
+                verified ? "" : "  FAILED");
     rep.row()
-        .num("clients", static_cast<std::uint64_t>(pt.clients))
-        .num("workers", static_cast<std::uint64_t>(pt.clients))
-        .num("sessions", static_cast<std::uint64_t>(clients * kSessionsEach))
+        .str("point", t.point)
+        .str("front", t.evloop ? "evloop" : "workerpool")
+        .num("sessions", static_cast<std::uint64_t>(t.sessions))
+        .num("window", static_cast<std::uint64_t>(t.window))
+        .num("identities", static_cast<std::uint64_t>(t.identities))
         .num("rounds_per_session", static_cast<std::uint64_t>(kRounds))
         .num("bits", static_cast<std::uint64_t>(kBits))
-        .num("wall_seconds", pt.seconds)
-        .num("sessions_per_sec", pt.sessions_per_sec)
-        .num("mac_per_sec", pt.macs_per_sec)
-        .num("speedup_vs_1", speedup)
-        .num("hw_threads", static_cast<std::uint64_t>(hw))
-        .num("spool_cache_hits", pt.cache_hits)
-        .num("spool_cache_misses", pt.cache_misses)
-        .boolean("all_verified", pt.all_verified);
+        .num("wall_seconds", r.res.wall_seconds)
+        .num("sessions_per_sec", r.res.sessions_per_sec())
+        .num("p50_ms", r.res.p50_ms)
+        .num("p99_ms", r.res.p99_ms)
+        .num("failed", static_cast<std::uint64_t>(r.res.failed))
+        .num("retries", static_cast<std::uint64_t>(r.res.retries))
+        .num("peak_inflight", static_cast<std::uint64_t>(r.res.peak_inflight))
+        .num("peak_open_fds", static_cast<std::uint64_t>(r.res.peak_open_fds))
+        .num("peak_rss_kb", r.res.peak_rss_kb)
+        .boolean("verified", verified);
   }
 
-  std::printf("\nspeedup = aggregate MAC/s relative to the 1-client run; "
-              "every session is claimed off the disk spool.\n");
+  std::printf("\nevery tier requires zero failed sessions and zero stuck "
+              "OT-pool claims; the CI gate holds evloop-100\n"
+              "sessions/s at or above workerpool-100 "
+              "(tools/bench_compare.py, measured-run ratio).\n");
   std::printf("wrote %s\n", rep.write().c_str());
-  return 0;
+  return all_ok ? 0 : 1;
 }

@@ -1,0 +1,133 @@
+#include "evloop/buffered_channel.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "net/error.hpp"
+
+namespace maxel::evloop {
+
+void BufferedChannel::compact() {
+  // Reclaim consumed prefixes once they dominate the buffer, so a
+  // long-lived session doesn't grow without bound.
+  if (in_pos_ > 4096 && in_pos_ * 2 > in_.size()) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(in_pos_));
+    in_pos_ = 0;
+  }
+  if (raw_pos_ > 4096 && raw_pos_ * 2 > raw_.size()) {
+    raw_.erase(raw_.begin(),
+               raw_.begin() + static_cast<std::ptrdiff_t>(raw_pos_));
+    raw_pos_ = 0;
+  }
+}
+
+void BufferedChannel::ingest(const std::uint8_t* data, std::size_t n) {
+  raw_.insert(raw_.end(), data, data + n);
+  // Strip complete frames into the de-framed buffer.
+  while (raw_.size() - raw_pos_ >= 4) {
+    std::uint32_t len;
+    std::memcpy(&len, raw_.data() + raw_pos_, 4);
+    if (len == 0 || len > max_frame_bytes_)
+      throw net::FramingError("bad frame length: " + std::to_string(len));
+    if (raw_.size() - raw_pos_ < 4 + static_cast<std::size_t>(len)) break;
+    const std::uint8_t* payload = raw_.data() + raw_pos_ + 4;
+    in_.insert(in_.end(), payload, payload + len);
+    raw_pos_ += 4 + static_cast<std::size_t>(len);
+  }
+  if (available() > in_cap())
+    throw net::FramingError("inbound backlog over cap: " +
+                            std::to_string(available()) + " bytes");
+  compact();
+}
+
+std::uint8_t BufferedChannel::peek_u8(std::size_t off) const {
+  if (off >= available())
+    throw std::logic_error("BufferedChannel::peek_u8 past available bytes");
+  return in_[in_pos_ + off];
+}
+
+std::uint32_t BufferedChannel::peek_u32(std::size_t off) const {
+  if (off + 4 > available())
+    throw std::logic_error("BufferedChannel::peek_u32 past available bytes");
+  std::uint32_t v;
+  std::memcpy(&v, in_.data() + in_pos_ + off, 4);
+  return v;
+}
+
+std::uint64_t BufferedChannel::peek_u64(std::size_t off) const {
+  if (off + 8 > available())
+    throw std::logic_error("BufferedChannel::peek_u64 past available bytes");
+  std::uint64_t v;
+  std::memcpy(&v, in_.data() + in_pos_ + off, 8);
+  return v;
+}
+
+void BufferedChannel::flush() {
+  if (staging_.empty()) return;
+  Segment header;
+  header.bytes.resize(4);
+  const std::uint32_t len = static_cast<std::uint32_t>(staging_.size());
+  std::memcpy(header.bytes.data(), &len, 4);
+  out_.push_back(std::move(header));
+  Segment payload;
+  payload.bytes.swap(staging_);
+  out_.push_back(std::move(payload));
+}
+
+std::size_t BufferedChannel::output_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : out_) total += s.bytes.size() - s.pos;
+  return total;
+}
+
+std::size_t BufferedChannel::gather(struct iovec* iov,
+                                    std::size_t max_iov) const {
+  std::size_t n = 0;
+  for (const auto& s : out_) {
+    if (n == max_iov) break;
+    iov[n].iov_base =
+        const_cast<std::uint8_t*>(s.bytes.data() + s.pos);
+    iov[n].iov_len = s.bytes.size() - s.pos;
+    ++n;
+  }
+  return n;
+}
+
+void BufferedChannel::mark_written(std::size_t n) {
+  while (n > 0) {
+    if (out_.empty())
+      throw std::logic_error("BufferedChannel::mark_written past output");
+    Segment& s = out_.front();
+    const std::size_t left = s.bytes.size() - s.pos;
+    if (n < left) {
+      s.pos += n;
+      return;
+    }
+    n -= left;
+    out_.pop_front();
+  }
+}
+
+void BufferedChannel::raw_send(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return;
+  if (staging_.size() + n > max_frame_bytes_) flush();
+  if (n >= max_frame_bytes_)
+    throw std::logic_error("BufferedChannel: send larger than max frame");
+  staging_.insert(staging_.end(), data, data + n);
+}
+
+void BufferedChannel::raw_recv(std::uint8_t* data, std::size_t n) {
+  // Mirror TcpChannel: a recv is a phase boundary, everything staged
+  // must be on the wire (here: queued for the event loop) first.
+  flush();
+  if (n > available())
+    throw std::logic_error(
+        "BufferedChannel: recv underflow (driver advanced a session "
+        "without enough buffered bytes)");
+  std::memcpy(data, in_.data() + in_pos_, n);
+  in_pos_ += n;
+  compact();
+}
+
+}  // namespace maxel::evloop

@@ -1,0 +1,200 @@
+#include "evloop/event_loop.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace maxel::evloop {
+
+// ---------------------------------------------------------------- wheel
+
+std::uint64_t TimerWheel::arm(std::uint64_t now_ms, std::uint64_t delay_ms,
+                              std::function<void()> fn) {
+  const std::uint64_t now_tick = now_ms / tick_ms_;
+  if (!ticked_) {
+    last_tick_ = now_tick;
+    ticked_ = true;
+  }
+  // Round up so a timer never fires early, and by at least one tick so
+  // arm() from inside a firing timer lands in a future slot.
+  std::uint64_t ticks = (delay_ms + tick_ms_ - 1) / tick_ms_;
+  if (ticks == 0) ticks = 1;
+  const std::uint64_t due_tick = now_tick + ticks;
+  const std::uint64_t ahead = due_tick - last_tick_;
+  Entry e;
+  e.slot = static_cast<std::size_t>(due_tick % kSlots);
+  e.rounds = ahead == 0 ? 0 : (ahead - 1) / kSlots;
+  e.deadline_ms = now_ms + delay_ms;
+  e.fn = std::move(fn);
+  const std::uint64_t id = next_id_++;
+  slots_[e.slot].push_back(id);
+  entries_.emplace(id, std::move(e));
+  return id;
+}
+
+void TimerWheel::cancel(std::uint64_t id) { entries_.erase(id); }
+
+int TimerWheel::advance(std::uint64_t now_ms) {
+  const std::uint64_t now_tick = now_ms / tick_ms_;
+  if (!ticked_) {
+    last_tick_ = now_tick;
+    ticked_ = true;
+  }
+  while (last_tick_ < now_tick) {
+    ++last_tick_;
+    const std::size_t slot = static_cast<std::size_t>(last_tick_ % kSlots);
+    std::vector<std::uint64_t> ids;
+    ids.swap(slots_[slot]);
+    for (std::uint64_t id : ids) {
+      auto it = entries_.find(id);
+      if (it == entries_.end()) continue;  // cancelled
+      if (it->second.rounds > 0) {
+        --it->second.rounds;
+        slots_[slot].push_back(id);
+        continue;
+      }
+      auto fn = std::move(it->second.fn);
+      entries_.erase(it);
+      fn();
+    }
+  }
+  if (entries_.empty()) return -1;
+  std::uint64_t best = UINT64_MAX;
+  for (const auto& [id, e] : entries_) {
+    (void)id;
+    best = e.deadline_ms < best ? e.deadline_ms : best;
+  }
+  if (best <= now_ms) return static_cast<int>(tick_ms_);
+  const std::uint64_t wait = best - now_ms;
+  return wait > 60'000 ? 60'000 : static_cast<int>(wait);
+}
+
+// ----------------------------------------------------------------- loop
+
+namespace {
+
+void set_nonblock_cloexec(int fd) {
+  int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  int fdfl = ::fcntl(fd, F_GETFD, 0);
+  if (fdfl >= 0) ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
+}
+
+}  // namespace
+
+EvLoop::EvLoop() {
+  if (::pipe(wake_pipe_) != 0)
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  set_nonblock_cloexec(wake_pipe_[0]);
+  set_nonblock_cloexec(wake_pipe_[1]);
+  poller_.set(wake_pipe_[0], /*read=*/true, /*write=*/false);
+  handlers_[wake_pipe_[0]] = [this](bool r, bool, bool) {
+    if (!r) return;
+    char buf[64];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+    drain_posted();
+  };
+}
+
+EvLoop::~EvLoop() {
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+std::uint64_t EvLoop::now_ms() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void EvLoop::add_fd(int fd, bool read, bool write, IoHandler handler,
+                    bool edge) {
+  handlers_[fd] = std::move(handler);
+  poller_.set(fd, read, write, edge);
+}
+
+void EvLoop::set_interest(int fd, bool read, bool write, bool edge) {
+  poller_.set(fd, read, write, edge);
+}
+
+void EvLoop::remove_fd(int fd) {
+  handlers_.erase(fd);
+  poller_.remove(fd);
+}
+
+void EvLoop::defer_close(int fd) {
+  if (fd < 0) return;
+  if (in_dispatch_) {
+    deferred_close_.push_back(fd);
+  } else {
+    ::close(fd);
+  }
+}
+
+std::uint64_t EvLoop::arm_timer(std::uint64_t delay_ms,
+                                std::function<void()> fn) {
+  return wheel_.arm(now_ms(), delay_ms, std::move(fn));
+}
+
+void EvLoop::cancel_timer(std::uint64_t id) { wheel_.cancel(id); }
+
+void EvLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  const char b = 1;
+  // Full pipe is fine: the loop is already guaranteed to wake.
+  (void)::write(wake_pipe_[1], &b, 1);
+}
+
+void EvLoop::stop() {
+  post([this] { stop_ = true; });
+}
+
+void EvLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lk(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& t : tasks) t();
+}
+
+void EvLoop::flush_deferred_closes() {
+  for (int fd : deferred_close_) ::close(fd);
+  deferred_close_.clear();
+}
+
+void EvLoop::run() {
+  std::vector<PollEvent> events;
+  while (!stop_) {
+    int timeout = wheel_.advance(now_ms());
+    events.clear();
+    poller_.wait(timeout, events);
+    last_batch_ = events.size();
+    in_dispatch_ = true;
+    for (const PollEvent& e : events) {
+      auto it = handlers_.find(e.fd);
+      if (it == handlers_.end()) continue;  // removed earlier in batch
+      // Copy: the handler may remove_fd(e.fd) and invalidate `it`.
+      IoHandler h = it->second;
+      h(e.readable, e.writable, e.error);
+      if (stop_) break;
+    }
+    in_dispatch_ = false;
+    flush_deferred_closes();
+    wheel_.advance(now_ms());
+  }
+  flush_deferred_closes();
+  stop_ = false;  // allow run() again after stop
+}
+
+}  // namespace maxel::evloop

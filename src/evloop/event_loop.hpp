@@ -1,0 +1,113 @@
+// Single-threaded readiness event loop: fd handlers over a Poller, a
+// coarse timer wheel for cheap idle timers, cross-thread task posting
+// via a self-pipe, and deferred fd close so an fd recycled by the
+// kernel can't be misdelivered to a stale handler within one dispatch
+// batch.
+//
+// Threading model: everything except post() and stop() must run on the
+// loop thread (the thread inside run()). post() hands a task to the
+// loop thread and wakes it; stop() makes run() return after the
+// current dispatch batch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include <mutex>
+
+#include "evloop/poller.hpp"
+
+namespace maxel::evloop {
+
+// Hashed timing wheel: 256 slots of `tick_ms` each. Timers are fired
+// by advance() with up to one tick of slack — idle eviction tolerates
+// coarse deadlines, and 10k armed timers cost one wheel, not 10k
+// wakeups.
+class TimerWheel {
+ public:
+  explicit TimerWheel(std::uint64_t tick_ms = 16) : tick_ms_(tick_ms) {}
+
+  // Arms `fn` to fire ~delay_ms from `now_ms`. Returns a handle for
+  // cancel(); handles are never reused.
+  std::uint64_t arm(std::uint64_t now_ms, std::uint64_t delay_ms,
+                    std::function<void()> fn);
+  void cancel(std::uint64_t id);
+
+  // Fires everything due at `now_ms`. Returns milliseconds until the
+  // next armed timer, or -1 if the wheel is empty.
+  int advance(std::uint64_t now_ms);
+
+  [[nodiscard]] std::size_t armed() const { return entries_.size(); }
+
+ private:
+  static constexpr std::size_t kSlots = 256;
+  struct Entry {
+    std::size_t slot = 0;
+    std::uint64_t rounds = 0;  // full wheel revolutions still to wait
+    std::uint64_t deadline_ms = 0;
+    std::function<void()> fn;
+  };
+  std::uint64_t tick_ms_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t last_tick_ = 0;  // absolute tick index of last advance
+  bool ticked_ = false;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::vector<std::uint64_t> slots_[kSlots];
+};
+
+class EvLoop {
+ public:
+  // r/w flags mirror the poller verdict; err is POLLERR/POLLHUP-class.
+  using IoHandler = std::function<void(bool r, bool w, bool err)>;
+
+  EvLoop();
+  ~EvLoop();
+  EvLoop(const EvLoop&) = delete;
+  EvLoop& operator=(const EvLoop&) = delete;
+
+  // --- loop-thread API ---
+  void add_fd(int fd, bool read, bool write, IoHandler handler,
+              bool edge = false);
+  void set_interest(int fd, bool read, bool write, bool edge = false);
+  // Unregisters fd. Does NOT close it; pair with defer_close().
+  void remove_fd(int fd);
+  // Closes fd at the end of the current dispatch batch (immediately if
+  // called outside dispatch), so a kernel-recycled fd number can't
+  // match a stale event from the same poller wait.
+  void defer_close(int fd);
+
+  std::uint64_t arm_timer(std::uint64_t delay_ms, std::function<void()> fn);
+  void cancel_timer(std::uint64_t id);
+
+  // --- any-thread API ---
+  void post(std::function<void()> task);
+  void stop();
+
+  // Runs until stop(). Re-entrant calls are not allowed.
+  void run();
+
+  [[nodiscard]] static std::uint64_t now_ms();
+  [[nodiscard]] std::size_t handler_count() const { return handlers_.size(); }
+  // Depth of the most recent poller batch — exported as the
+  // ready-queue-depth metric by the broker.
+  [[nodiscard]] std::size_t last_batch_size() const { return last_batch_; }
+
+ private:
+  void drain_posted();
+  void flush_deferred_closes();
+
+  Poller poller_;
+  TimerWheel wheel_;
+  std::unordered_map<int, IoHandler> handlers_;
+  std::vector<int> deferred_close_;
+  bool in_dispatch_ = false;
+  std::size_t last_batch_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // [0] read end watched by the loop
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_ = false;  // loop thread only; cross-thread stop goes via post
+};
+
+}  // namespace maxel::evloop

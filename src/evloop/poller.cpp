@@ -1,0 +1,120 @@
+#include "evloop/poller.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace maxel::evloop {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+#ifdef __linux__
+
+Poller::Poller() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw_errno("epoll_create1");
+}
+
+Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Poller::set(int fd, bool read, bool write, bool edge) {
+  epoll_event ev{};
+  ev.data.fd = fd;
+  if (read) ev.events |= EPOLLIN;
+  if (write) ev.events |= EPOLLOUT;
+  if (edge) ev.events |= EPOLLET;
+  const bool known = interest_.count(fd) != 0;
+  if (::epoll_ctl(epfd_, known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, fd, &ev) !=
+      0) {
+    // A stale map entry (fd closed behind our back) degrades MOD into
+    // ADD and vice versa; retry with the other op before giving up.
+    if (::epoll_ctl(epfd_, known ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev) !=
+        0)
+      throw_errno("epoll_ctl");
+  }
+  interest_[fd] = Interest{read, write, edge};
+}
+
+void Poller::remove(int fd) {
+  if (interest_.erase(fd) == 0) return;
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);  // best effort
+}
+
+std::size_t Poller::wait(int timeout_ms, std::vector<PollEvent>& out) {
+  epoll_event evs[256];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, evs, 256, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    PollEvent e;
+    e.fd = evs[i].data.fd;
+    e.readable = (evs[i].events & EPOLLIN) != 0;
+    e.writable = (evs[i].events & EPOLLOUT) != 0;
+    e.error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    out.push_back(e);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+#else  // portable ::poll fallback
+
+Poller::Poller() = default;
+Poller::~Poller() = default;
+
+void Poller::set(int fd, bool read, bool write, bool edge) {
+  interest_[fd] = Interest{read, write, edge};
+}
+
+void Poller::remove(int fd) { interest_.erase(fd); }
+
+std::size_t Poller::wait(int timeout_ms, std::vector<PollEvent>& out) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(interest_.size());
+  for (const auto& [fd, in] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    if (in.read) p.events |= POLLIN;
+    if (in.write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("poll");
+  std::size_t appended = 0;
+  for (const auto& p : pfds) {
+    if (p.revents == 0) continue;
+    PollEvent e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(e);
+    ++appended;
+  }
+  return appended;
+}
+
+#endif
+
+}  // namespace maxel::evloop

@@ -1,0 +1,62 @@
+// Readiness poller behind the event loop: epoll on Linux, with a
+// portable ::poll fallback (the same primitive the blocking transport
+// already uses) selected at compile time.
+//
+// Semantics are the intersection of the two backends:
+//   * set() registers or re-arms interest in one fd. `edge` requests
+//     edge-triggered delivery (EPOLLET); the poll fallback ignores it —
+//     level-triggered delivery is a correct (if chattier) superset for
+//     every consumer here, because the accept and read paths drain to
+//     EAGAIN regardless of trigger mode.
+//   * wait() blocks up to timeout_ms (-1 = forever) and appends one
+//     PollEvent per ready fd. Error/hangup conditions are reported via
+//     the `error` flag alongside readability, never swallowed.
+//
+// Not thread-safe: one Poller belongs to one event-loop thread. Waking
+// a blocked wait() from another thread is the loop's job (self-pipe).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace maxel::evloop {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  // POLLERR/POLLHUP-class condition
+};
+
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  // Registers fd (first call) or updates its interest set (later calls).
+  void set(int fd, bool read, bool write, bool edge = false);
+  // Drops fd from the interest set; safe to call for unknown fds.
+  void remove(int fd);
+
+  // Appends ready events to `out` (not cleared). Returns the number of
+  // events appended; 0 on timeout.
+  std::size_t wait(int timeout_ms, std::vector<PollEvent>& out);
+
+  [[nodiscard]] std::size_t watched() const { return interest_.size(); }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+    bool edge = false;
+  };
+  std::unordered_map<int, Interest> interest_;
+#ifdef __linux__
+  int epfd_ = -1;
+#endif
+};
+
+}  // namespace maxel::evloop

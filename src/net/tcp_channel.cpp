@@ -280,11 +280,19 @@ void TcpChannel::raw_recv(std::uint8_t* data, std::size_t n) {
 
 // --- TcpListener ----------------------------------------------------------
 
-TcpListener::TcpListener(std::uint16_t port, const std::string& bind_addr) {
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_addr)
+    : TcpListener(port, bind_addr, ListenOptions{}) {}
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_addr,
+                         const ListenOptions& lopts) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw ConnectError(std::string("socket: ") + std::strerror(errno));
   int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (lopts.reuseport)
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+#endif
   struct sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -294,7 +302,7 @@ TcpListener::TcpListener(std::uint16_t port, const std::string& bind_addr) {
     throw ConnectError("bad bind address: " + bind_addr);
   }
   if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd_, 16) != 0) {
+      ::listen(fd_, lopts.backlog) != 0) {
     const int saved = errno;
     ::close(fd_);
     fd_ = -1;

@@ -104,6 +104,14 @@ class TcpChannel final : public proto::Channel {
   std::size_t rpos_ = 0;  // consumed prefix of rbuf_
 };
 
+// Listener socket tuning for non-default front ends (the evloop broker
+// binds one listener per shard on the same port via SO_REUSEPORT and
+// needs a deeper backlog for 10k-client bursts).
+struct ListenOptions {
+  int backlog = 16;
+  bool reuseport = false;
+};
+
 // Listening socket; accept() yields connected TcpChannels.
 class TcpListener {
  public:
@@ -111,12 +119,19 @@ class TcpListener {
   // (see port()). Throws ConnectError on bind/listen failure.
   explicit TcpListener(std::uint16_t port,
                        const std::string& bind_addr = "0.0.0.0");
+  TcpListener(std::uint16_t port, const std::string& bind_addr,
+              const ListenOptions& lopts);
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   // Bound port (the ephemeral one when constructed with port 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Raw listening fd, for callers that register it with a readiness
+  // poller and accept4() themselves (the evloop broker). Still owned by
+  // the listener — do not close it.
+  [[nodiscard]] int fd() const { return fd_; }
 
   // Waits up to timeout_ms (-1 = forever) for a connection; returns
   // nullptr on timeout (so accept loops can poll a stop flag).

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -52,6 +53,12 @@ class V3PoolRegistry {
     std::mutex io_mu;  // serializes setup/extend/claim wire phases
     std::shared_ptr<ot::CorrelatedPoolSender> pool;  // null before base OT
     crypto::Block cookie{};
+    // Cooperative gate for single-threaded event-loop serving (evloop):
+    // a shard thread cannot block on io_mu when the holder is another
+    // session on the same thread, so evloop sessions serialize their
+    // setup/extend/claim phases on this test-and-set instead, retrying
+    // off a timer on contention. Blocking serve paths ignore it.
+    std::atomic<bool> ev_gate{false};
   };
 
   // Entry for a client identity, created on first sight.

@@ -129,6 +129,18 @@ class Broker {
     return v3_reg_.outstanding_claims();
   }
 
+  // Load-generation hooks: an in-process load generator fabricates
+  // client OT pools directly into the live registry and needs the
+  // reusable artifact + handshake expectation to can its byte streams
+  // (see evloop/loadgen.hpp).
+  [[nodiscard]] net::V3PoolRegistry& v3_registry() { return v3_reg_; }
+  [[nodiscard]] const net::ReusableServeContext* reusable_context() const {
+    return reusable_ctx_ ? &*reusable_ctx_ : nullptr;
+  }
+  [[nodiscard]] const net::ServerExpectation& expectation() const {
+    return expect_;
+  }
+
  private:
   void worker_loop(std::size_t worker);
   void producer_loop();

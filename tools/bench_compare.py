@@ -75,6 +75,22 @@ CHECKS = {
             ("bytes_per_mac", "reusable-1000", "v3-1000", 0.25),
         ],
     },
+    "broker_scaling": {
+        "key": "point",
+        # Absolute sessions/s floors carry the usual runner tolerance;
+        # the "failed" ceiling is exact -- the sweep's contract is zero
+        # failed sessions at every tier, 10k included, on any machine.
+        "lower_bound": ["sessions_per_sec"],
+        "upper_bound": ["failed"],
+        # The evloop gate: at the 100-concurrent point the shard front
+        # must serve at least the blocking worker pool's throughput --
+        # a measured-run ratio, so it holds at any machine speed. (Past
+        # that point the worker pool has no comparable configuration:
+        # 10k concurrent would need 10k stacks.)
+        "ratio": [
+            ("sessions_per_sec", "evloop-100", "workerpool-100", 1.0),
+        ],
+    },
     "core_scaling": {
         "key": "cores",
         "lower_bound": ["mac_per_sec"],

@@ -18,9 +18,11 @@
 //       The network service (garbler server / evaluator client); same
 //       flags as the standalone maxel_server / maxel_client binaries —
 //       see src/net/service.hpp and docs/PROTOCOL.md. `serve` is either
-//       the sequential server (default) or the concurrent session
+//       the sequential server (default), the concurrent session
 //       broker (--spool DIR or --workers N — see src/svc/service.hpp
-//       and docs/OPERATIONS.md); both take the unified session-mode
+//       and docs/OPERATIONS.md), or the sharded event-loop broker
+//       (--evloop [--shards N] — see src/evloop/ev_service.hpp); all
+//       take the unified session-mode
 //       selector --mode {precomputed|stream|v3|reusable} (the client
 //       side of `connect` takes the same flag to pick what it asks
 //       for; --stream/--v3/--no-stream/--no-v3/--no-reusable survive
@@ -53,6 +55,7 @@
 #include "crypto/prg.hpp"
 #include "crypto/rng.hpp"
 #include "gc/garble.hpp"
+#include "evloop/ev_service.hpp"
 #include "net/service.hpp"
 #include "proto/precompute.hpp"
 #include "proto/session_io.hpp"
@@ -80,8 +83,9 @@ int usage() {
                "usage: maxelctl "
                "<circuit|stats|simulate|bank|bench-mac|serve|connect|spool> "
                "[options]\n"
-               "  serve: sequential server (default) or concurrent broker "
-               "(--spool DIR / --workers N);\n"
+               "  serve: sequential server (default), concurrent broker "
+               "(--spool DIR / --workers N),\n"
+               "  or sharded event-loop broker (--evloop [--shards N]);\n"
                "  session modes via --mode "
                "{precomputed|stream|v3|reusable} on serve and connect\n"
                "  spool purge --lane reusable --dir DIR retires cached "
@@ -302,6 +306,8 @@ int main(int argc, char** argv) {
   // the standalone maxel_server / maxel_client binaries). `serve` routes
   // to the concurrent broker when spool/worker flags appear.
   if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    if (has_flag(argc - 2, argv + 2, "--evloop"))
+      return maxel::evloop::evloop_command(argc - 2, argv + 2);
     if (has_flag(argc - 2, argv + 2, "--spool") ||
         has_flag(argc - 2, argv + 2, "--workers"))
       return maxel::svc::broker_command(argc - 2, argv + 2);
