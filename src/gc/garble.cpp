@@ -8,33 +8,124 @@ using circuit::Circuit;
 using circuit::GateType;
 using circuit::kConstOne;
 using circuit::kConstZero;
+using circuit::Wire;
+
+GarblingPlan plan_garbling(const Circuit& c) {
+  constexpr std::int64_t kNever = -1;
+  std::vector<std::int64_t> last_use(c.num_wires, kNever);
+  for (std::size_t idx = 0; idx < c.gates.size(); ++idx) {
+    last_use[c.gates[idx].a] = static_cast<std::int64_t>(idx);
+    last_use[c.gates[idx].b] = static_cast<std::int64_t>(idx);
+  }
+  // Pin every wire the garbler can be asked about after the round.
+  std::vector<char> pinned(c.num_wires, 0);
+  pinned[kConstZero] = 1;
+  pinned[kConstOne] = 1;
+  for (const auto w : c.garbler_inputs) pinned[w] = 1;
+  for (const auto w : c.evaluator_inputs) pinned[w] = 1;
+  for (const auto& d : c.dffs) {
+    pinned[d.q] = 1;
+    pinned[d.d] = 1;
+  }
+  for (const auto w : c.outputs) pinned[w] = 1;
+
+  GarblingPlan plan;
+  plan.num_wires = c.num_wires;
+  plan.slot_of_wire.assign(c.num_wires, UINT32_MAX);
+
+  std::vector<std::uint32_t> free_slots;
+  std::uint32_t next_slot = 0;
+  const auto define = [&](Wire w) {
+    if (plan.slot_of_wire[w] != UINT32_MAX) return;  // pinned, pre-placed
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      slot = next_slot++;
+    }
+    plan.slot_of_wire[w] = slot;
+  };
+  const auto release = [&](Wire w) {
+    free_slots.push_back(plan.slot_of_wire[w]);
+  };
+
+  // Pinned wires first, in wire order, so their slots are stable and
+  // never recycled.
+  for (Wire w = 0; w < c.num_wires; ++w)
+    if (pinned[w]) plan.slot_of_wire[w] = next_slot++;
+
+  for (std::size_t idx = 0; idx < c.gates.size(); ++idx) {
+    const auto& g = c.gates[idx];
+    if (last_use[g.a] == static_cast<std::int64_t>(idx) && !pinned[g.a])
+      release(g.a);
+    if (g.b != g.a && last_use[g.b] == static_cast<std::int64_t>(idx) &&
+        !pinned[g.b])
+      release(g.b);
+    define(g.out);
+    if (last_use[g.out] == kNever && !pinned[g.out]) release(g.out);
+  }
+
+  plan.num_slots = next_slot;
+  return plan;
+}
+
+namespace {
+
+std::vector<std::uint32_t> layout_slots(const Circuit& c, LabelLayout layout) {
+  if (layout == LabelLayout::kDense) {
+    std::vector<std::uint32_t> identity(c.num_wires);
+    for (Wire w = 0; w < c.num_wires; ++w) identity[w] = w;
+    return identity;
+  }
+  return plan_garbling(c).slot_of_wire;
+}
+
+std::size_t layout_size(const Circuit& c, LabelLayout layout) {
+  return layout == LabelLayout::kDense ? c.num_wires
+                                       : plan_garbling(c).num_slots;
+}
+
+}  // namespace
 
 CircuitGarbler::CircuitGarbler(const Circuit& c, Scheme scheme,
-                               crypto::RandomSource& rng)
+                               crypto::RandomSource& rng, LabelLayout layout)
     : circ_(c),
       scheme_(scheme),
       rng_(rng),
       delta_(crypto::random_delta(rng)),
       gg_(scheme, delta_),
-      labels0_(c.num_wires, Block::zero()),
+      layout_(layout),
+      slot_(layout_slots(c, layout)),
+      labels0_(layout_size(c, layout), Block::zero()),
       next_state0_(c.dffs.size(), Block::zero()),
       initial_state_active_(c.dffs.size(), Block::zero()) {}
 
+const std::vector<Block>& CircuitGarbler::wire_labels0() const {
+  if (layout_ != LabelLayout::kDense)
+    throw std::logic_error(
+        "wire_labels0: planned label buffers are slot-indexed; query "
+        "label0(wire) instead");
+  return labels0_;
+}
+
 RoundTables CircuitGarbler::garble_round() {
   // Fresh labels for constants and inputs every round (sequential GC).
-  labels0_[kConstZero] = rng_.next_block();
-  labels0_[kConstOne] = rng_.next_block();
-  for (const auto w : circ_.garbler_inputs) labels0_[w] = rng_.next_block();
-  for (const auto w : circ_.evaluator_inputs) labels0_[w] = rng_.next_block();
+  // The RNG draw order is part of the cross-layout equivalence contract
+  // (see LabelLayout): it must not depend on the storage plan.
+  l0(kConstZero) = rng_.next_block();
+  l0(kConstOne) = rng_.next_block();
+  for (const auto w : circ_.garbler_inputs) l0(w) = rng_.next_block();
+  for (const auto w : circ_.evaluator_inputs) l0(w) = rng_.next_block();
 
   for (std::size_t i = 0; i < circ_.dffs.size(); ++i) {
     const auto& dff = circ_.dffs[i];
     if (round_ == 0) {
-      labels0_[dff.q] = rng_.next_block();
+      l0(dff.q) = rng_.next_block();
       initial_state_active_[i] =
-          dff.init ? labels0_[dff.q] ^ delta_ : labels0_[dff.q];
+          dff.init ? l0(dff.q) ^ delta_ : l0(dff.q);
     } else {
-      labels0_[dff.q] = next_state0_[i];
+      l0(dff.q) = next_state0_[i];
     }
   }
 
@@ -44,15 +135,15 @@ RoundTables CircuitGarbler::garble_round() {
     const auto& g = circ_.gates[idx];
     switch (g.type) {
       case GateType::kXor:
-        labels0_[g.out] = labels0_[g.a] ^ labels0_[g.b];
+        l0(g.out) = l0(g.a) ^ l0(g.b);
         break;
       case GateType::kXnor:
-        labels0_[g.out] = labels0_[g.a] ^ labels0_[g.b] ^ delta_;
+        l0(g.out) = l0(g.a) ^ l0(g.b) ^ delta_;
         break;
       default: {
         GarbledTable t;
-        labels0_[g.out] =
-            gg_.garble(circuit::and_form(g.type), labels0_[g.a], labels0_[g.b],
+        l0(g.out) =
+            gg_.garble(circuit::and_form(g.type), l0(g.a), l0(g.b),
                        gate_tweak(static_cast<std::uint32_t>(idx), round_), t);
         out.tables.push_back(t);
         break;
@@ -61,7 +152,7 @@ RoundTables CircuitGarbler::garble_round() {
   }
 
   for (std::size_t i = 0; i < circ_.dffs.size(); ++i)
-    next_state0_[i] = labels0_[circ_.dffs[i].d];
+    next_state0_[i] = l0(circ_.dffs[i].d);
   ++round_;
   return out;
 }
@@ -81,18 +172,18 @@ RoundMaterial CircuitGarbler::garble_round_material() {
 }
 
 Block CircuitGarbler::garbler_input_label(std::size_t i, bool v) const {
-  const Block l0 = labels0_[circ_.garbler_inputs.at(i)];
-  return v ? l0 ^ delta_ : l0;
+  const Block label = l0(circ_.garbler_inputs.at(i));
+  return v ? label ^ delta_ : label;
 }
 
 std::pair<Block, Block> CircuitGarbler::evaluator_input_labels(
     std::size_t i) const {
-  const Block l0 = labels0_[circ_.evaluator_inputs.at(i)];
-  return {l0, l0 ^ delta_};
+  const Block label = l0(circ_.evaluator_inputs.at(i));
+  return {label, label ^ delta_};
 }
 
 std::vector<Block> CircuitGarbler::fixed_wire_labels() const {
-  return {labels0_[kConstZero], labels0_[kConstOne] ^ delta_};
+  return {l0(kConstZero), l0(kConstOne) ^ delta_};
 }
 
 std::vector<Block> CircuitGarbler::initial_state_labels() const {
@@ -106,14 +197,14 @@ std::vector<Block> CircuitGarbler::initial_state_labels() const {
 std::vector<bool> CircuitGarbler::output_map() const {
   std::vector<bool> map(circ_.outputs.size());
   for (std::size_t i = 0; i < map.size(); ++i)
-    map[i] = labels0_[circ_.outputs[i]].lsb();
+    map[i] = l0(circ_.outputs[i]).lsb();
   return map;
 }
 
 bool CircuitGarbler::decode_output(std::size_t i, const Block& active) const {
-  const Block l0 = labels0_[circ_.outputs.at(i)];
-  if (active == l0) return false;
-  if (active == (l0 ^ delta_)) return true;
+  const Block label = l0(circ_.outputs.at(i));
+  if (active == label) return false;
+  if (active == (label ^ delta_)) return true;
   throw std::runtime_error("decode_output: label matches neither value");
 }
 

@@ -59,10 +59,42 @@ struct RoundMaterial {
   std::vector<bool> output_map;        // point-and-permute decode colors
 };
 
+// Label storage layout of a CircuitGarbler.
+//
+//  * kDense   — one slot per wire (index == wire id), the historical
+//    layout; wire_labels0() exposes the whole buffer.
+//  * kPlanned — slots are allocated by liveness (plan_garbling below),
+//    so the buffer holds the circuit's live width, not its wire count.
+//    On a locality-scheduled netlist (circuit::schedule_for_locality)
+//    the buffer shrinks further and gate operands cluster in a
+//    recently-touched window, which is what the streaming garbler wants
+//    for its per-chunk working set.
+//
+// The two layouts are bit-for-bit equivalent: they draw RNG labels in
+// the same order and hash the same values, so tables, input labels and
+// output maps are identical (asserted by tests).
+enum class LabelLayout { kDense, kPlanned };
+
+// Slot plan for a garbler-side label buffer. Mirrors plan_evaluation's
+// free-list allocation, but pins every protocol-visible wire — the
+// constants, both input vectors, DFF q/d wires and the outputs — for
+// the whole round, because the garbler answers label queries
+// (garbler_input_label, evaluator_input_labels, output_map, ...) after
+// the round is garbled. num_slots therefore exceeds the circuit's
+// peak_live_wires by at most the number of pinned wires.
+struct GarblingPlan {
+  std::vector<std::uint32_t> slot_of_wire;
+  std::size_t num_slots = 0;
+  std::size_t num_wires = 0;
+};
+
+GarblingPlan plan_garbling(const circuit::Circuit& c);
+
 class CircuitGarbler {
  public:
   CircuitGarbler(const circuit::Circuit& c, Scheme scheme,
-                 crypto::RandomSource& rng);
+                 crypto::RandomSource& rng,
+                 LabelLayout layout = LabelLayout::kDense);
 
   // Garbles the next round and returns its tables. All per-round label
   // queries below refer to the most recently garbled round.
@@ -91,17 +123,37 @@ class CircuitGarbler {
 
   [[nodiscard]] const Block& delta() const { return delta_; }
   // 0-labels of every wire in the last garbled round (tests/equivalence).
-  [[nodiscard]] const std::vector<Block>& wire_labels0() const {
-    return labels0_;
+  // Dense layout only: planned buffers are slot-indexed, not
+  // wire-indexed, so this throws std::logic_error under kPlanned —
+  // query label0(w) instead.
+  [[nodiscard]] const std::vector<Block>& wire_labels0() const;
+  // 0-label of one wire in the last garbled round, any layout.
+  [[nodiscard]] const Block& label0(circuit::Wire w) const {
+    return labels0_[slot_[w]];
+  }
+
+  [[nodiscard]] LabelLayout layout() const { return layout_; }
+  // Size of the per-round label buffer — num_wires slots when dense,
+  // the garbling plan's live width when planned. x16 for bytes.
+  [[nodiscard]] std::size_t label_slots() const { return labels0_.size(); }
+  [[nodiscard]] std::size_t label_buffer_bytes() const {
+    return labels0_.size() * sizeof(Block);
   }
 
  private:
+  [[nodiscard]] Block& l0(circuit::Wire w) { return labels0_[slot_[w]]; }
+  [[nodiscard]] const Block& l0(circuit::Wire w) const {
+    return labels0_[slot_[w]];
+  }
+
   const circuit::Circuit& circ_;
   Scheme scheme_;
   crypto::RandomSource& rng_;
   Block delta_;
   GateGarbler gg_;
-  std::vector<Block> labels0_;       // current round, 0-labels per wire
+  LabelLayout layout_;
+  std::vector<std::uint32_t> slot_;  // wire -> label slot (identity if dense)
+  std::vector<Block> labels0_;       // current round, 0-labels per slot
   std::vector<Block> next_state0_;   // d-wire 0-labels carried to next round
   std::vector<Block> initial_state_active_;
   std::uint64_t round_ = 0;

@@ -67,7 +67,12 @@ StreamingGarbler::StreamingGarbler(const circuit::Circuit& c, Scheme scheme,
       total_rounds_(total_rounds),
       opt_(opt),
       rng_(seed),
-      garbler_(c, scheme, rng_),  // constructed here so delta() is immediate
+      // Constructed here so delta() is immediate. Planned layout: the
+      // per-round label buffer holds the circuit's live width (plus the
+      // pinned protocol wires), not its wire count — on a
+      // locality-scheduled netlist this is the smaller per-chunk
+      // working set the pipeline garbles out of.
+      garbler_(c, scheme, rng_, LabelLayout::kPlanned),
       queue_(opt.queue_chunks) {
   if (opt_.chunk_rounds == 0) opt_.chunk_rounds = 1;
   thread_ = std::thread([this] { produce(); });

@@ -105,6 +105,14 @@ class StreamingGarbler {
   [[nodiscard]] Scheme scheme() const { return scheme_; }
   [[nodiscard]] std::size_t total_rounds() const { return total_rounds_; }
 
+  // Size of the garbler's per-round label buffer (planned layout: the
+  // circuit's live width plus pinned protocol wires, x16 bytes). On a
+  // locality-scheduled netlist this is the shrunken working set the
+  // fig_schedule_locality bench reports as bytes/chunk.
+  [[nodiscard]] std::size_t label_buffer_bytes() const {
+    return garbler_.label_buffer_bytes();
+  }
+
   // Blocks for the next in-order chunk; false after the final chunk.
   bool next_chunk(SessionChunk& out);
 

@@ -1,0 +1,70 @@
+#include "hwsim/schedule.hpp"
+
+#include <algorithm>
+
+#include "circuit/optimize.hpp"
+#include "hwsim/resource_model.hpp"
+
+namespace maxel::hwsim {
+
+CoreConfig CoreConfig::for_mac_width(std::size_t bit_width) {
+  const MacArchitecture arch{bit_width};
+  return CoreConfig{arch.cores(), 3};
+}
+
+std::vector<double> GateProgramStats::per_core_utilization() const {
+  std::vector<double> out(per_core_issues.size(), 0.0);
+  if (cycles == 0) return out;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(per_core_issues[i]) /
+             static_cast<double>(cycles);
+  return out;
+}
+
+GateProgramStats schedule_gate_program(const circuit::Circuit& c,
+                                       const CoreConfig& cfg) {
+  const std::size_t cores = std::max<std::size_t>(1, cfg.cores);
+  GateProgramStats st;
+  st.cores = cores;
+  st.per_core_issues.assign(cores, 0);
+  st.peak_live_wires = circuit::peak_live_wires(c);
+
+  // Cycle at which each wire's label exists. Round-start wires
+  // (constants, inputs, DFF state) are ready before cycle 0.
+  std::vector<std::uint64_t> ready(c.num_wires, 0);
+
+  std::uint64_t cycle = 0;       // current issue cycle
+  std::size_t issued = 0;        // ANDs issued in the current cycle
+  std::uint64_t finish = 0;      // latest label completion seen
+
+  for (const auto& g : c.gates) {
+    if (circuit::is_free(g.type)) {
+      ++st.free_gates;
+      ready[g.out] = std::max(ready[g.a], ready[g.b]);
+      continue;
+    }
+    const std::uint64_t earliest = std::max(ready[g.a], ready[g.b]);
+    // In-order issue: close out cycles until this AND has both a ready
+    // operand set and a free core. A closed cycle that issued nothing
+    // while this instruction waited is a dependency stall — the
+    // program-order analogue of an FSM idle slot.
+    while (issued == cores || cycle < earliest) {
+      if (issued == 0) ++st.stall_cycles;
+      ++cycle;
+      issued = 0;
+    }
+    ++st.per_core_issues[issued];  // cores fill 0..cores-1 within a cycle
+    ++issued;
+    ++st.and_gates;
+    ready[g.out] = cycle + cfg.and_latency;
+    finish = std::max(finish, ready[g.out]);
+  }
+
+  // The round ends when the last issued label is usable; free-gate
+  // chains after the last AND only forward existing labels.
+  if (issued > 0) ++cycle;  // the partially filled issue cycle elapses
+  st.cycles = std::max(cycle, finish);
+  return st;
+}
+
+}  // namespace maxel::hwsim

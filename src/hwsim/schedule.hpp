@@ -1,0 +1,78 @@
+// HAAC-style "gates as a program" schedule model.
+//
+// The resource model (resource_model.hpp) accounts for the paper's FSM
+// view: fixed 3-cycle stages, a hardwired inventory of ANDs per stage,
+// and up to two idle garbling slots per stage that exist because the
+// FSM cannot move work between slots. HAAC's observation (PAPERS.md) is
+// that a GC accelerator should instead treat the netlist as a *program*
+// of gate instructions issued in order onto a pool of garbling cores —
+// utilization then depends on the gate order, and a locality-scheduled
+// order (circuit::schedule_for_locality) both fills issue slots and
+// shrinks the live-label memory sitting between producers and
+// consumers.
+//
+// This module simulates that in-order issue model for one round of a
+// netlist:
+//
+//  * free gates (XOR/XNOR) are label arithmetic — zero issue cost, the
+//    output is ready when the later operand is (free-XOR);
+//  * each AND issues to one of `cores` fully pipelined garbling cores
+//    (one issue per core per cycle, result after `and_latency` cycles —
+//    3 in the paper's stage timing);
+//  * issue is strictly in netlist order: when the next AND's operands
+//    are not ready, issue stalls — the program-order analogue of the
+//    FSM's idle slots, and exactly what gate reordering removes.
+//
+// Reported next to cycles/utilization is the round's live-wire label
+// memory (peak live wires x 128-bit labels): the shift-register/BRAM
+// footprint a hardware mapping of this program would need between gate
+// issue and last consumption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace maxel::hwsim {
+
+// One garbling-core pool configuration for the issue model.
+struct CoreConfig {
+  std::size_t cores = 1;
+  std::size_t and_latency = 3;  // cycles from issue to usable label
+
+  // The paper's MAC engine configurations: cores(b) garbling cores at
+  // the 3-cycle stage timing, i.e. the 24/48/96 cycles-per-MAC design
+  // points for b = 8/16/32.
+  static CoreConfig for_mac_width(std::size_t bit_width);
+};
+
+// Issue trace of one round of a netlist on one CoreConfig.
+struct GateProgramStats {
+  std::size_t cores = 0;
+  std::uint64_t cycles = 0;        // total cycles for the round
+  std::size_t and_gates = 0;       // issued instructions
+  std::size_t free_gates = 0;      // zero-cost label arithmetic
+  std::uint64_t stall_cycles = 0;  // cycles with work pending, no issue
+  std::vector<std::uint64_t> per_core_issues;  // ANDs issued per core
+  std::size_t peak_live_wires = 0;             // circuit::peak_live_wires
+
+  // Fraction of issue slots (cycles x cores) carrying an AND.
+  [[nodiscard]] double utilization() const {
+    const double slots = static_cast<double>(cycles) * static_cast<double>(cores);
+    return slots == 0 ? 0.0 : static_cast<double>(and_gates) / slots;
+  }
+  [[nodiscard]] std::vector<double> per_core_utilization() const;
+  // Live-label memory between issue and last use (128-bit labels).
+  [[nodiscard]] std::size_t live_label_bytes() const {
+    return peak_live_wires * 16;
+  }
+};
+
+// Simulates one round of `c` as an in-order gate program on `cfg`.
+// Deterministic; ANDs within a cycle fill cores 0..cores-1 in order.
+GateProgramStats schedule_gate_program(const circuit::Circuit& c,
+                                       const CoreConfig& cfg);
+
+}  // namespace maxel::hwsim

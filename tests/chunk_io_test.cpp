@@ -15,6 +15,7 @@
 #include "gc/garble.hpp"
 #include "proto/channel.hpp"
 #include "proto/chunk_io.hpp"
+#include "sweep_env.hpp"
 
 namespace maxel::proto {
 namespace {
@@ -152,8 +153,11 @@ TEST(ChunkIoFuzz, SingleByteMutationsNeverCrash) {
 TEST(ChunkIoFuzz, RandomMultiByteMutationsNeverCrash) {
   const circuit::Circuit c = circuit::make_mac_circuit(MacOptions{8, 8, true});
   const std::vector<std::uint8_t> full = serialize_chunk(make_chunk(c, 2, 6));
-  crypto::Prg prg(Block{0xC4, 0x0E});
-  for (int trial = 0; trial < 400; ++trial) {
+  const std::uint64_t fuzz_seed = test::sweep_seed(0xC4);
+  SCOPED_TRACE("fuzz_seed=" + std::to_string(fuzz_seed));
+  crypto::Prg prg(Block{fuzz_seed, 0x0E});
+  const int n_trials = test::sweep_trials(400);
+  for (int trial = 0; trial < n_trials; ++trial) {
     std::vector<std::uint8_t> mut = full;
     const int edits = 1 + static_cast<int>(prg.next_u64() % 8);
     for (int e = 0; e < edits; ++e) {

@@ -12,6 +12,7 @@
 #include "crypto/rng.hpp"
 #include "gc/garble.hpp"
 #include "gc/scheme.hpp"
+#include "sweep_env.hpp"
 
 namespace maxel::gc {
 namespace {
@@ -354,9 +355,10 @@ TEST(SequentialGc, TablesDifferAcrossRounds) {
 // parameters via SCOPED_TRACE, so a failure reproduces exactly.
 
 TEST(SequentialGc, RandomizedMacShapesMatchReference) {
-  constexpr std::uint64_t kSweepSeed = 0xC0FFEE01;
+  const std::uint64_t kSweepSeed = test::sweep_seed(0xC0FFEE01);
   crypto::Prg shape(Block{kSweepSeed, 1});
-  for (int trial = 0; trial < 12; ++trial) {
+  const int n_trials = test::sweep_trials(12);
+  for (int trial = 0; trial < n_trials; ++trial) {
     const std::size_t bits = 2 + shape.next_u64() % 19;    // 2..20
     const std::size_t rounds = 1 + shape.next_u64() % 12;  // vector length
     const bool sign = shape.next_bit();
@@ -401,10 +403,11 @@ TEST(SequentialGc, RandomizedMacShapesMatchReference) {
 }
 
 TEST(WholeCircuit, RandomizedMultiplierWidthsMatchPlaintext) {
-  constexpr std::uint64_t kSweepSeed = 0xC0FFEE02;
+  const std::uint64_t kSweepSeed = test::sweep_seed(0xC0FFEE02);
   crypto::Prg shape(Block{kSweepSeed, 2});
   SystemRandom rng(Block{kSweepSeed, 3});
-  for (int trial = 0; trial < 8; ++trial) {
+  const int n_trials = test::sweep_trials(8);
+  for (int trial = 0; trial < n_trials; ++trial) {
     const std::size_t bits = 2 + shape.next_u64() % 15;  // 2..16
     const bool sign = shape.next_bit();
     const Scheme scheme =

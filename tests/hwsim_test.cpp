@@ -3,12 +3,17 @@
 // the label-generator bank power-gating accounting.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "circuit/circuits.hpp"
+#include "circuit/optimize.hpp"
 #include "crypto/rng.hpp"
 #include "hwsim/label_bank.hpp"
 #include "hwsim/memory.hpp"
 #include "hwsim/pcie.hpp"
 #include "hwsim/power.hpp"
 #include "hwsim/resource_model.hpp"
+#include "hwsim/schedule.hpp"
 
 namespace maxel::hwsim {
 namespace {
@@ -201,6 +206,85 @@ TEST(PowerModel, StaticEnergyTracksDeviceAndTime) {
   EXPECT_NEAR(long_run.static_j, 2.0 * short_run.static_j, 1e-12);
   const auto wide = pm.estimate(32, 0, 0, 0.0, 1000, 200.0);
   EXPECT_GT(wide.static_j, short_run.static_j);  // more LUTs leak more
+}
+
+TEST(GateProgram, CoreConfigTracksThePaperDesignPoints) {
+  for (const std::size_t b : {8u, 16u, 32u}) {
+    const CoreConfig cfg = CoreConfig::for_mac_width(b);
+    EXPECT_EQ(cfg.cores, MacArchitecture{b}.cores()) << "b=" << b;
+    EXPECT_EQ(cfg.and_latency, 3u);  // the FSM's 3-cycle stage timing
+  }
+}
+
+TEST(GateProgram, DependencyChainTimingIsExact) {
+  // Two dependent ANDs, 4 cores, latency 3: the second issues the
+  // cycle the first's label lands (cycle 3), so the round is 6 cycles
+  // with the two closed empty cycles counted as stalls.
+  circuit::Circuit c;
+  c.num_wires = 6;
+  c.garbler_inputs = {2};
+  c.evaluator_inputs = {3};
+  c.gates.push_back({circuit::GateType::kAnd, 2, 3, 4});
+  c.gates.push_back({circuit::GateType::kAnd, 4, 3, 5});
+  c.outputs = {5};
+
+  const GateProgramStats st = schedule_gate_program(c, CoreConfig{4, 3});
+  EXPECT_EQ(st.and_gates, 2u);
+  EXPECT_EQ(st.free_gates, 0u);
+  EXPECT_EQ(st.cycles, 6u);
+  EXPECT_EQ(st.stall_cycles, 2u);
+  EXPECT_EQ(st.per_core_issues[0], 2u);  // both issue as first-in-cycle
+}
+
+TEST(GateProgram, AccountingInvariantsOnMacNetlists) {
+  for (const std::size_t b : {8u, 16u, 32u}) {
+    const circuit::Circuit c = circuit::optimize(
+        circuit::make_mac_circuit(circuit::MacOptions{b, b, true}));
+    const CoreConfig cfg = CoreConfig::for_mac_width(b);
+    const GateProgramStats st = schedule_gate_program(c, cfg);
+    EXPECT_EQ(st.cores, cfg.cores);
+    EXPECT_EQ(st.and_gates + st.free_gates, c.gates.size());
+    EXPECT_EQ(st.and_gates, c.and_count());
+    EXPECT_EQ(std::accumulate(st.per_core_issues.begin(),
+                              st.per_core_issues.end(), std::uint64_t{0}),
+              st.and_gates);
+    EXPECT_GT(st.utilization(), 0.0);
+    EXPECT_LE(st.utilization(), 1.0);
+    EXPECT_LE(st.stall_cycles, st.cycles);
+    EXPECT_EQ(st.peak_live_wires, circuit::peak_live_wires(c));
+    EXPECT_EQ(st.live_label_bytes(), st.peak_live_wires * 16);
+    const auto per_core = st.per_core_utilization();
+    ASSERT_EQ(per_core.size(), cfg.cores);
+    // Round-robin fill: core 0 is the busiest, later cores no busier.
+    for (std::size_t i = 1; i < per_core.size(); ++i)
+      EXPECT_LE(per_core[i], per_core[i - 1]) << "core " << i;
+  }
+}
+
+TEST(GateProgram, LocalityScheduleNeverSlowerOnMacs) {
+  // The hwsim side of the bench gate: the reordered program must issue
+  // at least as densely as the builder order at every paper width.
+  for (const std::size_t b : {8u, 16u, 32u}) {
+    const circuit::Circuit c = circuit::optimize(
+        circuit::make_mac_circuit(circuit::MacOptions{b, b, true}));
+    const circuit::Circuit s = circuit::schedule_for_locality(c);
+    const CoreConfig cfg = CoreConfig::for_mac_width(b);
+    const GateProgramStats before = schedule_gate_program(c, cfg);
+    const GateProgramStats after = schedule_gate_program(s, cfg);
+    EXPECT_LE(after.cycles, before.cycles) << "b=" << b;
+    EXPECT_LE(after.stall_cycles, before.stall_cycles) << "b=" << b;
+    EXPECT_GE(after.utilization(), before.utilization()) << "b=" << b;
+    EXPECT_LE(after.peak_live_wires, before.peak_live_wires) << "b=" << b;
+  }
+}
+
+TEST(GateProgram, SingleCoreSerializesTheAnds) {
+  const circuit::Circuit c = circuit::optimize(
+      circuit::make_mac_circuit(circuit::MacOptions{8, 8, true}));
+  const GateProgramStats st = schedule_gate_program(c, CoreConfig{1, 3});
+  ASSERT_EQ(st.per_core_issues.size(), 1u);
+  EXPECT_EQ(st.per_core_issues[0], st.and_gates);
+  EXPECT_GE(st.cycles, static_cast<std::uint64_t>(st.and_gates));
 }
 
 }  // namespace

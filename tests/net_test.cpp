@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuit/circuits.hpp"
+#include "sweep_env.hpp"
 #include "crypto/prg.hpp"
 #include "crypto/rng.hpp"
 #include "net/client.hpp"
@@ -605,9 +606,10 @@ TEST(NetService, StreamRefusedByNoStreamServerWhichSurvives) {
 // reproduces exactly from the trace line.
 
 TEST(NetService, RandomizedSessionsMatchPlaintextReference) {
-  constexpr std::uint64_t kSweepSeed = 0x5EED5EED;
+  const std::uint64_t kSweepSeed = test::sweep_seed(0x5EED5EED);
   crypto::Prg prg(Block{kSweepSeed, 0});
-  for (int trial = 0; trial < 4; ++trial) {
+  const int n_trials = test::sweep_trials(4);
+  for (int trial = 0; trial < n_trials; ++trial) {
     const std::size_t bits = 4 + prg.next_u64() % 13;    // 4..16
     const std::size_t rounds = 5 + prg.next_u64() % 28;  // 5..32
     const std::uint64_t seed = prg.next_u64();

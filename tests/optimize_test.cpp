@@ -124,5 +124,131 @@ TEST(Optimize, IdempotentOnCleanCircuits) {
   EXPECT_EQ(s2.gates_removed(), 0u);
 }
 
+TEST(Schedule, ReducesPeakLiveOnMacAndKeepsSemantics) {
+  // Schedule the cleaned netlist (DCE+CSE first) — the same pipeline
+  // the bench gate measures; the raw builder output carries dead
+  // truncation leftovers that mask the locality win.
+  const Circuit c = optimize(make_mac_circuit(MacOptions{16, 16, true}));
+  ScheduleStats stats;
+  const Circuit s = schedule_for_locality(c, &stats);
+  EXPECT_EQ(stats.gates, c.gates.size());
+  EXPECT_EQ(stats.peak_live_before, peak_live_wires(c));
+  EXPECT_EQ(stats.peak_live_after, peak_live_wires(s));
+  // The bench gate's contract on the b=16 MAC netlist.
+  EXPECT_LE(stats.peak_live_after * 10, stats.peak_live_before * 9);
+  EXPECT_LE(stats.sum_live_after, stats.sum_live_before);
+
+  // Sequential semantics across DFF rounds are untouched.
+  Prg prg(crypto::Block{0x5C4ED, 1});
+  std::vector<RoundInputs> rounds(8);
+  for (auto& r : rounds) {
+    r.garbler_bits = prg.bits(c.garbler_inputs.size());
+    r.evaluator_bits = prg.bits(c.evaluator_inputs.size());
+  }
+  EXPECT_EQ(eval_sequential_plain(s, rounds), eval_sequential_plain(c, rounds));
+}
+
+TEST(Schedule, StableOnItsOwnOutput) {
+  for (const std::size_t bits : {8u, 16u}) {
+    const Circuit once =
+        schedule_for_locality(make_mac_circuit(MacOptions{bits, bits, true}));
+    const Circuit twice = schedule_for_locality(once);
+    ASSERT_EQ(twice.gates.size(), once.gates.size());
+    for (std::size_t i = 0; i < once.gates.size(); ++i) {
+      EXPECT_EQ(twice.gates[i].type, once.gates[i].type) << "gate " << i;
+      EXPECT_EQ(twice.gates[i].a, once.gates[i].a) << "gate " << i;
+      EXPECT_EQ(twice.gates[i].b, once.gates[i].b) << "gate " << i;
+      EXPECT_EQ(twice.gates[i].out, once.gates[i].out) << "gate " << i;
+    }
+  }
+}
+
+TEST(Schedule, NeverWorseOnAlreadyTightCircuits) {
+  // A pure chain is already at minimal live width; the never-worse
+  // guard must keep the input order rather than churn it.
+  Builder b;
+  const Bus a = b.garbler_inputs(8);
+  Wire acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = b.and_(acc, a[i]);
+  b.set_outputs({acc});
+  const Circuit c = b.take();
+
+  ScheduleStats stats;
+  const Circuit s = schedule_for_locality(c, &stats);
+  EXPECT_EQ(stats.peak_live_after, stats.peak_live_before);
+  EXPECT_EQ(stats.sum_live_after, stats.sum_live_before);
+  EXPECT_EQ(s.gates.size(), c.gates.size());
+  expect_equivalent(c, s, 7);
+}
+
+TEST(Schedule, HandlesMultiOutputFanout) {
+  // One gate feeding several outputs and several consumers: its wire
+  // must stay live to the end, and each output must decode its own bit.
+  Builder b;
+  const Bus a = b.garbler_inputs(4);
+  const Bus x = b.evaluator_inputs(4);
+  const Wire shared = b.and_(a[0], x[0]);
+  const Wire u = b.xor_(shared, a[1]);
+  const Wire v = b.and_(shared, x[1]);
+  const Wire w = b.or_(shared, b.and_(a[2], x[2]));
+  b.set_outputs({shared, u, v, w, shared});  // the same wire twice
+  const Circuit c = b.take();
+
+  const Circuit s = schedule_for_locality(c);
+  ASSERT_EQ(s.outputs.size(), c.outputs.size());
+  EXPECT_EQ(s.outputs.front(), s.outputs.back());  // dup outputs preserved
+  expect_equivalent(c, s, 11);
+}
+
+TEST(Schedule, SchedulesDffCycleCircuits) {
+  // The accumulator feedback q -> logic -> d is a cycle through state,
+  // not a combinational cycle; scheduling must handle it (the round
+  // boundary cuts it) and keep every d-wire producer.
+  const Circuit c = make_mac_circuit(MacOptions{8, 8, true});
+  ASSERT_TRUE(c.is_sequential());
+  const Circuit s = schedule_for_locality(c);
+  ASSERT_EQ(s.dffs.size(), c.dffs.size());
+  std::vector<bool> defined(s.num_wires, false);
+  for (const auto& g : s.gates) defined[g.out] = true;
+  for (const auto& d : s.dffs) EXPECT_TRUE(defined[d.d]);
+}
+
+TEST(Schedule, ThrowsOnCombinationalCycle) {
+  Circuit c;
+  c.num_wires = 6;
+  c.garbler_inputs = {2};
+  c.evaluator_inputs = {3};
+  // Gates 4 and 5 each consume the other's output: no valid order.
+  c.gates.push_back({GateType::kAnd, 2, 5, 4});
+  c.gates.push_back({GateType::kAnd, 3, 4, 5});
+  c.outputs = {4, 5};
+  EXPECT_THROW(schedule_for_locality(c), std::invalid_argument);
+}
+
+TEST(Schedule, OptimizeOptionsComposePasses) {
+  Builder b;
+  const Bus a = b.garbler_inputs(8);
+  const Bus x = b.evaluator_inputs(8);
+  (void)b.mult_serial(a, x, 8);  // dead logic for DCE to strip
+  b.set_outputs(b.add(a, x));
+  const Circuit c = b.take();
+
+  OptimizeStats ostats;
+  ScheduleStats sstats;
+  const Circuit out = optimize(c, OptimizeOptions{.schedule = true}, &ostats,
+                               &sstats);
+  EXPECT_GT(ostats.gates_removed(), 0u);
+  EXPECT_EQ(sstats.gates, out.gates.size());
+  EXPECT_EQ(peak_live_wires(out), sstats.peak_live_after);
+  expect_equivalent(c, out, 13);
+  // Plain optimize() (no options) must not reorder: flag off means the
+  // historical pass pipeline only.
+  const Circuit plain = optimize(c, OptimizeOptions{}, nullptr, nullptr);
+  const Circuit legacy = optimize(c);
+  EXPECT_EQ(plain.gates.size(), legacy.gates.size());
+  for (std::size_t i = 0; i < plain.gates.size(); ++i)
+    EXPECT_EQ(plain.gates[i].out, legacy.gates[i].out) << "gate " << i;
+}
+
 }  // namespace
 }  // namespace maxel::circuit

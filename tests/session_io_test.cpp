@@ -13,6 +13,7 @@
 #include "proto/precompute.hpp"
 #include "proto/protocol.hpp"
 #include "proto/session_io.hpp"
+#include "sweep_env.hpp"
 
 namespace maxel::proto {
 namespace {
@@ -181,8 +182,11 @@ TEST(SessionIoFuzz, RandomMultiByteMutationsNeverCrash) {
   const circuit::Circuit c = circuit::make_mac_circuit(MacOptions{8, 8, true});
   const std::vector<std::uint8_t> full =
       serialize_session(make_session(c, 2, 13));
-  crypto::Prg prg(Block{0xF0, 0x0D});
-  for (int trial = 0; trial < 400; ++trial) {
+  const std::uint64_t fuzz_seed = test::sweep_seed(0xF0);
+  SCOPED_TRACE("fuzz_seed=" + std::to_string(fuzz_seed));
+  crypto::Prg prg(Block{fuzz_seed, 0x0D});
+  const int n_trials = test::sweep_trials(400);
+  for (int trial = 0; trial < n_trials; ++trial) {
     std::vector<std::uint8_t> mut = full;
     const int edits = 1 + static_cast<int>(prg.next_u64() % 8);
     for (int e = 0; e < edits; ++e) {

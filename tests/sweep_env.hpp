@@ -1,0 +1,40 @@
+// Nightly sweep knobs for the randomized suites (the `fuzz` and `sweep`
+// CTest labels). Tier-1 runs pin every seed so failures reproduce from
+// the log; the nightly workflow widens the net instead:
+//
+//  MAXEL_SWEEP_SCALE  multiplies randomized trial counts (default 1 —
+//                     tier-1 cost; nightly runs at ~20x).
+//  MAXEL_SWEEP_SEED   replaces the pinned sweep seeds with a fresh one
+//                     (any strtoull base-0 literal). Every sweep test
+//                     puts the effective seed in its SCOPED_TRACE, and
+//                     the nightly job uploads it on failure, so a red
+//                     nightly replays locally by exporting the same
+//                     value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+namespace maxel::test {
+
+inline std::size_t sweep_scale() {
+  const char* s = std::getenv("MAXEL_SWEEP_SCALE");
+  if (s == nullptr) return 1;
+  const long v = std::strtol(s, nullptr, 10);
+  return v < 1 ? 1 : static_cast<std::size_t>(v);
+}
+
+// Trial count for a sweep loop: `base` iterations at tier-1 scale.
+inline int sweep_trials(int base) {
+  return base * static_cast<int>(sweep_scale());
+}
+
+// The pinned seed, unless the environment supplies a fresh one.
+inline std::uint64_t sweep_seed(std::uint64_t pinned) {
+  const char* s = std::getenv("MAXEL_SWEEP_SEED");
+  if (s == nullptr) return pinned;
+  return std::strtoull(s, nullptr, 0);
+}
+
+}  // namespace maxel::test

@@ -13,6 +13,7 @@
 #include "crypto/rng.hpp"
 #include "proto/channel.hpp"
 #include "proto/v3_records.hpp"
+#include "sweep_env.hpp"
 
 namespace maxel::proto {
 namespace {
@@ -237,8 +238,11 @@ TEST(V3RecordsFuzz, SingleByteMutationsNeverCrash) {
 
 TEST(V3RecordsFuzz, RandomMultiByteMutationsNeverCrash) {
   const auto full = serialize_seed_expansion(make_seed_record(13, 12));
-  crypto::Prg prg(Block{0xF3, 0x3D});
-  for (int trial = 0; trial < 400; ++trial) {
+  const std::uint64_t fuzz_seed = test::sweep_seed(0xF3);
+  SCOPED_TRACE("fuzz_seed=" + std::to_string(fuzz_seed));
+  crypto::Prg prg(Block{fuzz_seed, 0x3D});
+  const int n_trials = test::sweep_trials(400);
+  for (int trial = 0; trial < n_trials; ++trial) {
     std::vector<std::uint8_t> mut = full;
     const int edits = 1 + static_cast<int>(prg.next_u64() % 8);
     for (int e = 0; e < edits; ++e) {

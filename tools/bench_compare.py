@@ -96,6 +96,35 @@ CHECKS = {
         "lower_bound": ["mac_per_sec"],
         "upper_bound": [],
     },
+    "schedule_locality": {
+        "key": "point",
+        # No absolute MAC/s floors: the in-process garble+eval loop is
+        # runner-speed dependent. The locality metrics (peak live wires,
+        # planned buffer bytes, hwsim cycles) are deterministic for a
+        # given netlist -- the ceilings pin them against regression.
+        "lower_bound": [],
+        "upper_bound": [
+            "peak_live_wires",
+            "garbler_buffer_bytes",
+            "evaluator_buffer_bytes",
+            "hw_cycles",
+        ],
+        # The scheduling gate (measured-run ratios, machine-independent
+        # for the deterministic metrics): on the b=16 MAC netlist the
+        # scheduled order must cut peak live wires to <=0.9x and must
+        # not cost software throughput (the bench reports the best of
+        # several interleaved attempts to de-noise the MAC/s ratio).
+        "ratio": [
+            ("mac_per_sec", "mac-b16-scheduled", "mac-b16-unscheduled", 1.0),
+        ],
+        "ratio_max": [
+            ("peak_live_wires", "mac-b16-scheduled", "mac-b16-unscheduled",
+             0.9),
+            ("hw_cycles", "mac-b16-scheduled", "mac-b16-unscheduled", 0.9),
+            ("peak_live_wires", "bristol-mul32-scheduled",
+             "bristol-mul32-unscheduled", 0.9),
+        ],
+    },
     "stream_pipeline": {
         "key": "mode",
         "lower_bound": ["mac_per_sec"],
