@@ -1,0 +1,274 @@
+#include "circuit/fp16.hpp"
+
+#include "circuit/fp16_ref.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+// ---- small word-level helpers -------------------------------------------
+
+Bus slice(const Bus& b, std::size_t lo, std::size_t hi) {
+  return Bus(b.begin() + static_cast<long>(lo),
+             b.begin() + static_cast<long>(hi));
+}
+
+Wire or_tree(Builder& bld, const Bus& b) {
+  if (b.empty()) return Builder::const0();
+  Bus cur = b;
+  while (cur.size() > 1) {
+    Bus next;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2)
+      next.push_back(bld.or_(cur[i], cur[i + 1]));
+    if (cur.size() % 2 != 0) next.push_back(cur.back());
+    cur = next;
+  }
+  return cur[0];
+}
+
+// Logical right shift by a constant (zero fill).
+Bus shr_fixed(const Bus& b, std::size_t k) {
+  if (k >= b.size()) return Bus(b.size(), Builder::const0());
+  Bus out = slice(b, k, b.size());
+  out.resize(b.size(), Builder::const0());
+  return out;
+}
+
+// Barrel right-shifter: out = b >> amount, amount given as a little-
+// endian bus. When `sticky` is non-null every shifted-out 1 is OR-folded
+// into it (exact sticky collection for round-pack).
+Bus shr_var(Builder& bld, const Bus& b, const Bus& amount, Wire* sticky) {
+  Bus cur = b;
+  for (std::size_t j = amount.size(); j-- > 0;) {
+    const std::size_t k = std::size_t{1} << j;
+    if (k >= 2 * b.size()) continue;  // shift stage can never matter
+    if (sticky != nullptr) {
+      const Wire lost =
+          or_tree(bld, slice(cur, 0, k < cur.size() ? k : cur.size()));
+      *sticky = bld.or_(*sticky, bld.and_(amount[j], lost));
+    }
+    cur = bld.mux_bus(amount[j], shr_fixed(cur, k), cur);
+  }
+  return cur;
+}
+
+// Normalizes a nonzero register so its MSB lands on the top bit and
+// returns the leading-zero count: standard staged CLZ where each
+// power-of-two stage tests "top k bits all zero" on the partially
+// shifted register, so the stage conditions are the binary digits of
+// lz. For an all-zero input the output is garbage — callers mux it away
+// behind a zero flag.
+struct Normalized {
+  Bus value;
+  Bus lz;  // little-endian
+};
+Normalized normalize(Builder& bld, const Bus& b) {
+  const std::size_t w = b.size();
+  std::size_t stages = 0;
+  while ((std::size_t{1} << (stages + 1)) < w) ++stages;
+  Normalized out;
+  out.lz.assign(stages + 1, Builder::const0());
+  Bus cur = b;
+  for (std::size_t j = stages + 1; j-- > 0;) {
+    const std::size_t k = std::size_t{1} << j;
+    if (k >= w) continue;
+    const Wire top_zero = bld.not_(or_tree(bld, slice(cur, w - k, w)));
+    cur = bld.mux_bus(top_zero, bld.shift_left(cur, k, w), cur);
+    out.lz[j] = top_zero;
+  }
+  out.value = cur;
+  return out;
+}
+
+// ---- unpacked operand view ----------------------------------------------
+
+struct Unpacked {
+  Wire sign = Builder::const0();
+  Bus exp;       // 5 raw exponent bits
+  Bus exp_eff;   // max(exp, 1): the subnormal-aware effective exponent
+  Bus sig;       // 11 bits: fraction + implicit bit (exp != 0)
+  Wire exp_nz = Builder::const0();
+  Wire is_nan = Builder::const0();
+  Wire is_inf = Builder::const0();
+  Wire is_zero = Builder::const0();
+};
+
+Unpacked unpack(Builder& bld, const Bus& v) {
+  Unpacked u;
+  u.sign = v[15];
+  u.exp = slice(v, 10, 15);
+  u.exp_nz = or_tree(bld, u.exp);
+  const Wire exp_all1 = bld.eq(u.exp, bld.constant_bus(31, 5));
+  const Wire frac_nz = or_tree(bld, slice(v, 0, 10));
+  u.is_nan = bld.and_(exp_all1, frac_nz);
+  u.is_inf = bld.and_(exp_all1, bld.not_(frac_nz));
+  u.is_zero = bld.not_(bld.or_(u.exp_nz, frac_nz));
+  u.sig = slice(v, 0, 10);
+  u.sig.push_back(u.exp_nz);
+  u.exp_eff = bld.mux_bus(u.exp_nz, u.exp, bld.constant_bus(1, 5));
+  return u;
+}
+
+// ---- round-pack ----------------------------------------------------------
+
+// Mirrors fp16_ref.cpp round_pack. `ebias` is E + 64 on a 7-bit bus
+// (E = biased exponent of sig14/2^13 in [1,2)); `sig14` is the 14-bit
+// significand register, `sticky` ORs everything below it.
+Bus round_pack(Builder& bld, Wire sign, const Bus& ebias, const Bus& sig14,
+               Wire sticky) {
+  const Wire ge31 = bld.not_(bld.lt_unsigned(ebias, bld.constant_bus(95, 7)));
+  const Wire le0 = bld.lt_unsigned(ebias, bld.constant_bus(65, 7));
+
+  // Subnormal denormalization shift: min(65 - ebias, 15), gated on le0.
+  const Bus t7 = bld.sub(bld.constant_bus(65, 7), ebias);
+  const Wire t_ge16 = or_tree(bld, slice(t7, 4, 7));
+  const Bus shift_sub =
+      bld.mux_bus(t_ge16, bld.constant_bus(15, 4), slice(t7, 0, 4));
+  const Bus shift = bld.mux_bus(le0, shift_sub, bld.constant_bus(0, 4));
+  Wire lost = Builder::const0();
+  const Bus shifted = shr_var(bld, sig14, shift, &lost);
+
+  const Bus keep = slice(shifted, 3, 14);  // implicit bit + 10 fraction bits
+  const Wire guard = shifted[2];
+  const Wire st = bld.or_(bld.or_(sticky, lost), bld.or_(shifted[0], shifted[1]));
+  const Wire round_up = bld.and_(guard, bld.or_(st, keep[0]));
+
+  // Packed (exponent|fraction) sum: keep's implicit bit lands on the
+  // exponent field, so exponent e-1 plus implicit reads back as e and a
+  // rounding carry bumps the exponent — subnormal -> smallest normal
+  // and 30 -> infinity included. Exponent field forced to 0 under le0.
+  const Bus efield = bld.and_bit(slice(bld.sub(ebias, bld.constant_bus(65, 7)),
+                                       0, 5),
+                                 bld.not_(le0));
+  Bus epos(15, Builder::const0());
+  for (std::size_t i = 0; i < 5; ++i) epos[10 + i] = efield[i];
+  const Bus base = bld.add(bld.zero_extend(keep, 15), epos, 15);
+  const Bus res = bld.add(base, bld.constant_bus(0, 15), 15, round_up);
+
+  const Wire overflow =
+      bld.or_(ge31, bld.not_(bld.lt_unsigned(res, bld.constant_bus(0x7C00, 15))));
+  Bus mag = bld.mux_bus(overflow, bld.constant_bus(0x7C00, 15), res);
+  mag.push_back(sign);
+  return mag;
+}
+
+Bus with_sign(Builder& bld, std::uint16_t magnitude, Wire sign) {
+  Bus out = bld.constant_bus(magnitude, 15);
+  out.push_back(sign);
+  return out;
+}
+
+}  // namespace
+
+Bus fp16_add_core(Builder& bld, const Bus& a, const Bus& b) {
+  const Unpacked ua = unpack(bld, a);
+  const Unpacked ub = unpack(bld, b);
+
+  // Magnitude order: IEEE encodings compare like their magnitudes on
+  // the low 15 bits; the larger operand donates sign and exponent.
+  const Wire a_ge =
+      bld.not_(bld.lt_unsigned(slice(a, 0, 15), slice(b, 0, 15)));
+  const Bus l = bld.mux_bus(a_ge, a, b);
+  const Bus s = bld.mux_bus(a_ge, b, a);
+  const Unpacked ul = unpack(bld, l);
+  const Unpacked us = unpack(bld, s);
+
+  // Exact 44-bit datapath: big = sig_l << 32, small = sig_s << (32-d)
+  // with d = el - es in [0, 29], so no alignment bit is ever lost and
+  // rounding sees the exact result.
+  const Bus d5 = bld.sub(ul.exp_eff, us.exp_eff);
+  Bus big(32, Builder::const0());
+  big.insert(big.end(), ul.sig.begin(), ul.sig.end());
+  big.push_back(Builder::const0());
+  Bus small0(32, Builder::const0());
+  small0.insert(small0.end(), us.sig.begin(), us.sig.end());
+  small0.push_back(Builder::const0());
+  const Bus small = shr_var(bld, small0, d5, nullptr);
+
+  const Wire diff_signs = bld.xor_(ul.sign, us.sign);
+  const Bus addend = bld.cond_negate(small, diff_signs);
+  const Bus r = bld.add(big, addend, 44);
+  const Wire r_zero = bld.not_(or_tree(bld, r));
+
+  const Normalized n = normalize(bld, r);
+  const Bus sig14 = slice(n.value, 30, 44);
+  const Wire sticky = or_tree(bld, slice(n.value, 0, 30));
+  // ebias = E + 64 = el + 65 - lz (value = r * 2^(el - 57)).
+  const Bus el7 = bld.add(bld.zero_extend(ul.exp_eff, 7),
+                          bld.constant_bus(65, 7), 7);
+  const Bus ebias = bld.sub(el7, bld.zero_extend(n.lz, 7));
+  Bus out = round_pack(bld, ul.sign, ebias, sig14, sticky);
+
+  // Special-case overrides, lowest to highest priority.
+  out = bld.mux_bus(r_zero, with_sign(bld, 0, Builder::const0()), out);
+  const Wire both_zero = bld.and_(ua.is_zero, ub.is_zero);
+  out = bld.mux_bus(both_zero,
+                    with_sign(bld, 0, bld.and_(ua.sign, ub.sign)), out);
+  const Wire inf_case = bld.or_(ua.is_inf, ub.is_inf);
+  const Wire inf_sign = bld.mux(ua.is_inf, ua.sign, ub.sign);
+  out = bld.mux_bus(inf_case, with_sign(bld, kFp16Inf, inf_sign), out);
+  const Wire nan_out =
+      bld.or_(bld.or_(ua.is_nan, ub.is_nan),
+              bld.and_(bld.and_(ua.is_inf, ub.is_inf),
+                       bld.xor_(ua.sign, ub.sign)));
+  out = bld.mux_bus(nan_out, bld.constant_bus(kFp16QuietNan, 16), out);
+  return out;
+}
+
+Bus fp16_mul_core(Builder& bld, const Bus& a, const Bus& b) {
+  const Unpacked ua = unpack(bld, a);
+  const Unpacked ub = unpack(bld, b);
+  const Wire sr = bld.xor_(ua.sign, ub.sign);
+
+  const Bus p = bld.mult_tree(ua.sig, ub.sig, 22);  // exact 22-bit product
+  const Normalized n = normalize(bld, p);
+  const Bus sig14 = slice(n.value, 8, 22);
+  const Wire sticky = or_tree(bld, slice(n.value, 0, 8));
+  // ebias = E + 64 = ea + eb + 50 - lz (value = p * 2^(ea + eb - 50)).
+  const Bus esum = bld.add(bld.zero_extend(ua.exp_eff, 7),
+                           bld.zero_extend(ub.exp_eff, 7), 7);
+  const Bus ebias = bld.sub(bld.add(esum, bld.constant_bus(50, 7), 7),
+                            bld.zero_extend(n.lz, 7));
+  Bus out = round_pack(bld, sr, ebias, sig14, sticky);
+
+  const Wire zero_any = bld.or_(ua.is_zero, ub.is_zero);
+  const Wire inf_any = bld.or_(ua.is_inf, ub.is_inf);
+  out = bld.mux_bus(zero_any, with_sign(bld, 0, sr), out);
+  out = bld.mux_bus(inf_any, with_sign(bld, kFp16Inf, sr), out);
+  const Wire nan_out = bld.or_(bld.or_(ua.is_nan, ub.is_nan),
+                               bld.and_(inf_any, zero_any));
+  out = bld.mux_bus(nan_out, bld.constant_bus(kFp16QuietNan, 16), out);
+  return out;
+}
+
+Circuit make_fp16_add_circuit() {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(16);
+  const Bus x = bld.evaluator_inputs(16);
+  bld.set_outputs(fp16_add_core(bld, a, x));
+  bld.set_name("fp16_add");
+  return bld.take();
+}
+
+Circuit make_fp16_mul_circuit() {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(16);
+  const Bus x = bld.evaluator_inputs(16);
+  bld.set_outputs(fp16_mul_core(bld, a, x));
+  bld.set_name("fp16_mul");
+  return bld.take();
+}
+
+Circuit make_fp16_mac_circuit() {
+  Builder bld;
+  const Bus a = bld.garbler_inputs(16);
+  const Bus x = bld.evaluator_inputs(16);
+  const Bus acc_q = bld.make_dff_bus(16, 0);  // +0.0
+  const Bus p = fp16_mul_core(bld, a, x);
+  const Bus acc_d = fp16_add_core(bld, p, acc_q);
+  bld.connect_dff_bus(acc_q, acc_d);
+  bld.set_outputs(acc_d);
+  bld.set_name("fp16_mac");
+  return bld.take();
+}
+
+}  // namespace maxel::circuit

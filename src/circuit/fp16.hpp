@@ -1,0 +1,36 @@
+// IEEE-754 binary16 netlists: add, mul, and the sequential MAC.
+//
+// The first non-integer workload family. Semantics are exactly
+// fp16_ref.hpp (canonical-qNaN, full subnormals, RNE; MAC = mul then
+// add, two roundings) — the circuits implement the same
+// unpack/exact-datapath/normalize/round-pack algorithm with word-level
+// builder ops, and the differential tests (tests/fp16_test.cpp) prove
+// bit-identity through real garbled evaluation.
+//
+// Circuit shapes (garbler holds a, evaluator holds x, matching the
+// server-model/client-data split of the MAC workloads):
+//  * add/mul: combinational, 16-bit inputs a and x, 16-bit output;
+//  * MAC: sequential, 16-bit DFF accumulator initialized to +0;
+//    each round computes acc' = fp16_add(fp16_mul(a, x), acc).
+//
+// Gate-cost note: the FP16 datapath pays for alignment/normalization
+// barrel shifters the integer MAC does not have — see
+// docs/ACCELERATION.md for measured AND counts vs the b=16 integer MAC.
+#pragma once
+
+#include "circuit/builder.hpp"
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+// Word-level cores, exposed for composition into larger pipelines
+// (both operands are 16-wire fp16 buses, LSB first; result likewise).
+Bus fp16_add_core(Builder& bld, const Bus& a, const Bus& b);
+Bus fp16_mul_core(Builder& bld, const Bus& a, const Bus& b);
+
+// Ready-made circuits.
+Circuit make_fp16_add_circuit();
+Circuit make_fp16_mul_circuit();
+Circuit make_fp16_mac_circuit();
+
+}  // namespace maxel::circuit

@@ -1,0 +1,157 @@
+#include "circuit/fp16_ref.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+// Shared rounding tail of every operation. `e` is the biased exponent
+// of the normalized value sig14 / 2^13 in [1, 2) (sig14 bit 13 set),
+// `sticky` ORs every bit of the exact result below sig14's LSB. The
+// netlist's round_pack stage mirrors this function gate for gate:
+// subnormal right-shift (clamped at 15, where everything is sticky),
+// 11-bit keep + guard + sticky extraction, RNE increment carried
+// through the packed exponent|fraction sum, overflow to infinity.
+std::uint16_t round_pack(bool sign, int e, std::uint32_t sig14, bool sticky) {
+  const std::uint16_t s = sign ? 0x8000u : 0x0000u;
+  if (e >= 31) return s | kFp16Inf;
+  if (e <= 0) {
+    // Subnormal (or underflow-to-zero) result: denormalize so the
+    // exponent field reads 0. Shifting by >= 15 clears a 14-bit
+    // register entirely; the clamp keeps the netlist's shifter narrow.
+    int shift = 1 - e;
+    if (shift > 15) shift = 15;
+    sticky = sticky || (sig14 & ((1u << shift) - 1)) != 0;
+    sig14 >>= shift;
+    e = 1;  // packs as exponent field 0 below (bit 13 is now clear)
+  }
+  const std::uint32_t keep = sig14 >> 3;  // implicit bit + 10 fraction bits
+  const bool guard = (sig14 & 4u) != 0;
+  const bool st = sticky || (sig14 & 3u) != 0;
+  const bool round_up = guard && (st || (keep & 1u) != 0);
+  // keep's bit 10 (the implicit one) lands on the exponent field, so
+  // e-1 plus the implicit bit reads back as exponent e; a rounding
+  // carry out of the fraction bumps the exponent the same way,
+  // including subnormal -> smallest normal and 30 -> infinity.
+  std::uint32_t res = (static_cast<std::uint32_t>(e - 1) << 10) + keep +
+                      (round_up ? 1u : 0u);
+  if (res >= 0x7C00u) res = 0x7C00u;
+  return static_cast<std::uint16_t>(s | res);
+}
+
+// Shifts the exact result register down so its MSB (index `m`) lands on
+// bit 13, collecting shifted-out bits as sticky.
+std::uint32_t to_sig14(std::uint64_t r, int m, bool* sticky) {
+  if (m <= 13) {
+    *sticky = false;
+    return static_cast<std::uint32_t>(r << (13 - m));
+  }
+  *sticky = (r & ((1ull << (m - 13)) - 1)) != 0;
+  return static_cast<std::uint32_t>(r >> (m - 13));
+}
+
+int msb_index(std::uint64_t v) {
+  int m = 0;
+  while (v >> (m + 1) != 0) ++m;
+  return m;
+}
+
+}  // namespace
+
+std::uint16_t fp16_add_reference(std::uint16_t a, std::uint16_t b) {
+  if (fp16_is_nan(a) || fp16_is_nan(b)) return kFp16QuietNan;
+  if (fp16_is_inf(a)) {
+    if (fp16_is_inf(b) && fp16_sign(a) != fp16_sign(b)) return kFp16QuietNan;
+    return a;
+  }
+  if (fp16_is_inf(b)) return b;
+  if (fp16_is_zero(a) && fp16_is_zero(b))
+    return (fp16_sign(a) && fp16_sign(b)) ? 0x8000u : 0x0000u;
+
+  // Order by magnitude; for IEEE encodings the 15-bit payload compares
+  // like the magnitude does. The larger operand donates the sign.
+  if ((b & 0x7FFFu) > (a & 0x7FFFu)) {
+    const std::uint16_t t = a;
+    a = b;
+    b = t;
+  }
+  const bool sign = fp16_sign(a);
+  const unsigned ea = fp16_exponent(a), eb = fp16_exponent(b);
+  const int el = ea == 0 ? 1 : static_cast<int>(ea);
+  const int es = eb == 0 ? 1 : static_cast<int>(eb);
+  const std::uint64_t sig_l = (ea == 0 ? 0u : 1024u) + fp16_fraction(a);
+  const std::uint64_t sig_s = (eb == 0 ? 0u : 1024u) + fp16_fraction(b);
+  const int d = el - es;  // 0..29: the register below is exact for all d
+
+  const std::uint64_t big = sig_l << 32;
+  const std::uint64_t small = sig_s << (32 - d);
+  const std::uint64_t r =
+      fp16_sign(a) == fp16_sign(b) ? big + small : big - small;
+  if (r == 0) return 0x0000u;  // exact cancellation rounds to +0
+
+  const int m = msb_index(r);
+  const int e = el + m - 42;  // value == r * 2^(el - 57)
+  bool sticky = false;
+  const std::uint32_t sig14 = to_sig14(r, m, &sticky);
+  return round_pack(sign, e, sig14, sticky);
+}
+
+std::uint16_t fp16_mul_reference(std::uint16_t a, std::uint16_t b) {
+  if (fp16_is_nan(a) || fp16_is_nan(b)) return kFp16QuietNan;
+  const bool sign = fp16_sign(a) != fp16_sign(b);
+  const std::uint16_t s = sign ? 0x8000u : 0x0000u;
+  if (fp16_is_inf(a) || fp16_is_inf(b)) {
+    if (fp16_is_zero(a) || fp16_is_zero(b)) return kFp16QuietNan;
+    return s | kFp16Inf;
+  }
+  if (fp16_is_zero(a) || fp16_is_zero(b)) return s;
+
+  const unsigned ea = fp16_exponent(a), eb = fp16_exponent(b);
+  const int ea_eff = ea == 0 ? 1 : static_cast<int>(ea);
+  const int eb_eff = eb == 0 ? 1 : static_cast<int>(eb);
+  const std::uint64_t sig_a = (ea == 0 ? 0u : 1024u) + fp16_fraction(a);
+  const std::uint64_t sig_b = (eb == 0 ? 0u : 1024u) + fp16_fraction(b);
+
+  const std::uint64_t p = sig_a * sig_b;  // exact, < 2^22
+  const int m = msb_index(p);
+  const int e = ea_eff + eb_eff + m - 35;  // value == p * 2^(ea+eb-50)
+  bool sticky = false;
+  const std::uint32_t sig14 = to_sig14(p, m, &sticky);
+  return round_pack(sign, e, sig14, sticky);
+}
+
+std::uint16_t fp16_mac_reference(std::uint16_t acc, std::uint16_t a,
+                                 std::uint16_t x) {
+  return fp16_add_reference(fp16_mul_reference(a, x), acc);
+}
+
+double fp16_to_double(std::uint16_t v) {
+  const double s = fp16_sign(v) ? -1.0 : 1.0;
+  const unsigned e = fp16_exponent(v);
+  const unsigned f = fp16_fraction(v);
+  if (e == 31) {
+    if (f != 0) return s * __builtin_nan("");
+    return s * __builtin_inf();
+  }
+  if (e == 0) return s * static_cast<double>(f) * 0x1p-24;
+  return s * static_cast<double>(1024u + f) *
+         __builtin_ldexp(1.0, static_cast<int>(e) - 25);
+}
+
+std::uint16_t fp16_from_double(double d) {
+  if (d != d) return kFp16QuietNan;
+  const bool sign = __builtin_signbit(d) != 0;
+  const std::uint16_t s = sign ? 0x8000u : 0x0000u;
+  if (d == 0.0) return s;
+  if (__builtin_isinf(d)) return s | kFp16Inf;
+
+  int e2 = 0;  // d = frac * 2^e2, frac in [0.5, 1)
+  const double frac = __builtin_frexp(sign ? -d : d, &e2);
+  // 54-bit integer significand with MSB at bit 53: frac * 2^54.
+  const std::uint64_t sig54 =
+      static_cast<std::uint64_t>(__builtin_ldexp(frac, 54));
+  const int e = e2 - 1 + 15;  // biased fp16 exponent of the MSB
+  bool sticky = (sig54 & ((1ull << 40) - 1)) != 0;
+  const std::uint32_t sig14 = static_cast<std::uint32_t>(sig54 >> 40);
+  return round_pack(sign, e, sig14, sticky);
+}
+
+}  // namespace maxel::circuit

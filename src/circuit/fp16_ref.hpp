@@ -1,0 +1,67 @@
+// Bit-exact IEEE-754 binary16 softfloat golden reference.
+//
+// The FP16 netlists (fp16.hpp) are proven correct by differential
+// testing against these functions: every garbled evaluation must decode
+// to the exact bit pattern this integer model produces. The model and
+// the netlist share one algorithm — unpack, exact magnitude datapath,
+// normalize into a 14-bit (1.10+3) significand register, round-pack
+// with round-to-nearest-even — so each circuit stage has a line-for-line
+// counterpart here. The tests additionally pin the model against an
+// independent double-precision computation (exact for fp16 add and mul:
+// a double holds any fp16 sum or product exactly, so a single
+// double->fp16 conversion is correctly rounded).
+//
+// Semantics and documented non-goals:
+//  * rounding: round-to-nearest, ties-to-even, always;
+//  * subnormals: full support, inputs and outputs (no flush-to-zero);
+//  * any NaN input, inf - inf, and 0 * inf produce the CANONICAL quiet
+//    NaN 0x7E00 — NaN payload propagation and signaling-NaN traps are
+//    explicit non-goals (there is no environment to trap into);
+//  * no exception flags; the MAC is mul-then-add with TWO roundings
+//    (round(round(a*x) + acc)), matching a hardware MAC built from
+//    separate multiplier and adder units, NOT a single-rounding FMA.
+#pragma once
+
+#include <cstdint>
+
+namespace maxel::circuit {
+
+inline constexpr std::uint16_t kFp16QuietNan = 0x7E00;
+inline constexpr std::uint16_t kFp16Inf = 0x7C00;
+
+// Field helpers over the raw encoding.
+[[nodiscard]] constexpr bool fp16_sign(std::uint16_t v) {
+  return (v & 0x8000u) != 0;
+}
+[[nodiscard]] constexpr unsigned fp16_exponent(std::uint16_t v) {
+  return (v >> 10) & 0x1Fu;
+}
+[[nodiscard]] constexpr unsigned fp16_fraction(std::uint16_t v) {
+  return v & 0x3FFu;
+}
+[[nodiscard]] constexpr bool fp16_is_nan(std::uint16_t v) {
+  return fp16_exponent(v) == 31 && fp16_fraction(v) != 0;
+}
+[[nodiscard]] constexpr bool fp16_is_inf(std::uint16_t v) {
+  return fp16_exponent(v) == 31 && fp16_fraction(v) == 0;
+}
+[[nodiscard]] constexpr bool fp16_is_zero(std::uint16_t v) {
+  return (v & 0x7FFFu) == 0;
+}
+
+// The golden operations. Bit patterns in, bit pattern out.
+std::uint16_t fp16_add_reference(std::uint16_t a, std::uint16_t b);
+std::uint16_t fp16_mul_reference(std::uint16_t a, std::uint16_t b);
+
+// acc' = fp16_add(fp16_mul(a, x), acc): the per-round semantics of
+// make_fp16_mac_circuit. Two roundings (see header comment).
+std::uint16_t fp16_mac_reference(std::uint16_t acc, std::uint16_t a,
+                                 std::uint16_t x);
+
+// Conversions for tests and drivers (exact; double holds every finite
+// fp16 value). fp16_from_double rounds to nearest even and returns the
+// canonical NaN for NaN inputs.
+double fp16_to_double(std::uint16_t v);
+std::uint16_t fp16_from_double(double d);
+
+}  // namespace maxel::circuit

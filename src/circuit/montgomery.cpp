@@ -1,0 +1,238 @@
+#include "circuit/montgomery.hpp"
+
+#include <cassert>
+
+#include "circuit/arith_ext.hpp"
+
+namespace maxel::circuit {
+namespace {
+
+// ---- variable-length little-endian limb arithmetic ----------------------
+// Internal helpers work on arbitrary-length vectors; the public API
+// normalizes to ceil(bits/64) limbs.
+
+std::size_t limb_count(std::size_t bits) { return (bits + 63) / 64; }
+
+Limbs vec_trim(Limbs v) {
+  while (v.size() > 1 && v.back() == 0) v.pop_back();
+  return v;
+}
+
+int vec_cmp(const Limbs& a, const Limbs& b) {
+  const std::size_t m = a.size() > b.size() ? a.size() : b.size();
+  for (std::size_t i = m; i-- > 0;) {
+    const std::uint64_t av = i < a.size() ? a[i] : 0;
+    const std::uint64_t bv = i < b.size() ? b[i] : 0;
+    if (av != bv) return av < bv ? -1 : 1;
+  }
+  return 0;
+}
+
+Limbs vec_add(const Limbs& a, const Limbs& b) {
+  const std::size_t m = a.size() > b.size() ? a.size() : b.size();
+  Limbs out(m + 1, 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    carry += i < a.size() ? a[i] : 0;
+    carry += i < b.size() ? b[i] : 0;
+    out[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  out[m] = static_cast<std::uint64_t>(carry);
+  return vec_trim(out);
+}
+
+// Requires a >= b.
+Limbs vec_sub(const Limbs& a, const Limbs& b) {
+  Limbs out(a.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t bv = i < b.size() ? b[i] : 0;
+    const std::uint64_t d1 = a[i] - bv;
+    const std::uint64_t d2 = d1 - borrow;
+    borrow = (a[i] < bv || d1 < borrow) ? 1 : 0;
+    out[i] = d2;
+  }
+  return vec_trim(out);
+}
+
+Limbs vec_mul(const Limbs& a, const Limbs& b) {
+  Limbs out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      carry += static_cast<unsigned __int128>(a[i]) * b[j] + out[i + j];
+      out[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    out[i + b.size()] = static_cast<std::uint64_t>(carry);
+  }
+  return vec_trim(out);
+}
+
+// v mod 2^bits.
+Limbs vec_mask(const Limbs& v, std::size_t bits) {
+  Limbs out = v;
+  const std::size_t L = limb_count(bits);
+  if (out.size() > L) out.resize(L);
+  const std::size_t top = bits % 64;
+  if (top != 0 && out.size() == L)
+    out[L - 1] &= (std::uint64_t{1} << top) - 1;
+  return vec_trim(out);
+}
+
+Limbs vec_shr(const Limbs& v, std::size_t bits) {
+  const std::size_t limbs = bits / 64, rem = bits % 64;
+  if (limbs >= v.size()) return Limbs{0};
+  Limbs out(v.begin() + static_cast<long>(limbs), v.end());
+  if (rem != 0) {
+    for (std::size_t i = 0; i + 1 < out.size(); ++i)
+      out[i] = (out[i] >> rem) | (out[i + 1] << (64 - rem));
+    out.back() >>= rem;
+  }
+  return vec_trim(out);
+}
+
+// (-v) mod 2^bits.
+Limbs vec_neg_mod(const Limbs& v, std::size_t bits) {
+  Limbs inv(limb_count(bits), 0);
+  for (std::size_t i = 0; i < inv.size(); ++i)
+    inv[i] = ~(i < v.size() ? v[i] : 0);
+  return vec_mask(vec_add(inv, Limbs{1}), bits);
+}
+
+// r <- 2r mod n, for r < n < 2^bits.
+Limbs double_mod(const Limbs& r, const Limbs& n, std::size_t bits) {
+  Limbs d = vec_mul(r, Limbs{2});
+  (void)bits;
+  if (vec_cmp(d, n) >= 0) d = vec_sub(d, n);
+  return d;
+}
+
+Limbs vec_fit(Limbs v, std::size_t limbs) {
+  v.resize(limbs, 0);
+  return v;
+}
+
+}  // namespace
+
+// ---- MontgomeryRef -------------------------------------------------------
+
+MontgomeryRef::MontgomeryRef(Limbs n, std::size_t bits)
+    : n_(vec_trim(std::move(n))), bits_(bits) {
+  assert(bits_ > 0);
+  assert((n_[0] & 1u) != 0 && "Montgomery modulus must be odd");
+  assert(vec_cmp(n_, vec_mask(n_, bits_)) == 0 && "modulus wider than R");
+
+  // n' = -n^{-1} mod 2^bits by Newton/Hensel lifting: x <- x(2 - nx)
+  // doubles the number of correct low bits each step, starting from
+  // x = 1 (exact mod 2 for odd n).
+  Limbs x{1};
+  for (std::size_t prec = 1; prec < bits_; prec *= 2) {
+    const Limbs nx = vec_mask(vec_mul(n_, x), bits_);
+    const Limbs two_minus = vec_mask(vec_add(vec_neg_mod(nx, bits_), Limbs{2}),
+                                     bits_);
+    x = vec_mask(vec_mul(x, two_minus), bits_);
+  }
+  assert(vec_cmp(vec_mask(vec_mul(n_, x), bits_), Limbs{1}) == 0);
+  n_prime_ = vec_neg_mod(x, bits_);
+
+  // R mod n and R^2 mod n by modular doubling from 1.
+  Limbs r{1};
+  if (vec_cmp(r, n_) >= 0) r = vec_sub(r, n_);  // n == 1 is excluded by odd>0
+  for (std::size_t i = 0; i < bits_; ++i) r = double_mod(r, n_, bits_);
+  r_ = r;
+  for (std::size_t i = 0; i < bits_; ++i) r = double_mod(r, n_, bits_);
+  r2_ = r;
+
+  const std::size_t L = limb_count(bits_);
+  n_ = vec_fit(n_, L);
+  n_prime_ = vec_fit(n_prime_, L);
+  r_ = vec_fit(r_, L);
+  r2_ = vec_fit(r2_, L);
+}
+
+Limbs MontgomeryRef::mont_mul(const Limbs& a, const Limbs& b) const {
+  // REDC: T = a*b; m = (T mod R) * n' mod R; t = (T + m*n) / R.
+  const Limbs t_full = vec_mul(a, b);
+  const Limbs m = vec_mask(vec_mul(vec_mask(t_full, bits_), n_prime_), bits_);
+  Limbs t = vec_shr(vec_add(t_full, vec_mul(m, n_)), bits_);
+  if (vec_cmp(t, n_) >= 0) t = vec_sub(t, n_);
+  return vec_fit(t, limb_count(bits_));
+}
+
+Limbs MontgomeryRef::to_mont(const Limbs& a) const { return mont_mul(a, r2_); }
+
+Limbs MontgomeryRef::from_mont(const Limbs& a) const {
+  Limbs one(limb_count(bits_), 0);
+  one[0] = 1;
+  return mont_mul(a, one);
+}
+
+Limbs MontgomeryRef::mul_mod(const Limbs& a, const Limbs& b) const {
+  return mont_mul(to_mont(a), b);
+}
+
+Limbs limbs_from_u64(std::uint64_t v, std::size_t bits) {
+  Limbs out(limb_count(bits), 0);
+  out[0] = v;
+  return out;
+}
+
+std::vector<bool> limbs_to_bits(const Limbs& v, std::size_t bits) {
+  std::vector<bool> out(bits, false);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const std::size_t limb = i / 64;
+    if (limb < v.size()) out[i] = ((v[limb] >> (i % 64)) & 1u) != 0;
+  }
+  return out;
+}
+
+Limbs limbs_from_bits(const std::vector<bool>& bits) {
+  Limbs out(limb_count(bits.size() == 0 ? 1 : bits.size()), 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) out[i / 64] |= std::uint64_t{1} << (i % 64);
+  return out;
+}
+
+// ---- netlist -------------------------------------------------------------
+
+Bus montgomery_mul_core(Builder& bld, const Bus& a, const Bus& b,
+                        const Bus& n) {
+  const std::size_t k = a.size();
+  assert(b.size() == k && n.size() == k);
+  // Accumulator invariant: acc < 2n before each step, so the k+2-bit
+  // register holds the pre-shift maximum acc + b + n < 4n <= 2^{k+2}.
+  const Bus b_ext = bld.zero_extend(b, k + 2);
+  const Bus n_ext = bld.zero_extend(n, k + 2);
+  Bus acc = bld.constant_bus(0, k + 2);
+  for (std::size_t i = 0; i < k; ++i) {
+    acc = bld.add(acc, bld.and_bit(b_ext, a[i]), k + 2);
+    const Wire q = acc[0];  // REDC digit: makes acc even (n odd)
+    acc = bld.add(acc, bld.and_bit(n_ext, q), k + 2);
+    acc.erase(acc.begin());  // exact /2: bit 0 is zero by construction
+    acc.push_back(Builder::const0());
+  }
+  Wire did = Builder::const0();
+  const Bus reduced = cond_subtract(bld, acc, n_ext, &did);
+  return Builder::truncate(reduced, k);
+}
+
+Circuit make_montgomery_mul_circuit(const MontgomeryOptions& opts) {
+  assert(!opts.modulus.empty());
+  Builder bld;
+  const Bus a = bld.garbler_inputs(opts.bits);
+  const Bus b = bld.evaluator_inputs(opts.bits);
+  Bus n(opts.bits, Builder::const0());
+  for (std::size_t i = 0; i < opts.bits; ++i) {
+    const std::size_t limb = i / 64;
+    if (limb < opts.modulus.size() &&
+        ((opts.modulus[limb] >> (i % 64)) & 1u) != 0)
+      n[i] = Builder::const1();
+  }
+  bld.set_outputs(montgomery_mul_core(bld, a, b, n));
+  bld.set_name("mont_mul_" + std::to_string(opts.bits));
+  return bld.take();
+}
+
+}  // namespace maxel::circuit

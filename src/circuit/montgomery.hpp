@@ -1,0 +1,89 @@
+// Montgomery modular multiplication: bit-serial REDC netlist plus a
+// uint64-limb golden reference.
+//
+// The netlist is the classic radix-2 interleaved Montgomery multiplier
+// (word-serial with 1-bit digits, the form every hardware survey starts
+// from): k add-shift steps, each folding in one bit of `a` and one
+// REDC correction digit q = acc[0], followed by a single conditional
+// subtract. It computes
+//
+//     mont_mul(a, b) = a * b * R^{-1} mod n,   R = 2^k,
+//
+// for an ODD public modulus n < 2^k baked into the circuit as a
+// constant bus (the RSA/signature setting: modulus public, operands
+// private). Garbler holds a, evaluator holds b. Operand width k is
+// parameterized up to 256 bits — wide enough that every bus crosses
+// the 64-wire word boundary the builder's fanout tests pin down.
+//
+// The reference model (MontgomeryRef) is deliberately a DIFFERENT
+// algorithm: limb-vector REDC computing m = (T mod R) * n' mod R with
+// n' = -n^{-1} mod 2^k obtained by Newton iteration, then
+// t = (T + m*n) / R. Agreement between the two is the differential
+// argument: a shared bug would have to live in two unrelated
+// formulations at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "circuit/netlist.hpp"
+
+namespace maxel::circuit {
+
+struct MontgomeryOptions {
+  std::size_t bits = 64;                   // k; R = 2^k, operands < 2^k
+  std::vector<std::uint64_t> modulus;      // little-endian limbs, odd, < 2^k
+};
+
+// Word-level core: returns a * b * 2^{-k} mod n on a k-bit bus.
+// `n` must be a constant bus (the builder folds the q*n row adds around
+// its zero bits). Requires n odd and a, b < n for the canonical-range
+// guarantee; for any a, b < 2^k the result is still exact mod n.
+Bus montgomery_mul_core(Builder& bld, const Bus& a, const Bus& b,
+                        const Bus& n);
+
+// Combinational circuit: garbler a (k bits), evaluator b (k bits),
+// output mont_mul(a, b) (k bits).
+Circuit make_montgomery_mul_circuit(const MontgomeryOptions& opts);
+
+// ---- uint64-limb golden reference ---------------------------------------
+
+using Limbs = std::vector<std::uint64_t>;  // little-endian base-2^64
+
+// Reference REDC context for modulus n with R = 2^bits. All values are
+// canonical (< n) unless noted; limb vectors are sized ceil(bits/64).
+class MontgomeryRef {
+ public:
+  // n must be odd, nonzero, and < 2^bits.
+  MontgomeryRef(Limbs n, std::size_t bits);
+
+  // a * b * R^{-1} mod n for a, b < n.
+  [[nodiscard]] Limbs mont_mul(const Limbs& a, const Limbs& b) const;
+  // Domain conversions: to_mont(a) = a*R mod n, from_mont undoes it.
+  [[nodiscard]] Limbs to_mont(const Limbs& a) const;
+  [[nodiscard]] Limbs from_mont(const Limbs& a) const;
+  // Plain modular product a * b mod n (via the Montgomery domain).
+  [[nodiscard]] Limbs mul_mod(const Limbs& a, const Limbs& b) const;
+
+  [[nodiscard]] const Limbs& modulus() const { return n_; }
+  [[nodiscard]] std::size_t bits() const { return bits_; }
+  [[nodiscard]] const Limbs& r_mod_n() const { return r_; }
+  [[nodiscard]] const Limbs& n_prime() const { return n_prime_; }
+
+ private:
+  Limbs n_;
+  std::size_t bits_;
+  Limbs n_prime_;  // -n^{-1} mod 2^bits (Newton iteration)
+  Limbs r_;        // R mod n
+  Limbs r2_;       // R^2 mod n
+};
+
+// Limb-vector helpers shared by the reference and the tests.
+Limbs limbs_from_u64(std::uint64_t v, std::size_t bits);
+// Bus/bit-vector bridges for driving circuits (LSB-first bit order).
+std::vector<bool> limbs_to_bits(const Limbs& v, std::size_t bits);
+Limbs limbs_from_bits(const std::vector<bool>& bits);
+
+}  // namespace maxel::circuit

@@ -1,0 +1,86 @@
+#include "ml/conv_layer.hpp"
+
+#include <cassert>
+
+namespace maxel::ml {
+namespace {
+
+std::uint64_t mask_of(std::size_t bits) {
+  return bits >= 64 ? ~0ull : (std::uint64_t{1} << bits) - 1;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint64_t>> im2col(const ConvLayerShape& s,
+                                               const Tensor& input) {
+  assert(input.size() == s.in_c * s.in_h * s.in_w);
+  assert(s.in_h >= s.k_h && s.in_w >= s.k_w && s.stride > 0);
+  std::vector<std::vector<std::uint64_t>> x(
+      s.patch(), std::vector<std::uint64_t>(s.positions(), 0));
+  for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+    for (std::size_t ky = 0; ky < s.k_h; ++ky) {
+      for (std::size_t kx = 0; kx < s.k_w; ++kx) {
+        const std::size_t r = (ic * s.k_h + ky) * s.k_w + kx;
+        for (std::size_t oy = 0; oy < s.out_h(); ++oy) {
+          for (std::size_t ox = 0; ox < s.out_w(); ++ox) {
+            const std::size_t y = oy * s.stride + ky;
+            const std::size_t xcol = ox * s.stride + kx;
+            x[r][oy * s.out_w() + ox] =
+                input[(ic * s.in_h + y) * s.in_w + xcol];
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+std::vector<std::vector<std::uint64_t>> conv_reference(
+    const ConvLayerShape& s, const std::vector<Tensor>& weights,
+    const Tensor& input, std::size_t bits) {
+  assert(weights.size() == s.out_c);
+  const std::uint64_t m = mask_of(bits);
+  std::vector<std::vector<std::uint64_t>> y(
+      s.out_c, std::vector<std::uint64_t>(s.positions(), 0));
+  for (std::size_t oc = 0; oc < s.out_c; ++oc) {
+    assert(weights[oc].size() == s.patch());
+    for (std::size_t oy = 0; oy < s.out_h(); ++oy) {
+      for (std::size_t ox = 0; ox < s.out_w(); ++ox) {
+        std::uint64_t acc = 0;
+        for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+          for (std::size_t ky = 0; ky < s.k_h; ++ky) {
+            for (std::size_t kx = 0; kx < s.k_w; ++kx) {
+              const std::uint64_t w =
+                  weights[oc][(ic * s.k_h + ky) * s.k_w + kx];
+              const std::uint64_t v =
+                  input[(ic * s.in_h + oy * s.stride + ky) * s.in_w +
+                        ox * s.stride + kx];
+              acc = (acc + ((w & m) * (v & m))) & m;
+            }
+          }
+        }
+        y[oc][oy * s.out_w() + ox] = acc;
+      }
+    }
+  }
+  return y;
+}
+
+ConvLayerResult conv_layer_on_pool(const ConvLayerShape& s,
+                                   const std::vector<Tensor>& weights,
+                                   const Tensor& input, std::size_t bits,
+                                   core::GcCorePool& pool) {
+  const auto x = im2col(s, input);
+  const auto mm = core::parallel_matmul_on_pool(weights, x, bits, pool);
+
+  ConvLayerResult out;
+  out.output = mm.product;
+  out.cores = mm.cores;
+  out.tables = mm.tables;
+  out.cycles = mm.cycles;
+  out.verified =
+      mm.verified && out.output == conv_reference(s, weights, input, bits);
+  return out;
+}
+
+}  // namespace maxel::ml

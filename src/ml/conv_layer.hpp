@@ -1,0 +1,89 @@
+// Private convolution layer: im2col lowering + batched sequential MACs
+// on the GC core pool — the CNN-shaped extension of the paper's
+// MovieLens/UCI case studies.
+//
+// The lowering is the standard one: a conv layer with out_c filters of
+// size in_c x k_h x k_w over an in_c x in_h x in_w activation map is
+//
+//     Y[out_c x P] = W[out_c x K] * X[K x P],
+//     K = in_c*k_h*k_w (im2col patch length = MAC rounds per output),
+//     P = out_h*out_w  (output positions),
+//
+// so every output element is one K-round sequential MAC — exactly the
+// workload shape the MAXelerator FSM schedules, and the matmul sharding
+// machinery (core::parallel_matmul_on_pool) runs unchanged.
+//
+// Privacy split (see docs/SECURITY_MODELS.md): the server/garbler holds
+// the filter weights W (the model), the client/evaluator holds the
+// activations X (the query). Values are raw b-bit words with mod-2^b
+// wraparound, matching the integer MAC netlist the cores garble; fixed
+// point scaling is the caller's contract, as in fixed/.
+//
+// conv_reference is a DIRECT nested-loop convolution — it never forms
+// the im2col matrix — so the tests differentially pin the lowering +
+// garbled matmul against an independent formulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gc_core_pool.hpp"
+#include "core/matmul.hpp"
+
+namespace maxel::ml {
+
+struct ConvLayerShape {
+  std::size_t in_c = 1, in_h = 0, in_w = 0;  // input: channels x H x W
+  std::size_t out_c = 1;                     // filters
+  std::size_t k_h = 1, k_w = 1;              // kernel
+  std::size_t stride = 1;                    // no padding ("valid")
+
+  [[nodiscard]] std::size_t out_h() const {
+    return (in_h - k_h) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    return (in_w - k_w) / stride + 1;
+  }
+  [[nodiscard]] std::size_t patch() const { return in_c * k_h * k_w; }
+  [[nodiscard]] std::size_t positions() const { return out_h() * out_w(); }
+  [[nodiscard]] std::size_t total_macs() const {
+    return out_c * positions() * patch();
+  }
+};
+
+// Flattened tensors, C-order:
+//  * input   [in_c][in_h][in_w]  -> index (c*in_h + y)*in_w + x
+//  * weights [out_c][K]           -> filter oc, patch index
+//    (ic*k_h + ky)*k_w + kx — the same order im2col emits rows in.
+using Tensor = std::vector<std::uint64_t>;
+
+// im2col lowering: X[K x P], X[r][p] = the input value filter row r
+// reads at output position p.
+std::vector<std::vector<std::uint64_t>> im2col(const ConvLayerShape& s,
+                                               const Tensor& input);
+
+// Direct convolution (independent of im2col), mod 2^bits.
+// Returns Y[out_c][P].
+std::vector<std::vector<std::uint64_t>> conv_reference(
+    const ConvLayerShape& s, const std::vector<Tensor>& weights,
+    const Tensor& input, std::size_t bits);
+
+struct ConvLayerResult {
+  std::vector<std::vector<std::uint64_t>> output;  // [out_c][positions]
+  bool verified = false;  // garbled decode == direct conv_reference
+  std::size_t cores = 0;
+  std::uint64_t tables = 0;  // garbled tables across all MAC rounds
+  std::uint64_t cycles = 0;  // summed simulated core cycles
+};
+
+// Runs the layer as a garbled matmul on the pool: every output element
+// garbles its K-round MAC on its owning core and decodes through the
+// standard evaluator. `verified` additionally checks the decoded result
+// against conv_reference — the differential proof that lowering +
+// sharding + garbling preserved the layer bit-for-bit.
+ConvLayerResult conv_layer_on_pool(const ConvLayerShape& s,
+                                   const std::vector<Tensor>& weights,
+                                   const Tensor& input, std::size_t bits,
+                                   core::GcCorePool& pool);
+
+}  // namespace maxel::ml

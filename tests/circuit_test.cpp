@@ -518,5 +518,109 @@ TEST(BitHelpers, RoundTrips) {
   EXPECT_EQ(from_bits_signed(to_bits(8, 4)), -8);
 }
 
+// ---- multi-consumer fanout under wide (>64-wire) operands ----------------
+// The 128/256-bit Montgomery netlists reuse one accumulator bus as an
+// operand of several word ops per step; nothing below 64 wires ever
+// exercised that. These tests pin the builder/evaluator contract: a
+// gate output consumed by many later gates — and listed among the
+// outputs more than once — reads the same value everywhere, at widths
+// where every bus spans multiple machine words.
+
+std::vector<bool> random_bits(Prg& prg, std::size_t n) {
+  return prg.bits(n);
+}
+
+std::vector<bool> add_bits(const std::vector<bool>& a,
+                           const std::vector<bool>& b) {
+  std::vector<bool> out(a.size());
+  bool carry = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int s = int(a[i]) + int(b[i]) + int(carry);
+    out[i] = (s & 1) != 0;
+    carry = s >= 2;
+  }
+  return out;
+}
+
+TEST(WideFanout, SharedSumFeedsManyConsumersAt96Bits) {
+  constexpr std::size_t kW = 96;
+  Builder bld;
+  const Bus a = bld.garbler_inputs(kW);
+  const Bus b = bld.evaluator_inputs(kW);
+  const Bus s = bld.add(a, b);          // shared intermediate, 96 wires
+  const Bus d1 = bld.xor_bus(s, a);     // consumer 1
+  const Bus d2 = bld.sub(s, b);         // consumer 2: (a+b)-b == a
+  const Wire back = bld.eq(d2, a);      // consumer 3 (reads d2 AND a again)
+  const Wire less = bld.lt_unsigned(s, a);  // consumer 4: carry-out probe
+  bld.set_outputs(s);
+  bld.append_outputs(d1);
+  bld.append_outputs(d2);
+  bld.append_outputs({back, less});
+  bld.append_outputs(s);                // the SAME wires output twice
+  const Circuit c = bld.take();
+  ASSERT_EQ(c.outputs.size(), 4 * kW + 2);
+
+  Prg prg(crypto::Block{0x96, 0xFA});
+  for (int t = 0; t < 40; ++t) {
+    const auto av = random_bits(prg, kW);
+    const auto bv = random_bits(prg, kW);
+    const auto out = eval_plain(c, av, bv);
+    const auto sum = add_bits(av, bv);
+    bool wrapped = false;  // a+b overflowed 2^96 <=> sum < a
+    {
+      bool carry = false;
+      for (std::size_t i = 0; i < kW; ++i) {
+        const int x = int(av[i]) + int(bv[i]) + int(carry);
+        carry = x >= 2;
+      }
+      wrapped = carry;
+    }
+    for (std::size_t i = 0; i < kW; ++i) {
+      EXPECT_EQ(out[i], sum[i]) << "s bit " << i;
+      EXPECT_EQ(out[kW + i], sum[i] != av[i]) << "xor consumer bit " << i;
+      EXPECT_EQ(out[2 * kW + i], av[i]) << "(a+b)-b must be a, bit " << i;
+      EXPECT_EQ(out[3 * kW + 2 + i], out[i]) << "duplicated output bit " << i;
+    }
+    EXPECT_TRUE(out[3 * kW]) << "eq(d2, a) must hold";
+    EXPECT_EQ(out[3 * kW + 1], wrapped) << "lt(s, a) <=> carry out";
+  }
+}
+
+TEST(WideFanout, DffBusSharedByUpdateAndOutputsAt80Bits) {
+  // An 80-bit DFF accumulator consumed by its own next-state adder, a
+  // comparator, and the output list — per round, across rounds.
+  constexpr std::size_t kW = 80;
+  Builder bld;
+  const Bus a = bld.garbler_inputs(kW);
+  const Bus acc = bld.make_dff_bus(kW, 0);
+  const Bus next = bld.add(acc, a);
+  const Wire grew = bld.lt_unsigned(acc, next);  // false exactly on wrap
+  bld.connect_dff_bus(acc, next);
+  bld.set_outputs(next);
+  bld.append_outputs({grew});
+  const Circuit c = bld.take();
+
+  Prg prg(crypto::Block{0x80, 0xFB});
+  std::vector<bool> state(kW, false);
+  std::vector<bool> model(kW, false);
+  for (int r = 0; r < 50; ++r) {
+    const auto av = random_bits(prg, kW);
+    const auto out = eval_plain(c, av, {}, &state);
+    const auto prev = model;
+    model = add_bits(model, av);
+    for (std::size_t i = 0; i < kW; ++i)
+      ASSERT_EQ(out[i], model[i]) << "round " << r << " bit " << i;
+    // grew <=> prev < prev + a (mod 2^80), i.e. no wraparound and a != 0.
+    bool lt = false;
+    for (std::size_t i = kW; i-- > 0;) {
+      if (prev[i] != model[i]) {
+        lt = !prev[i] && model[i];
+        break;
+      }
+    }
+    ASSERT_EQ(out[kW], lt) << "round " << r;
+  }
+}
+
 }  // namespace
 }  // namespace maxel::circuit

@@ -12,6 +12,8 @@
 
 #include "circuit/bristol.hpp"
 #include "circuit/circuits.hpp"
+#include "circuit/fp16.hpp"
+#include "circuit/montgomery.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/optimize.hpp"
 #include "crypto/prg.hpp"
@@ -33,10 +35,15 @@ using crypto::Block;
 using crypto::Prg;
 using crypto::SystemRandom;
 
-std::uint64_t from_bits(const std::vector<bool>& bits) {
-  std::uint64_t v = 0;
+// Exact decoded-output representation for circuits of any output width
+// (the Montgomery netlists exceed 64 output wires): 64-bit words,
+// LSB-first.
+using Words = std::vector<std::uint64_t>;
+
+Words from_bits(const std::vector<bool>& bits) {
+  Words v(bits.empty() ? 1 : (bits.size() + 63) / 64, 0);
   for (std::size_t i = 0; i < bits.size(); ++i)
-    if (bits[i]) v |= 1ull << i;
+    if (bits[i]) v[i / 64] |= 1ull << (i % 64);
   return v;
 }
 
@@ -48,11 +55,11 @@ std::vector<bool> mask_bits(const std::vector<bool>& v,
 }
 
 // Per-round decoded output words of the plaintext reference.
-std::vector<std::uint64_t> run_plain(const Circuit& c,
-                                     const std::vector<RoundInputs>& rounds) {
+std::vector<Words> run_plain(const Circuit& c,
+                             const std::vector<RoundInputs>& rounds) {
   std::vector<bool> state;
   for (const auto& d : c.dffs) state.push_back(d.init);
-  std::vector<std::uint64_t> out;
+  std::vector<Words> out;
   for (const auto& r : rounds)
     out.push_back(
         from_bits(eval_plain(c, r.garbler_bits, r.evaluator_bits, &state)));
@@ -62,9 +69,8 @@ std::vector<std::uint64_t> run_plain(const Circuit& c,
 // Selects active input labels from a RoundMaterial and evaluates one
 // round on a StreamingEvaluator (shared by the precomputed and
 // streaming drivers below).
-std::uint64_t eval_material_round(const gc::RoundMaterial& m,
-                                  const Block& delta, const RoundInputs& in,
-                                  gc::StreamingEvaluator& ev) {
+Words eval_material_round(const gc::RoundMaterial& m, const Block& delta,
+                          const RoundInputs& in, gc::StreamingEvaluator& ev) {
   std::vector<Block> g(in.garbler_bits.size());
   for (std::size_t i = 0; i < g.size(); ++i)
     g[i] = in.garbler_bits[i] ? m.garbler_labels0[i] ^ delta
@@ -77,7 +83,7 @@ std::uint64_t eval_material_round(const gc::RoundMaterial& m,
   return from_bits(gc::decode_with_map(out, m.output_map));
 }
 
-std::vector<std::uint64_t> run_precomputed(
+std::vector<Words> run_precomputed(
     const Circuit& c, const std::vector<RoundInputs>& rounds,
     std::uint64_t seed) {
   SystemRandom rng(Block{seed, 0x9C0});
@@ -85,20 +91,20 @@ std::vector<std::uint64_t> run_precomputed(
       proto::garble_session(c, gc::Scheme::kHalfGates, rounds.size(), rng);
   gc::StreamingEvaluator ev(c, gc::Scheme::kHalfGates);
   ev.set_initial_state_labels(s.initial_state_labels);
-  std::vector<std::uint64_t> out;
+  std::vector<Words> out;
   for (std::size_t r = 0; r < rounds.size(); ++r)
     out.push_back(eval_material_round(s.rounds[r], s.delta, rounds[r], ev));
   return out;
 }
 
-std::vector<std::uint64_t> run_streaming(
+std::vector<Words> run_streaming(
     const Circuit& c, const std::vector<RoundInputs>& rounds,
     std::uint64_t seed) {
   gc::StreamingGarbler sg(c, gc::Scheme::kHalfGates, rounds.size(),
                           {.chunk_rounds = 3, .queue_chunks = 2},
                           Block{seed, 0x57E});
   gc::StreamingEvaluator ev(c, gc::Scheme::kHalfGates);
-  std::vector<std::uint64_t> out;
+  std::vector<Words> out;
   gc::SessionChunk chunk;
   while (sg.next_chunk(chunk)) {
     if (chunk.first_round == 0)
@@ -110,9 +116,9 @@ std::vector<std::uint64_t> run_streaming(
   return out;
 }
 
-std::vector<std::uint64_t> run_v3(const Circuit& c,
-                                  const std::vector<RoundInputs>& rounds,
-                                  std::uint64_t seed) {
+std::vector<Words> run_v3(const Circuit& c,
+                          const std::vector<RoundInputs>& rounds,
+                          std::uint64_t seed) {
   SystemRandom rng(Block{seed, 0x13});
   const gc::V3Analysis an = gc::analyze_v3(c);
   Block delta = rng.next_block();
@@ -120,7 +126,7 @@ std::vector<std::uint64_t> run_v3(const Circuit& c,
   const Block label_seed = rng.next_block();
   gc::V3Garbler garbler(c, an, delta, label_seed, rng);
   gc::V3Evaluator evaluator(c, an, label_seed);
-  std::vector<std::uint64_t> out;
+  std::vector<Words> out;
   for (const auto& r : rounds) {
     const gc::V3RoundMaterial m = garbler.garble_round(r.garbler_bits);
     std::vector<Block> e_labels;
@@ -134,13 +140,13 @@ std::vector<std::uint64_t> run_v3(const Circuit& c,
   return out;
 }
 
-std::vector<std::uint64_t> run_reusable(const Circuit& c,
-                                        const std::vector<RoundInputs>& rounds,
-                                        std::uint64_t seed) {
+std::vector<Words> run_reusable(const Circuit& c,
+                                const std::vector<RoundInputs>& rounds,
+                                std::uint64_t seed) {
   SystemRandom rng(Block{seed, 0x2E0});
   const auto rc = gc::make_reusable_circuit(c, rng);
   gc::ReusableEvaluator ev(c, rc.view);
-  std::vector<std::uint64_t> out;
+  std::vector<Words> out;
   for (const auto& r : rounds)
     out.push_back(from_bits(
         ev.eval_round(mask_bits(r.garbler_bits, rc.garbler_flips),
@@ -200,6 +206,52 @@ TEST(ScheduleEquivalence, BristolImportAllModes) {
   const Circuit imported = circuit::from_bristol(
       circuit::to_bristol(circuit::make_multiplier_circuit(MacOptions{8, 8, true})));
   check_all_modes(imported, 5, 0xD44);
+}
+
+TEST(ScheduleEquivalence, Fp16MacAllModes) {
+  // The sequential FP16 MAC: 16-bit DFF accumulator, mul+add datapath
+  // with barrel shifters — a very different gate mix from the integer
+  // MACs above, pushed through all four session modes.
+  check_all_modes(circuit::make_fp16_mac_circuit(), 8, 0xF16);
+}
+
+TEST(ScheduleEquivalence, MontgomeryAllModes) {
+  // Montgomery REDC at 64 bits, and at 128 bits where every input,
+  // output and accumulator bus is wider than a machine word.
+  check_all_modes(
+      circuit::make_montgomery_mul_circuit({64, {0xFFFFFFFFFFFFFFC5ull}}), 4,
+      0x64ED);
+  check_all_modes(circuit::make_montgomery_mul_circuit({128, {~0ull, ~0ull}}),
+                  2, 0x128D);
+}
+
+TEST(ScheduleEquivalence, OptimizePassPreservesNewFamilies) {
+  // optimize({.schedule = true}) on the new netlists: DCE+CSE+schedule
+  // must preserve semantics through every session mode AND never make
+  // the peak live-wire working set worse (the pass's contract).
+  struct Case {
+    const char* tag;
+    Circuit c;
+    std::size_t rounds;
+    std::uint64_t seed;
+  };
+  Case cases[] = {
+      {"fp16_mac", circuit::make_fp16_mac_circuit(), 6, 0x0F7},
+      {"mont128",
+       circuit::make_montgomery_mul_circuit({128, {0x10001ull, 0}}), 2,
+       0x0D8},
+  };
+  for (auto& tc : cases) {
+    SCOPED_TRACE(tc.tag);
+    circuit::OptimizeStats os;
+    circuit::ScheduleStats ss;
+    const Circuit opt = circuit::optimize(tc.c, {.schedule = true}, &os, &ss);
+    EXPECT_LE(ss.peak_live_after, ss.peak_live_before) << "never-worse guard";
+    EXPECT_LE(os.ands_after, os.ands_before);
+    const auto rounds = random_rounds(tc.c, tc.rounds, tc.seed);
+    ASSERT_EQ(run_plain(opt, rounds), run_plain(tc.c, rounds));
+    check_all_modes(opt, tc.rounds, tc.seed);
+  }
 }
 
 TEST(ScheduleEquivalence, PeakLiveWiresEqualsEvaluationPlanSlots) {

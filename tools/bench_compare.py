@@ -125,6 +125,41 @@ CHECKS = {
              "bristol-mul32-unscheduled", 0.9),
         ],
     },
+    "fp16_mac": {
+        "key": "point",
+        # The netlist rows (AND/XOR counts, table bytes, hwsim cycles)
+        # are deterministic properties of the circuits -- tight ceilings
+        # pin them against regression, and a missing fp16 row fails the
+        # gate outright. The garbled-throughput row carries the usual
+        # runner tolerance; its verified flag (bit-identity to the
+        # softfloat reference chain every round) is mandatory.
+        "lower_bound": ["rounds_per_sec"],
+        "upper_bound": ["ands", "table_bytes_per_round", "cycles",
+                        "peak_live_wires"],
+        # The documented cost envelope of going floating point: the
+        # FP16 MAC's AND count must stay within 5x the b=16 integer
+        # MAC's (measured ~3.9x -- the alignment/normalization barrel
+        # shifters; see docs/ACCELERATION.md).
+        "ratio_max": [
+            ("ands", "fp16_mac", "int16_mac", 5.0),
+        ],
+    },
+    "case_conv_layer": {
+        "key": "point",
+        # Both pool phases must verify against the direct convolution
+        # (the "verified" check) and the broker phase requires zero
+        # failed sessions. Table counts are deterministic for the layer
+        # shape; MACs/s floors carry the runner tolerance.
+        "lower_bound": ["macs_per_sec"],
+        "upper_bound": ["failed", "tables"],
+        # The serving gate, a measured-run ratio: the broker path's
+        # MACs/s must stay within tolerance of the warm per-MAC
+        # extrapolation -- handshake/artifact/OT overhead may tax the
+        # layer, but not collapse it.
+        "ratio": [
+            ("macs_per_sec", "layer_broker", "per_mac_extrapolation", 0.3),
+        ],
+    },
     "stream_pipeline": {
         "key": "mode",
         "lower_bound": ["mac_per_sec"],
